@@ -1,0 +1,209 @@
+(* The full benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§V) on the simulated 20-core platform, then runs
+   Bechamel micro-benchmarks of the allocator's primitive operations.
+
+     dune exec bench/main.exe              # full paper scale
+     WAFL_QUICK=1 dune exec bench/main.exe # fast smoke (quarter scale)
+     WAFL_SCALE=0.5 ...                    # custom scale *)
+
+module H = Wafl_harness
+
+let section name = Printf.printf "\n=== %s ===\n%!" name
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let shapes = f () in
+  Printf.printf "  [%s: %.1fs wall]\n%!" name (Unix.gettimeofday () -. t0);
+  shapes
+
+let figures scale =
+  let all = ref [] in
+  let add shapes = all := !all @ shapes in
+  section "Figure 4 (sequential write, permutations)";
+  add
+    (timed "fig4" (fun () ->
+         let rows = H.Fig4.run ~scale () in
+         H.Fig4.print rows;
+         H.Fig4.shapes rows));
+  section "Figure 5 (cleaner-thread scaling)";
+  add
+    (timed "fig5" (fun () ->
+         let rows = H.Fig5.run ~scale () in
+         H.Fig5.print rows;
+         H.Fig5.shapes rows));
+  section "Figure 6 (infrastructure parallelization)";
+  add
+    (timed "fig6" (fun () ->
+         let rows = H.Fig6.run ~scale () in
+         H.Fig6.print rows;
+         H.Fig6.shapes rows));
+  section "Figure 7 (random write, permutations)";
+  add
+    (timed "fig7" (fun () ->
+         let rows = H.Fig7.run ~scale () in
+         H.Fig7.print rows;
+         H.Fig7.shapes rows));
+  section "Figure 8 (OLTP peak throughput / knee latency)";
+  add
+    (timed "fig8" (fun () ->
+         let rows = H.Fig8.run ~scale () in
+         H.Fig8.print rows;
+         H.Fig8.shapes rows));
+  section "Figure 9 (throughput vs latency curves)";
+  add
+    (timed "fig9" (fun () ->
+         let rows = H.Fig9.run ~scale () in
+         H.Fig9.print rows;
+         H.Fig9.shapes rows));
+  section "Batched inode cleaning (SV-C)";
+  add
+    (timed "batching" (fun () ->
+         let rows = H.Batching.run ~scale () in
+         H.Batching.print rows;
+         H.Batching.shapes rows));
+  section "History ablation (the SIII evolution: 2006 / 2008 / 2011)";
+  add
+    (timed "history" (fun () ->
+         let rows = H.History.run ~scale () in
+         H.History.print rows;
+         H.History.shapes rows));
+  section "Design ablation: bucket chunk size (SIV-C)";
+  add
+    (timed "ablation/chunk" (fun () ->
+         let rows = H.Ablation.run_chunk ~scale () in
+         H.Ablation.print_chunk rows;
+         H.Ablation.shapes_chunk rows));
+  section "Design ablation: Range-affinity instances (SIV-B2)";
+  add
+    (timed "ablation/ranges" (fun () ->
+         let rows = H.Ablation.run_ranges ~scale () in
+         H.Ablation.print_ranges rows;
+         H.Ablation.shapes_ranges rows));
+  section "Crossover sweep: sequential -> random write";
+  add
+    (timed "crossover" (fun () ->
+         let rows = H.Crossover.run ~scale () in
+         H.Crossover.print rows;
+         H.Crossover.shapes rows));
+  section "Shape summary (paper-vs-measured, qualitative)";
+  H.Exp.print_shapes !all;
+  let missed = List.filter (fun (_, ok) -> not ok) !all in
+  Printf.printf "\n%d/%d shapes reproduced\n%!"
+    (List.length !all - List.length missed)
+    (List.length !all)
+
+(* --- Bechamel micro-benchmarks of allocator primitives ------------------- *)
+
+open Bechamel
+open Toolkit
+
+let bucket_bench () =
+  (* One USE (take + tetris enqueue) amortized over a fresh bucket. *)
+  let eng = Wafl_sim.Engine.create ~cores:1 () in
+  let geom =
+    Wafl_storage.Geometry.create ~drive_blocks:65536 ~aa_stripes:1024 ~raid_groups:[ (2, 1) ] ()
+  in
+  let disk = Wafl_storage.Disk.create geom in
+  let raid = Wafl_storage.Raid.create eng ~cost:Wafl_sim.Cost.free ~disk ~rg:0 in
+  let tetris =
+    Wafl_core.Tetris.create eng ~cost:Wafl_sim.Cost.free ~raid ~expected_buckets:max_int
+  in
+  let bucket = ref None in
+  let next_base = ref 0 in
+  let payload = Wafl_fs.Layout.Data { vol = 0; file = 0; fbn = 0; content = 0L } in
+  Staged.stage (fun () ->
+      let b =
+        match !bucket with
+        | Some b when not (Wafl_core.Bucket.is_exhausted b) -> b
+        | _ ->
+            let vbns = Array.init 64 (fun i -> (!next_base + i) mod 100_000) in
+            next_base := (!next_base + 64) mod 100_000;
+            let b =
+              Wafl_core.Bucket.make
+                ~target:(Wafl_core.Bucket.Phys { rg = 0; drive = 0 })
+                ~tetris ~vbns ()
+            in
+            bucket := Some b;
+            b
+      in
+      ignore (Wafl_core.Api.use b ~payload))
+
+let bitmap_bench () =
+  let map = Wafl_fs.Bitmap_file.create ~bits:(1 lsl 20) in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      let bit = !i land 0xFFFFF in
+      i := !i + 7919;
+      if Wafl_fs.Bitmap_file.mem map bit then Wafl_fs.Bitmap_file.clear map bit
+      else Wafl_fs.Bitmap_file.set map bit)
+
+let bitmap_scan_bench () =
+  let map = Wafl_fs.Bitmap_file.create ~bits:(1 lsl 20) in
+  (* Fill all but every 512th bit so scans do real word-walking. *)
+  for b = 0 to (1 lsl 20) - 1 do
+    if b land 511 <> 0 then Wafl_fs.Bitmap_file.set map b
+  done;
+  let start = ref 0 in
+  Staged.stage (fun () ->
+      match Wafl_fs.Bitmap_file.find_free map ~lo:0 ~hi:((1 lsl 20) - 1) ~start:!start with
+      | Some b -> start := (b + 1) land 0xFFFFF
+      | None -> start := 0)
+
+let stage_bench () =
+  let s = Wafl_core.Stage.create ~target:Wafl_core.Stage.Phys ~capacity:64 in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      incr i;
+      match Wafl_core.Stage.add s !i with
+      | `Ok -> ()
+      | `Full -> ignore (Wafl_core.Stage.drain s))
+
+let engine_bench () =
+  Staged.stage (fun () ->
+      let eng = Wafl_sim.Engine.create ~cores:4 () in
+      for _ = 1 to 50 do
+        ignore (Wafl_sim.Engine.spawn eng (fun () -> Wafl_sim.Engine.consume 10.0))
+      done;
+      Wafl_sim.Engine.run eng)
+
+let rng_bench () =
+  let r = Wafl_util.Rng.create ~seed:1 in
+  Staged.stage (fun () -> ignore (Wafl_util.Rng.bits64 r))
+
+let micro () =
+  section "Micro-benchmarks (real wall time of allocator primitives)";
+  let test =
+    Test.make_grouped ~name:"primitives"
+      [
+        Test.make ~name:"bucket USE (take + tetris enqueue)" (bucket_bench ());
+        Test.make ~name:"activemap bit toggle (incl. dirty tracking)" (bitmap_bench ());
+        Test.make ~name:"activemap find_free (sparse free)" (bitmap_scan_bench ());
+        Test.make ~name:"stage add (drain amortized)" (stage_bench ());
+        Test.make ~name:"DES engine: 50 fibers spawn+run" (engine_bench ());
+        Test.make ~name:"xoshiro256 star-star bits64" (rng_bench ());
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan in
+      rows := (name, ns) :: !rows)
+    results;
+  let t = Wafl_util.Table.create ~headers:[ "operation"; "ns/op" ] in
+  List.iter
+    (fun (name, ns) -> Wafl_util.Table.add_row t [ name; Printf.sprintf "%.1f" ns ])
+    (List.sort compare !rows);
+  Wafl_util.Table.print t
+
+let () =
+  let scale = H.Exp.of_env () in
+  Printf.printf "WAFL White Alligator reproduction benchmark harness (scale %.2f)\n" scale;
+  let t0 = Unix.gettimeofday () in
+  figures scale;
+  micro ();
+  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,179 @@
+(* Command-line front end: run any paper experiment or an ad-hoc
+   configuration of the simulated storage server. *)
+
+open Cmdliner
+open Wafl_workload
+module H = Wafl_harness
+
+let scale_arg =
+  let doc = "Scale factor for measurement windows and working sets (1.0 = paper scale)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let run_experiment name runner =
+  let doc = Printf.sprintf "Reproduce %s." name in
+  let action scale =
+    let shapes = runner scale in
+    H.Exp.print_shapes shapes;
+    if List.for_all snd shapes then `Ok () else `Error (false, "some shape checks missed")
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ scale_arg))
+
+let fig4 scale =
+  let rows = H.Fig4.run ~scale () in
+  H.Fig4.print rows;
+  H.Fig4.shapes rows
+
+let fig5 scale =
+  let rows = H.Fig5.run ~scale () in
+  H.Fig5.print rows;
+  H.Fig5.shapes rows
+
+let fig6 scale =
+  let rows = H.Fig6.run ~scale () in
+  H.Fig6.print rows;
+  H.Fig6.shapes rows
+
+let fig7 scale =
+  let rows = H.Fig7.run ~scale () in
+  H.Fig7.print rows;
+  H.Fig7.shapes rows
+
+let fig8 scale =
+  let rows = H.Fig8.run ~scale () in
+  H.Fig8.print rows;
+  H.Fig8.shapes rows
+
+let fig9 scale =
+  let rows = H.Fig9.run ~scale () in
+  H.Fig9.print rows;
+  H.Fig9.shapes rows
+
+let batching scale =
+  let rows = H.Batching.run ~scale () in
+  H.Batching.print rows;
+  H.Batching.shapes rows
+
+let history scale =
+  let rows = H.History.run ~scale () in
+  H.History.print rows;
+  H.History.shapes rows
+
+let ablation scale =
+  let chunk = H.Ablation.run_chunk ~scale () in
+  H.Ablation.print_chunk chunk;
+  let ranges = H.Ablation.run_ranges ~scale () in
+  H.Ablation.print_ranges ranges;
+  H.Ablation.shapes_chunk chunk @ H.Ablation.shapes_ranges ranges
+
+let crossover scale =
+  let rows = H.Crossover.run ~scale () in
+  H.Crossover.print rows;
+  H.Crossover.shapes rows
+
+let all scale =
+  List.concat
+    [
+      fig4 scale; fig5 scale; fig6 scale; fig7 scale; fig8 scale; fig9 scale;
+      batching scale; history scale; ablation scale; crossover scale;
+    ]
+
+(* --- ad-hoc run --- *)
+
+let workload_conv =
+  let parse = function
+    | "seq" -> Ok `Seq
+    | "rand" -> Ok `Rand
+    | "oltp" -> Ok `Oltp
+    | "nfs" -> Ok `Nfs
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S (seq|rand|oltp|nfs)" s))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf
+      (match w with `Seq -> "seq" | `Rand -> "rand" | `Oltp -> "oltp" | `Nfs -> "nfs")
+  in
+  Arg.conv (parse, print)
+
+let custom_run workload cleaners serial_infra dynamic clients cores measure_s think seed =
+  let wl =
+    match workload with
+    | `Seq -> Driver.Seq_write { file_blocks = 16384 }
+    | `Rand -> Driver.Rand_write { file_blocks = 16384 }
+    | `Oltp -> Driver.Oltp { file_blocks = 16384; read_fraction = 0.67 }
+    | `Nfs -> Driver.Nfs_mix { files_per_client = 48; file_blocks = 64 }
+  in
+  let cfg =
+    H.Exp.wa_config ~cleaners
+      ~max_cleaners:(max cleaners 4)
+      ~parallel_infra:(not serial_infra) ~dynamic ()
+  in
+  let spec =
+    {
+      Driver.default_spec with
+      Driver.workload = wl;
+      cfg;
+      clients;
+      cores;
+      think_time = think;
+      measure = measure_s *. 1_000_000.0;
+      seed;
+    }
+  in
+  let r = Driver.run spec in
+  Printf.printf "ops            %d\n" r.Driver.ops;
+  Printf.printf "throughput     %.0f ops/s (%.0f per client)\n" r.Driver.throughput
+    r.Driver.throughput_per_client;
+  Printf.printf "latency        mean %.1f us, p50 %.1f, p95 %.1f, p99 %.1f\n"
+    (Wafl_util.Histogram.mean r.Driver.latency)
+    (Wafl_util.Histogram.percentile r.Driver.latency 50.0)
+    (Wafl_util.Histogram.percentile r.Driver.latency 95.0)
+    (Wafl_util.Histogram.percentile r.Driver.latency 99.0);
+  Printf.printf "cores          client %.2f, cleaner %.2f, infra %.2f, cp %.2f (util %.2f)\n"
+    r.Driver.cores_client r.Driver.cores_cleaner r.Driver.cores_infra r.Driver.cores_cp
+    r.Driver.utilization;
+  Printf.printf "CPs            %d (%d buffers cleaned, %d cleaner msgs, %d infra msgs)\n"
+    r.Driver.cps_completed r.Driver.buffers_cleaned r.Driver.cleaner_messages
+    r.Driver.infra_messages;
+  Printf.printf "allocation     %d VBNs allocated, %d freed, %d metafile blocks touched\n"
+    r.Driver.vbns_allocated r.Driver.vbns_freed r.Driver.metafile_blocks_touched;
+  Printf.printf "stripes        %d full, %d partial\n" r.Driver.full_stripes
+    r.Driver.partial_stripes
+
+let run_cmd =
+  let doc = "Run one ad-hoc configuration and print its measurements." in
+  let workload =
+    Arg.(value & opt workload_conv `Seq & info [ "workload"; "w" ] ~docv:"KIND" ~doc:"Workload: seq, rand, oltp or nfs.")
+  in
+  let cleaners = Arg.(value & opt int 4 & info [ "cleaners" ] ~docv:"N" ~doc:"Cleaner threads.") in
+  let serial_infra = Arg.(value & flag & info [ "serial-infra" ] ~doc:"Serialize the infrastructure.") in
+  let dynamic = Arg.(value & flag & info [ "dynamic" ] ~doc:"Enable dynamic cleaner-thread tuning.") in
+  let clients = Arg.(value & opt int 40 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.") in
+  let cores = Arg.(value & opt int 20 & info [ "cores" ] ~docv:"N" ~doc:"Simulated cores.") in
+  let measure = Arg.(value & opt float 1.0 & info [ "measure" ] ~docv:"SECONDS" ~doc:"Virtual measurement window.") in
+  let think = Arg.(value & opt float 0.0 & info [ "think" ] ~docv:"US" ~doc:"Mean client think time (virtual us).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const custom_run $ workload $ cleaners $ serial_infra $ dynamic $ clients $ cores
+      $ measure $ think $ seed)
+
+let () =
+  let doc = "WAFL White Alligator write-allocation reproduction" in
+  let info = Cmd.info "wafl_sim" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            run_experiment "fig4" fig4;
+            run_experiment "fig5" fig5;
+            run_experiment "fig6" fig6;
+            run_experiment "fig7" fig7;
+            run_experiment "fig8" fig8;
+            run_experiment "fig9" fig9;
+            run_experiment "batching" batching;
+            run_experiment "history" history;
+            run_experiment "ablation" ablation;
+            run_experiment "crossover" crossover;
+            run_experiment "all" all;
+            run_cmd;
+          ]))

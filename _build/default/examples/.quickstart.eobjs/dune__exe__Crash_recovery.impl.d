@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Aggregate Cost Engine File Int64 Nvlog Printf Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage

@@ -1,0 +1,1 @@
+examples/dynamic_tuning.ml: Aggregate Cost Engine File Int64 Printf Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Bitmap_file Cost Engine File Int64 Printf Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage

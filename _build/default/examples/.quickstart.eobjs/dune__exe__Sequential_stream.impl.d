@@ -1,0 +1,1 @@
+examples/sequential_stream.ml: Driver Printf Wafl_core Wafl_harness Wafl_util Wafl_workload

@@ -1,0 +1,1 @@
+examples/server_report.ml: Aggregate Array Cost Engine File List Printf Report Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage Wafl_util

@@ -1,0 +1,1 @@
+examples/snapshots.ml: Aggregate Cost Counters Engine File Int64 Option Printf Snapshot Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage

@@ -1,0 +1,1 @@
+lib/core/api.mli: Bucket Infra Wafl_fs

@@ -1,0 +1,1 @@
+lib/core/cleaner_pool.ml: Aggregate Api Array Bucket Cost Counters Engine File Hashtbl Infra Layout List Printf Stage Sync Volume Wafl_fs Wafl_sim

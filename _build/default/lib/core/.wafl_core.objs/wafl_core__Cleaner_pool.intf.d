@@ -1,0 +1,1 @@
+lib/core/cleaner_pool.mli: Infra Wafl_fs Wafl_sim

@@ -1,0 +1,1 @@
+lib/core/cp.ml: Aggregate Api Array Bitmap_file Bucket Cleaner_pool Cost Counters Engine File Hashtbl Infra Layout List Option Stage Sync Tetris Volume Wafl_fs Wafl_sim Wafl_storage Wafl_waffinity

@@ -1,0 +1,1 @@
+lib/core/cp.mli: Cleaner_pool Infra

@@ -1,0 +1,1 @@
+lib/core/infra.ml: Aggregate Array Bitmap_file Bucket Cost Counters Engine Hashtbl Layout List Option Printf Stage Sync Tetris Volume Wafl_fs Wafl_sim Wafl_storage Wafl_waffinity

@@ -1,0 +1,1 @@
+lib/core/infra.mli: Bucket Stage Tetris Wafl_fs Wafl_waffinity

@@ -1,0 +1,1 @@
+lib/core/tetris.ml: Engine List Wafl_fs Wafl_sim Wafl_storage

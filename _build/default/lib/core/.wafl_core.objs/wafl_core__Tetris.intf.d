@@ -1,0 +1,1 @@
+lib/core/tetris.mli: Wafl_fs Wafl_sim Wafl_storage

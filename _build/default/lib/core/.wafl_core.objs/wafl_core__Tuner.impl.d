@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Cleaner_pool Engine Wafl_sim

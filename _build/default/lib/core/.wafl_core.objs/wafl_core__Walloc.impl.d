@@ -1,0 +1,1 @@
+lib/core/walloc.ml: Cleaner_pool Cp Infra Tuner Wafl_fs Wafl_waffinity

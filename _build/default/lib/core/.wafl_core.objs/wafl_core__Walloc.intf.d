@@ -1,0 +1,1 @@
+lib/core/walloc.mli: Cleaner_pool Cp Infra Tuner Wafl_fs Wafl_waffinity

@@ -1,0 +1,325 @@
+open Wafl_sim
+open Wafl_fs
+
+type segment = {
+  vol : Volume.t;
+  file : File.t;
+  buffers : (int * int64) list;
+  whole_inode : bool;
+}
+
+type work = segment list
+
+type msg = Work of work | Flushreq of (unit -> unit)
+
+type cleaner = {
+  idx : int;
+  chan : msg Sync.Channel.t;
+  mutable queued : int;
+  mutable phys : Bucket.t option;
+  mutable virt : (int * Bucket.t) option; (* at most one volume's bucket *)
+  phys_stage : Stage.t;
+  virt_stages : (int, Stage.t) Hashtbl.t;
+  token : Counters.token;
+}
+
+type t = {
+  eng : Engine.t;
+  cost : Cost.t;
+  infra : Infra.t;
+  cleaners : cleaner array;
+  mutable n_active : int;
+  mutable pending_msgs : int;
+  idle : Sync.Waitq.t;
+  mutable n_buffers : int;
+  mutable n_inodes : int;
+  mutable n_messages : int;
+  mutable n_get_waits : int;
+  mutable busy : float;
+}
+
+(* All cleaner CPU goes through here so the dynamic tuner can read a
+   cumulative busy figure that survives engine accounting resets. *)
+let charge t d =
+  t.busy <- t.busy +. d;
+  Engine.consume d
+
+(* --- bucket acquisition ------------------------------------------------- *)
+
+let rec take_virt ?(spin = 0) t c vol =
+  if spin > 50_000 then
+    failwith
+      (Printf.sprintf "take_virt: livelock, vol %d cache=%d"
+         (Volume.id vol)
+         (Infra.virt_cache_length t.infra vol));
+  match c.virt with
+  | Some (vid, b) when vid = Volume.id vol -> (
+      match Api.use_virt b with
+      | Some v -> v
+      | None ->
+          Api.put t.infra b;
+          c.virt <- None;
+          take_virt ~spin:(spin + 1) t c vol)
+  | Some (_, b) ->
+      (* Switching volumes: return the old bucket (partially used buckets
+         are legal; unused VBNs simply stay free). *)
+      Api.put t.infra b;
+      c.virt <- None;
+      take_virt ~spin:(spin + 1) t c vol
+  | None ->
+      if Infra.virt_cache_length t.infra vol = 0 then t.n_get_waits <- t.n_get_waits + 1;
+      charge t t.cost.Cost.lock_acquire;
+      let b = Infra.get_virt t.infra vol in
+      c.virt <- Some (Volume.id vol, b);
+      take_virt ~spin:(spin + 1) t c vol
+
+let rec take_phys ?(spin = 0) t c ~payload =
+  if spin > 50_000 then
+    failwith
+      (Printf.sprintf "take_phys: livelock, cache=%d" (Infra.phys_cache_length t.infra));
+  match c.phys with
+  | Some b -> (
+      match Api.use b ~payload with
+      | Some v -> v
+      | None ->
+          Api.put t.infra b;
+          c.phys <- None;
+          take_phys ~spin:(spin + 1) t c ~payload)
+  | None ->
+      if Infra.phys_cache_length t.infra = 0 then t.n_get_waits <- t.n_get_waits + 1;
+      charge t t.cost.Cost.lock_acquire;
+      let b = Infra.get_phys t.infra in
+      c.phys <- Some b;
+      take_phys ~spin:(spin + 1) t c ~payload
+
+(* --- free staging ------------------------------------------------------- *)
+
+let stage_phys t c pvbn =
+  charge t t.cost.Cost.stage_free;
+  match Stage.add c.phys_stage pvbn with
+  | `Ok -> ()
+  | `Full ->
+      Infra.commit_frees t.infra ~target:Stage.Phys ~vbns:(Stage.drain c.phys_stage)
+        ~token:c.token
+
+let virt_stage t c vol =
+  let vid = Volume.id vol in
+  match Hashtbl.find_opt c.virt_stages vid with
+  | Some s -> s
+  | None ->
+      let s =
+        Stage.create
+          ~target:(Stage.Virt { vol = vid })
+          ~capacity:(Infra.config t.infra).Infra.stage_capacity
+      in
+      Hashtbl.add c.virt_stages vid s;
+      s
+
+let stage_virt t c vol vvbn =
+  charge t t.cost.Cost.stage_free;
+  let s = virt_stage t c vol in
+  match Stage.add s vvbn with
+  | `Ok -> ()
+  | `Full ->
+      Infra.commit_frees t.infra
+        ~target:(Stage.Virt { vol = Volume.id vol })
+        ~vbns:(Stage.drain s) ~token:c.token
+
+(* --- the cleaning loop -------------------------------------------------- *)
+
+let clean_segment t c seg =
+  if seg.whole_inode then charge t t.cost.Cost.clean_inode_overhead;
+  let count = ref 0 in
+  List.iter
+    (fun (fbn, content) ->
+      let vol = seg.vol and file = seg.file in
+      let vvbn = take_virt t c vol in
+      let payload =
+        Layout.Data { vol = Volume.id vol; file = File.id file; fbn; content }
+      in
+      let pvbn = take_phys t c ~payload in
+      let old_vvbn = File.set_vvbn file ~fbn ~vvbn in
+      let prev = Volume.map_vvbn vol ~vvbn ~pvbn in
+      if prev <> -1 then
+        failwith
+          (Printf.sprintf "cleaner: fresh vvbn %d of volume %d was already mapped to %d"
+             vvbn (Volume.id vol) prev);
+      if old_vvbn >= 0 then begin
+        (* The overwrite frees the previous generation of this block, in
+           both address spaces (§II-C). *)
+        let old_pvbn = Volume.map_vvbn vol ~vvbn:old_vvbn ~pvbn:(-1) in
+        if old_pvbn < 0 then
+          failwith
+            (Printf.sprintf "cleaner: stale vvbn %d of volume %d had no container entry"
+               old_vvbn (Volume.id vol));
+        stage_virt t c vol old_vvbn;
+        stage_phys t c old_pvbn;
+        Counters.stage c.token "cleaner_blocks_freed" 1
+      end;
+      charge t t.cost.Cost.clean_buffer;
+      Counters.stage c.token "cleaner_buffers_cleaned" 1;
+      t.n_buffers <- t.n_buffers + 1;
+      incr count;
+      if !count mod 64 = 0 then Engine.yield ())
+    seg.buffers;
+  if seg.whole_inode then t.n_inodes <- t.n_inodes + 1
+
+let flush_cleaner t c =
+  (match c.phys with
+  | Some b ->
+      Api.put t.infra b;
+      c.phys <- None
+  | None -> ());
+  (match c.virt with
+  | Some (_, b) ->
+      Api.put t.infra b;
+      c.virt <- None
+  | None -> ());
+  if not (Stage.is_empty c.phys_stage) then
+    Infra.commit_frees t.infra ~target:Stage.Phys ~vbns:(Stage.drain c.phys_stage)
+      ~token:c.token;
+  Hashtbl.iter
+    (fun vid s ->
+      if not (Stage.is_empty s) then
+        Infra.commit_frees t.infra ~target:(Stage.Virt { vol = vid }) ~vbns:(Stage.drain s)
+          ~token:c.token)
+    c.virt_stages;
+  Infra.flush_token t.infra c.token
+
+(* "Once the cleaner thread has either consumed all free VBNs in a bucket
+   or run out of dirty buffers to clean, it returns the bucket" (§IV-A).
+   Returning buckets when going idle is also what keeps the refill cycle
+   live: a retained bucket would block its RAID group's collective
+   reinsertion while this thread has nothing to clean. *)
+let release_buckets t c =
+  (match c.phys with
+  | Some b ->
+      Api.put t.infra b;
+      c.phys <- None
+  | None -> ());
+  match c.virt with
+  | Some (_, b) ->
+      Api.put t.infra b;
+      c.virt <- None
+  | None -> ()
+
+let cleaner_loop t c () =
+  let rec loop () =
+    match Sync.Channel.recv c.chan with
+    | Work segments ->
+        (* Per-message cost: dispatch plus waking the thread — the
+           overhead batched inode cleaning amortizes (SV-C). *)
+        charge t (t.cost.Cost.msg_dispatch +. t.cost.Cost.thread_wake);
+        List.iter (clean_segment t c) segments;
+        if Sync.Channel.length c.chan = 0 then release_buckets t c;
+        t.n_messages <- t.n_messages + 1;
+        c.queued <- c.queued - 1;
+        t.pending_msgs <- t.pending_msgs - 1;
+        if t.pending_msgs = 0 then ignore (Sync.Waitq.wake_all t.idle);
+        Engine.yield ();
+        loop ()
+    | Flushreq ack ->
+        flush_cleaner t c;
+        ack ();
+        loop ()
+  in
+  loop ()
+
+(* --- pool management ---------------------------------------------------- *)
+
+let create infra ~max_threads ~initial_threads =
+  if max_threads <= 0 then invalid_arg "Cleaner_pool.create: no threads";
+  let initial = max 1 (min initial_threads max_threads) in
+  let agg = Infra.aggregate infra in
+  let eng = Aggregate.engine agg in
+  let counters = Aggregate.counters agg in
+  let t =
+    {
+      eng;
+      cost = Aggregate.cost agg;
+      infra;
+      cleaners =
+        Array.init max_threads (fun idx ->
+            {
+              idx;
+              chan = Sync.Channel.create eng;
+              queued = 0;
+              phys = None;
+              virt = None;
+              phys_stage =
+                Stage.create ~target:Stage.Phys
+                  ~capacity:(Infra.config infra).Infra.stage_capacity;
+              virt_stages = Hashtbl.create 4;
+              token = Counters.token counters;
+            });
+      n_active = initial;
+      pending_msgs = 0;
+      idle = Sync.Waitq.create eng;
+      n_buffers = 0;
+      n_inodes = 0;
+      n_messages = 0;
+      n_get_waits = 0;
+      busy = 0.0;
+    }
+  in
+  Array.iter
+    (fun c -> ignore (Engine.spawn eng ~label:"cleaner" (cleaner_loop t c)))
+    t.cleaners;
+  t
+
+let dump t out =
+  Array.iter
+    (fun c ->
+      Printf.fprintf out "  cleaner %d: queued=%d phys=%s virt=%s\n%!" c.idx c.queued
+        (match c.phys with
+        | Some b -> Printf.sprintf "held(%d left)" (Bucket.remaining b)
+        | None -> "-")
+        (match c.virt with
+        | Some (vid, b) -> Printf.sprintf "vol%d(%d left)" vid (Bucket.remaining b)
+        | None -> "-"))
+    t.cleaners;
+  Printf.fprintf out "  pool: pending_msgs=%d active=%d\n%!" t.pending_msgs t.n_active
+
+let engine t = t.eng
+let max_threads t = Array.length t.cleaners
+let active t = t.n_active
+
+let set_active t n =
+  let n = max 1 (min n (max_threads t)) in
+  if n > t.n_active then
+    (* Waking dormant threads has a cost (§V-B). *)
+    Engine.consume (float_of_int (n - t.n_active) *. t.cost.Cost.thread_wake);
+  t.n_active <- n
+
+let submit t work =
+  let best = ref t.cleaners.(0) in
+  for i = 1 to t.n_active - 1 do
+    if t.cleaners.(i).queued < !best.queued then best := t.cleaners.(i)
+  done;
+  !best.queued <- !best.queued + 1;
+  t.pending_msgs <- t.pending_msgs + 1;
+  Sync.Channel.send !best.chan (Work work)
+
+let wait_idle t =
+  while t.pending_msgs > 0 do
+    Sync.Waitq.wait t.idle
+  done
+
+let flush_and_wait t =
+  let remaining = ref (Array.length t.cleaners) in
+  let me = Engine.self t.eng in
+  Array.iter
+    (fun c ->
+      Sync.Channel.send c.chan
+        (Flushreq
+           (fun () ->
+             decr remaining;
+             if !remaining = 0 then Engine.wake t.eng me)))
+    t.cleaners;
+  if !remaining > 0 then Engine.park t.eng
+
+let buffers_cleaned t = t.n_buffers
+let inodes_cleaned t = t.n_inodes
+let messages_processed t = t.n_messages
+let get_waits t = t.n_get_waits
+let utilization_busy t = t.busy

@@ -1,0 +1,657 @@
+open Wafl_sim
+open Wafl_fs
+
+type config = {
+  batching : bool;
+  batch_max_inodes : int;
+  batch_max_buffers : int;
+  segment_buffers : int;
+  timer_interval : float option;
+  serial_cleaning : bool;
+      (* historical pre-2008 mode: inode cleaning runs as Serial-affinity
+         messages with VBN-at-a-time allocation and direct metafile
+         access, excluding all client processing (paper SIII-B/C) *)
+}
+
+let default_config =
+  {
+    batching = true;
+    batch_max_inodes = 16;
+    batch_max_buffers = 64;
+    segment_buffers = 4096;
+    timer_interval = None;
+    serial_cleaning = false;
+  }
+
+type serial_state = {
+  mutable pvbn_cursor : int;
+  vvbn_cursors : (int, int ref) Hashtbl.t;
+  io_buffers : (int * Layout.block) list ref array; (* per RAID group *)
+  io_counts : int array;
+}
+
+type record = {
+  generation : int;
+  started_at : float;
+  duration : float;
+  buffers : int;
+  meta_blocks : int;
+  passes : int;
+}
+
+type t = {
+  eng : Engine.t;
+  cost : Cost.t;
+  infra : Infra.t;
+  pool : Cleaner_pool.t;
+  cfg : config;
+  agg : Aggregate.t;
+  serial : serial_state;
+  mutable history : record list; (* newest first, bounded *)
+  mutable requested : bool;
+  mutable is_running : bool;
+  manager : Sync.Waitq.t;
+  completion : Sync.Waitq.t;
+  mutable n_cps : int;
+  mutable last_duration : float;
+  mutable last_buffers : int;
+  mutable last_meta : int;
+  mutable last_passes : int;
+  mutable phase : string;
+}
+
+(* --- work distribution (batching + segmentation, §V-C) ------------------ *)
+
+let build_work t snapshot =
+  let units = ref [] in
+  let batch = ref [] and batch_inodes = ref 0 and batch_buffers = ref 0 in
+  let flush_batch () =
+    if !batch <> [] then begin
+      units := List.rev !batch :: !units;
+      batch := [];
+      batch_inodes := 0;
+      batch_buffers := 0
+    end
+  in
+  List.iter
+    (fun (vol, files) ->
+      List.iter
+        (fun file ->
+          let buffers = File.cp_buffers file in
+          let n = List.length buffers in
+          if n = 0 then ()
+          else if n > t.cfg.segment_buffers then begin
+            (* Large inode: split so several cleaners share it. *)
+            flush_batch ();
+            let rec split remaining first =
+              match remaining with
+              | [] -> ()
+              | _ ->
+                  let rec take k acc rest =
+                    if k = 0 then (List.rev acc, rest)
+                    else
+                      match rest with
+                      | [] -> (List.rev acc, [])
+                      | x :: tl -> take (k - 1) (x :: acc) tl
+                  in
+                  let seg, rest = take t.cfg.segment_buffers [] remaining in
+                  units :=
+                    [ { Cleaner_pool.vol; file; buffers = seg; whole_inode = first } ]
+                    :: !units;
+                  split rest false
+            in
+            split buffers true
+          end
+          else if t.cfg.batching then begin
+            if
+              !batch_inodes >= t.cfg.batch_max_inodes
+              || !batch_buffers + n > t.cfg.batch_max_buffers && !batch_inodes > 0
+            then flush_batch ();
+            batch := { Cleaner_pool.vol; file; buffers; whole_inode = true } :: !batch;
+            incr batch_inodes;
+            batch_buffers := !batch_buffers + n
+          end
+          else units := [ { Cleaner_pool.vol; file; buffers; whole_inode = true } ] :: !units)
+        files)
+    snapshot;
+  flush_batch ();
+  List.rev !units
+
+(* --- metafile pass ------------------------------------------------------ *)
+
+(* Relocate and write out every dirty metafile block.
+
+   Phase A (on the CP fiber): assign a fresh pvbn to every dirty block,
+   iterating to a fixpoint because assignments and frees dirty the
+   aggregate activemap chunks; each block is relocated at most once per
+   pass and allocation bits are committed inline, so the activemap
+   content is final when phase A ends.  Exhausted buckets are returned
+   immediately (marked committed) so refill cycles keep running through
+   metafile-heavy CPs.
+
+   Phase B: serialization and tetris enqueue of the (possibly thousands
+   of) relocated blocks fan out as Waffinity messages in Range
+   affinities — the paper's "most expensive infrastructure operations
+   run in Range affinities" optimization, and the reason infrastructure
+   parallelization pays off for random-write workloads whose scattered
+   frees dirty many container and bitmap blocks. *)
+let metafile_pass t =
+  let current = ref None in
+  let tetrises = Hashtbl.create 8 in
+  let note_tetris bucket =
+    match Bucket.tetris bucket with
+    | Some tetris -> Hashtbl.replace tetrises tetris ()
+    | None -> ()
+  in
+  let put_current () =
+    match !current with
+    | Some bucket ->
+        Api.put t.infra bucket;
+        current := None
+    | None -> ()
+  in
+  let rec alloc_meta () =
+    match !current with
+    | Some bucket -> (
+        match Api.take_deferred bucket with
+        | Some pvbn ->
+            Engine.consume t.cost.Cost.bitmap_bit_update;
+            Aggregate.commit_alloc_pvbn t.agg pvbn;
+            (pvbn, bucket)
+        | None ->
+            put_current ();
+            alloc_meta ())
+    | None ->
+        Engine.consume (t.cost.Cost.lock_acquire +. t.cost.Cost.bucket_fixed);
+        let bucket = Api.get_phys t.infra in
+        Bucket.mark_committed bucket;
+        note_tetris bucket;
+        current := Some bucket;
+        alloc_meta ()
+  in
+  (* Phase A: assignment fixpoint. *)
+  let assigned : (Aggregate.meta_ref, int * Bucket.t) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let passes = ref 0 in
+  let continue_passes = ref true in
+  while !continue_passes do
+    incr passes;
+    if !passes > 24 then failwith "Cp: metafile relocation did not converge";
+    let refs = Aggregate.take_dirty_meta t.agg in
+    let progressed = ref false in
+    List.iter
+      (fun ref_ ->
+        if not (Hashtbl.mem assigned ref_) then begin
+          progressed := true;
+          let pvbn, bucket = alloc_meta () in
+          let old = Aggregate.meta_set_location t.agg ref_ pvbn in
+          if old >= 0 then begin
+            Engine.consume t.cost.Cost.bitmap_bit_update;
+            Aggregate.commit_free_pvbn t.agg old
+          end;
+          Hashtbl.add assigned ref_ (pvbn, bucket);
+          order := ref_ :: !order
+        end)
+      refs;
+    if not !progressed then continue_passes := false
+  done;
+  put_current ();
+  (* Phase B: parallel serialization + enqueue, batched per affinity. *)
+  let batches = Hashtbl.create 16 in
+  List.iter
+    (fun ref_ ->
+      let affinity = Infra.meta_affinity t.infra ref_ in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt batches affinity) in
+      Hashtbl.replace batches affinity (ref_ :: cur))
+    (List.rev !order);
+  let outstanding = ref 0 in
+  let me = Engine.self t.eng in
+  let batch_size = 32 in
+  Hashtbl.iter
+    (fun affinity refs ->
+      let rec chunks = function
+        | [] -> ()
+        | refs ->
+            let rec take k acc rest =
+              if k = 0 then (acc, rest)
+              else match rest with [] -> (acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
+            in
+            let batch, rest = take batch_size [] refs in
+            incr outstanding;
+            Infra.post_meta t.infra ~affinity (fun () ->
+                List.iter
+                  (fun ref_ ->
+                    let pvbn, bucket = Hashtbl.find assigned ref_ in
+                    let payload = Aggregate.meta_payload t.agg ref_ in
+                    Engine.consume t.cost.Cost.metafile_block_touch;
+                    Api.enqueue_deferred bucket ~vbn:pvbn ~payload)
+                  batch;
+                decr outstanding;
+                if !outstanding = 0 then Engine.wake t.eng me);
+            chunks rest
+      in
+      chunks refs)
+    batches;
+  if !outstanding > 0 then Engine.park t.eng;
+  (* Force out the tetrises that received metafile blocks: their buckets
+     may already have been returned and their cycles retired. *)
+  Hashtbl.iter (fun tetris () -> Tetris.submit_now tetris) tetrises;
+  (Hashtbl.length assigned, !passes)
+
+(* --- deferred file deletion ---------------------------------------------- *)
+
+(* Zombie processing: a deleted file's blocks are reclaimed during the
+   next CP — data vvbns and pvbns through the normal free-commit path
+   (parallel across Range affinities), block-map metafile blocks as
+   physical frees, and finally the inode-table entry disappears, which
+   rewrites its inode chunk.  Idempotent so a replayed deletion after a
+   crash is harmless. *)
+let process_zombies t =
+  List.iter
+    (fun vol ->
+      List.iter
+        (fun file ->
+          if Volume.file vol (File.id file) <> None then begin
+            let token = Counters.token (Aggregate.counters t.agg) in
+            let vvbns = ref [] and pvbns = ref [] in
+            for fbn = 0 to File.nfbns file - 1 do
+              let vvbn = File.vvbn_of_fbn file fbn in
+              if vvbn >= 0 then begin
+                let pvbn = Volume.map_vvbn vol ~vvbn ~pvbn:(-1) in
+                if pvbn >= 0 then pvbns := pvbn :: !pvbns;
+                vvbns := vvbn :: !vvbns
+              end
+            done;
+            (* The block-map metafile blocks are freed too. *)
+            let rec_ = File.inode_rec file in
+            Array.iter (fun (_, pvbn) -> pvbns := pvbn :: !pvbns) rec_.Layout.bmap_pvbns;
+            let rec in_batches target = function
+              | [] -> ()
+              | vbns ->
+                  let rec take k acc rest =
+                    if k = 0 then (acc, rest)
+                    else
+                      match rest with [] -> (acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
+                  in
+                  let batch, rest = take 64 [] vbns in
+                  Infra.commit_frees t.infra ~target ~vbns:batch ~token;
+                  in_batches target rest
+            in
+            in_batches (Stage.Virt { vol = Volume.id vol }) !vvbns;
+            in_batches Stage.Phys !pvbns;
+            Counters.stage token "files_deleted" 1;
+            Volume.remove_file vol (File.id file)
+          end)
+        (Volume.take_zombies vol))
+    (Aggregate.volumes t.agg)
+
+(* --- historical serial-affinity cleaning (pre-2008, SIII-B/C) ------------ *)
+
+(* One VBN at a time, straight out of the allocation bitmaps, with every
+   metafile update made inline — the design whose serialization motivated
+   first the single cleaner thread and then White Alligator.  All work
+   runs in the Serial affinity, so client operations are excluded while
+   cleaning proceeds. *)
+
+let serial_alloc_in t map ~allocatable ~cursor ~limit =
+  let scanned_before = Bitmap_file.words_scanned map in
+  let rec hunt ~wrapped start =
+    match Bitmap_file.find_free map ~lo:0 ~hi:(limit - 1) ~start with
+    | Some v when allocatable v -> Some v
+    | Some v -> hunt ~wrapped (v + 1)
+    | None -> if wrapped then None else hunt ~wrapped:true 0
+  in
+  let found = hunt ~wrapped:false !cursor in
+  Engine.consume
+    (float_of_int (Bitmap_file.words_scanned map - scanned_before)
+    *. t.cost.Cost.bitmap_scan_word);
+  match found with
+  | Some v ->
+      cursor := v + 1;
+      v
+  | None -> failwith "serial allocator: out of space"
+
+let serial_pvbn_cursor t = ref t.serial.pvbn_cursor
+
+let serial_alloc_pvbn t =
+  let cursor = serial_pvbn_cursor t in
+  let v =
+    serial_alloc_in t (Aggregate.agg_map t.agg)
+      ~allocatable:(fun v -> Aggregate.pvbn_allocatable t.agg v)
+      ~cursor
+      ~limit:(Wafl_storage.Geometry.total_data_blocks (Aggregate.geometry t.agg))
+  in
+  t.serial.pvbn_cursor <- !cursor;
+  Engine.consume (t.cost.Cost.metafile_block_touch +. t.cost.Cost.bitmap_bit_update);
+  Aggregate.commit_alloc_pvbn t.agg v;
+  v
+
+let serial_alloc_vvbn t vol =
+  let cursor =
+    match Hashtbl.find_opt t.serial.vvbn_cursors (Volume.id vol) with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add t.serial.vvbn_cursors (Volume.id vol) c;
+        c
+  in
+  let v =
+    serial_alloc_in t (Volume.vol_map vol)
+      ~allocatable:(fun v -> Aggregate.vvbn_allocatable t.agg ~vol v)
+      ~cursor ~limit:(Volume.vvbn_space vol)
+  in
+  Engine.consume (t.cost.Cost.metafile_block_touch +. t.cost.Cost.bitmap_bit_update);
+  Aggregate.commit_alloc_vvbn t.agg ~vol v;
+  v
+
+let serial_enqueue_write t pvbn payload =
+  let geom = Aggregate.geometry t.agg in
+  let rg = (Wafl_storage.Geometry.locate geom pvbn).Wafl_storage.Geometry.rg in
+  let buf = t.serial.io_buffers.(rg) in
+  buf := (pvbn, payload) :: !buf;
+  t.serial.io_counts.(rg) <- t.serial.io_counts.(rg) + 1;
+  if t.serial.io_counts.(rg) >= 1024 then begin
+    Wafl_storage.Raid.submit (Aggregate.raid t.agg ~rg) ~writes:(List.rev !buf)
+      ~on_complete:(fun () -> ());
+    buf := [];
+    t.serial.io_counts.(rg) <- 0
+  end
+
+let serial_flush_io t =
+  Array.iteri
+    (fun rg buf ->
+      if !buf <> [] then begin
+        Wafl_storage.Raid.submit (Aggregate.raid t.agg ~rg) ~writes:(List.rev !buf)
+          ~on_complete:(fun () -> ());
+        buf := [];
+        t.serial.io_counts.(rg) <- 0
+      end)
+    t.serial.io_buffers
+
+let serial_clean_buffer t vol file (fbn, content) =
+  let vvbn = serial_alloc_vvbn t vol in
+  let pvbn = serial_alloc_pvbn t in
+  let old_vvbn = File.set_vvbn file ~fbn ~vvbn in
+  ignore (Volume.map_vvbn vol ~vvbn ~pvbn);
+  if old_vvbn >= 0 then begin
+    let old_pvbn = Volume.map_vvbn vol ~vvbn:old_vvbn ~pvbn:(-1) in
+    Engine.consume (2.0 *. (t.cost.Cost.metafile_block_touch +. t.cost.Cost.bitmap_bit_update));
+    Aggregate.commit_free_vvbn t.agg ~vol old_vvbn;
+    Aggregate.commit_free_pvbn t.agg old_pvbn
+  end;
+  serial_enqueue_write t pvbn
+    (Layout.Data { vol = Volume.id vol; file = File.id file; fbn; content });
+  Engine.consume t.cost.Cost.clean_buffer
+
+(* Clean everything through Serial-affinity messages of bounded size;
+   each message excludes the whole file system while it runs. *)
+let serial_clean t snapshot =
+  let sched = Infra.scheduler t.infra in
+  List.iter
+    (fun (vol, files) ->
+      List.iter
+        (fun file ->
+          let buffers = File.cp_buffers file in
+          if buffers <> [] then begin
+            let rec in_chunks = function
+              | [] -> ()
+              | buffers ->
+                  let rec take k acc rest =
+                    if k = 0 then (List.rev acc, rest)
+                    else
+                      match rest with
+                      | [] -> (List.rev acc, [])
+                      | x :: tl -> take (k - 1) (x :: acc) tl
+                  in
+                  let chunk, rest = take 256 [] buffers in
+                  Wafl_waffinity.Scheduler.post_wait sched ~affinity:Wafl_waffinity.Affinity.Serial
+                    ~label:"cleaner" (fun () ->
+                      Engine.consume t.cost.Cost.clean_inode_overhead;
+                      List.iter (serial_clean_buffer t vol file) chunk);
+                  in_chunks rest
+            in
+            in_chunks buffers
+          end)
+        files)
+    snapshot
+
+let serial_metafile_pass t =
+  (* Same fixpoint discipline as the White Alligator pass: each block is
+     relocated at most once per CP; non-activemap blocks are serialized
+     at assignment time, aggregate-activemap chunks only after all
+     allocation bits have settled. *)
+  let written = ref 0 in
+  let passes = ref 0 in
+  let aggmap_assigned : (Aggregate.meta_ref, int) Hashtbl.t = Hashtbl.create 64 in
+  let continue_passes = ref true in
+  while !continue_passes do
+    incr passes;
+    if !passes > 24 then failwith "Cp: serial metafile relocation did not converge";
+    let refs = Aggregate.take_dirty_meta t.agg in
+    let progressed = ref false in
+    List.iter
+      (fun ref_ ->
+        match ref_ with
+        | Aggregate.Agg_map_chunk _ ->
+            if not (Hashtbl.mem aggmap_assigned ref_) then begin
+              progressed := true;
+              let pvbn = serial_alloc_pvbn t in
+              let old = Aggregate.meta_set_location t.agg ref_ pvbn in
+              if old >= 0 then begin
+                Engine.consume t.cost.Cost.bitmap_bit_update;
+                Aggregate.commit_free_pvbn t.agg old
+              end;
+              Hashtbl.add aggmap_assigned ref_ pvbn
+            end
+        | _ ->
+            progressed := true;
+            let pvbn = serial_alloc_pvbn t in
+            let old = Aggregate.meta_set_location t.agg ref_ pvbn in
+            if old >= 0 then begin
+              Engine.consume t.cost.Cost.bitmap_bit_update;
+              Aggregate.commit_free_pvbn t.agg old
+            end;
+            let payload = Aggregate.meta_payload t.agg ref_ in
+            Engine.consume t.cost.Cost.metafile_block_touch;
+            serial_enqueue_write t pvbn payload;
+            incr written)
+      refs;
+    if not !progressed then continue_passes := false
+  done;
+  Hashtbl.iter
+    (fun ref_ pvbn ->
+      let payload = Aggregate.meta_payload t.agg ref_ in
+      Engine.consume t.cost.Cost.metafile_block_touch;
+      serial_enqueue_write t pvbn payload;
+      incr written)
+    aggmap_assigned;
+  (!written, !passes)
+
+(* --- the CP itself ------------------------------------------------------ *)
+
+let run_cp t =
+  let started = Engine.now t.eng in
+  t.is_running <- true;
+  t.phase <- "snapshot";
+  Engine.consume t.cost.Cost.cp_fixed;
+  let snapshot = Aggregate.cp_snapshot t.agg in
+  t.phase <- "zombies";
+  process_zombies t;
+  (* Deleted files must not also be cleaned. *)
+  let deleted (vol, _) file = Volume.file vol (File.id file) = None in
+  let snapshot =
+    List.map
+      (fun (vol, files) ->
+        (vol, List.filter (fun f -> not (deleted (vol, files) f)) files))
+      snapshot
+  in
+  let buffers_total = ref 0 in
+  let meta_blocks, passes =
+    if t.cfg.serial_cleaning then begin
+      (* Historical path: everything in the Serial affinity. *)
+      t.phase <- "cleaning";
+      List.iter
+        (fun (_, files) ->
+          List.iter (fun f -> buffers_total := !buffers_total + File.cp_buffer_count f) files)
+        snapshot;
+      serial_clean t snapshot;
+      t.phase <- "metafiles";
+      Engine.set_label t.eng "infra";
+      let result =
+        Wafl_waffinity.Scheduler.post_wait (Infra.scheduler t.infra)
+          ~affinity:Wafl_waffinity.Affinity.Serial ~label:"infra" (fun () ->
+            serial_metafile_pass t)
+      in
+      Engine.set_label t.eng "cp";
+      t.phase <- "io-flush";
+      serial_flush_io t;
+      Array.iter Wafl_storage.Raid.quiesce (Aggregate.raid_groups t.agg);
+      result
+    end
+    else begin
+      (* Phase 1: clean all dirty inodes through the cleaner pool. *)
+      let work = build_work t snapshot in
+      buffers_total :=
+        List.fold_left
+          (fun acc w ->
+            acc
+            + List.fold_left
+                (fun a (s : Cleaner_pool.segment) -> a + List.length s.buffers)
+                0 w)
+          0 work;
+      t.phase <- "cleaning";
+      List.iter (fun w -> Cleaner_pool.submit t.pool w) work;
+      Cleaner_pool.wait_idle t.pool;
+      (* Phase 2: return every bucket and stage, and let the infrastructure
+         apply all outstanding commits. *)
+      t.phase <- "flush";
+      Cleaner_pool.flush_and_wait t.pool;
+      t.phase <- "quiesce-commits";
+      Infra.quiesce_commits t.infra;
+      (* Phase 3: relocate and write dirty metafile blocks.  This is
+         metafile processing, so account it as infrastructure work. *)
+      t.phase <- "metafiles";
+      Engine.set_label t.eng "infra";
+      let result = metafile_pass t in
+      Engine.set_label t.eng "cp";
+      t.phase <- "quiesce-commits-2";
+      Infra.quiesce_commits t.infra;
+      (* Phase 4: push out all remaining buffered blocks and wait for
+         durability. *)
+      t.phase <- "io-flush";
+      List.iter Tetris.submit_now (Infra.live_tetrises t.infra);
+      Array.iter Wafl_storage.Raid.quiesce (Aggregate.raid_groups t.agg);
+      result
+    end
+  in
+  (* Phase 5: the atomic commit. *)
+  Engine.consume t.cost.Cost.cp_fixed;
+  let sb = Aggregate.make_superblock t.agg in
+  Engine.sleep t.cost.Cost.device_base_latency;
+  Aggregate.publish_superblock t.agg sb;
+  t.n_cps <- t.n_cps + 1;
+  t.last_duration <- Engine.now t.eng -. started;
+  t.last_buffers <- !buffers_total;
+  t.last_meta <- meta_blocks;
+  t.last_passes <- passes;
+  t.history <-
+    {
+      generation = Aggregate.generation t.agg;
+      started_at = started;
+      duration = t.last_duration;
+      buffers = t.last_buffers;
+      meta_blocks;
+      passes;
+    }
+    :: (if List.length t.history >= 64 then List.filteri (fun i _ -> i < 63) t.history
+        else t.history);
+  t.is_running <- false;
+  t.phase <- "idle";
+  ignore (Sync.Waitq.wake_all t.completion)
+
+let manager_loop t () =
+  let rec loop () =
+    while not t.requested do
+      Sync.Waitq.wait t.manager
+    done;
+    t.requested <- false;
+    run_cp t;
+    loop ()
+  in
+  loop ()
+
+let request t =
+  if not t.requested then begin
+    t.requested <- true;
+    ignore (Sync.Waitq.wake_all t.manager)
+  end
+
+let run_now t =
+  let target = t.n_cps + if t.is_running then 2 else 1 in
+  request t;
+  while t.n_cps < target do
+    request t;
+    Sync.Waitq.wait t.completion
+  done
+
+let create infra pool cfg =
+  let agg = Infra.aggregate infra in
+  let eng = Aggregate.engine agg in
+  let t =
+    {
+      eng;
+      cost = Aggregate.cost agg;
+      infra;
+      pool;
+      cfg;
+      agg;
+      serial =
+        {
+          pvbn_cursor = 0;
+          vvbn_cursors = Hashtbl.create 4;
+          io_buffers =
+            Array.init
+              (Wafl_storage.Geometry.raid_group_count
+                 (Aggregate.geometry (Infra.aggregate infra)))
+              (fun _ -> ref []);
+          io_counts =
+            Array.make
+              (Wafl_storage.Geometry.raid_group_count
+                 (Aggregate.geometry (Infra.aggregate infra)))
+              0;
+        };
+      history = [];
+      requested = false;
+      is_running = false;
+      manager = Sync.Waitq.create eng;
+      completion = Sync.Waitq.create eng;
+      n_cps = 0;
+      last_duration = 0.0;
+      last_buffers = 0;
+      last_meta = 0;
+      last_passes = 0;
+      phase = "idle";
+    }
+  in
+  ignore (Engine.spawn eng ~label:"cp" (manager_loop t));
+  (match cfg.timer_interval with
+  | None -> ()
+  | Some interval ->
+      ignore
+        (Engine.spawn eng ~label:"cp" (fun () ->
+             let rec tick () =
+               Engine.sleep interval;
+               request t;
+               tick ()
+             in
+             tick ())));
+  t
+
+let running t = t.is_running
+let phase t = t.phase
+let cps_completed t = t.n_cps
+let last_duration t = t.last_duration
+let buffers_last_cp t = t.last_buffers
+let meta_blocks_last_cp t = t.last_meta
+let meta_passes_last_cp t = t.last_passes
+let history t = List.rev t.history

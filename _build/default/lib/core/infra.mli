@@ -1,0 +1,94 @@
+(** The White Alligator infrastructure (paper §IV-B2, §IV-D).
+
+    The infrastructure is the only component that reads or writes
+    allocation metafiles, and all of its work runs as Waffinity messages:
+    per-drive bucket refills and commits run in [Agg_range] affinities
+    (or all in the single [Aggregate_vbn] affinity when [parallel] is
+    false — the paper's "serialized infrastructure" instrumentation);
+    volume-side work runs in [Vol_range] / [Volume_vbn] likewise.
+
+    Physical buckets follow the §IV-D cycle: one bucket per data drive is
+    carved from the current Allocation Area of each RAID group; when all
+    of a group's buckets have been returned and refilled they are
+    collectively reinserted into the bucket cache, guaranteeing equal
+    progress down each drive.  Virtual (vvbn) buckets refill
+    independently per bucket — volumes have no drive-fairness constraint.
+
+    Cleaner threads interact with this module only through {!Api}. *)
+
+type config = {
+  parallel : bool;  (** parallel infrastructure (Range affinities) vs serialized *)
+  chunk : int;  (** VBNs per bucket; "typically a multiple of 64" *)
+  ranges : int;  (** Range-affinity instances per metafile *)
+  vol_buckets_per_cycle : int;  (** concurrent vvbn buckets per volume *)
+  stage_capacity : int;  (** frees per stage before commit *)
+}
+
+val default_config : config
+
+type t
+
+val create : Wafl_waffinity.Scheduler.t -> Wafl_fs.Aggregate.t -> config -> t
+(** Registers every existing volume and kicks off the initial refill
+    cycles (the bucket cache is being filled as this returns). *)
+
+val register_volume : t -> Wafl_fs.Volume.t -> unit
+val config : t -> config
+val aggregate : t -> Wafl_fs.Aggregate.t
+val scheduler : t -> Wafl_waffinity.Scheduler.t
+
+(** {1 Operations used by {!Api}} *)
+
+val get_phys : t -> Bucket.t
+(** Blocking receive from the physical bucket cache. *)
+
+val get_virt : t -> Wafl_fs.Volume.t -> Bucket.t
+val put : t -> Bucket.t -> unit
+(** Enqueue a returned bucket for commit + refill (posts an
+    infrastructure message; does not block). *)
+
+val commit_frees : t -> target:Stage.target -> vbns:int list -> token:Wafl_fs.Counters.token -> unit
+(** Post messages committing staged frees to the allocation metafiles,
+    split by metafile block range so they parallelize across Range
+    affinities.  Also applies the cleaner's loose-accounting token. *)
+
+val meta_affinity : t -> Wafl_fs.Aggregate.meta_ref -> Wafl_waffinity.Affinity.t
+(** Range affinity under which a metafile block's CP write-out runs
+    (single [Aggregate_vbn] lane when serialized). *)
+
+val post_meta : t -> affinity:Wafl_waffinity.Affinity.t -> (unit -> unit) -> unit
+(** Post a metafile write-out message (CP phase B fan-out). *)
+
+val flush_token : t -> Wafl_fs.Counters.token -> unit
+(** Post a message applying a cleaner's loose-accounting token even when
+    no frees are staged (end-of-CP flush). *)
+
+val phys_cache_length : t -> int
+val virt_cache_length : t -> Wafl_fs.Volume.t -> int
+
+(** {1 CP support} *)
+
+val quiesce_commits : t -> unit
+(** Park until every posted commit message (bucket commits and free
+    commits) has been applied to the allocation metafiles; called by the
+    CP engine before it serializes those metafiles. *)
+
+val live_tetrises : t -> Tetris.t list
+(** Current tetris of every RAID group, for CP-boundary flushing. *)
+
+(** {1 Statistics} *)
+
+val buckets_filled : t -> int
+val buckets_committed : t -> int
+val vbns_allocated : t -> int
+(** VBNs committed as used (physical + virtual). *)
+
+val vbns_freed : t -> int
+val metafile_blocks_touched : t -> int
+(** Distinct metafile-block touches across all commit and free messages —
+    the quantity that separates random from sequential write (§V-A2). *)
+
+val messages_posted : t -> int
+
+val dump : t -> out_channel -> unit
+(** Diagnostic dump of cycle and cache state. *)

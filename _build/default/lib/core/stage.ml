@@ -1,0 +1,23 @@
+type target = Phys | Virt of { vol : int }
+
+type t = { target : target; capacity : int; mutable items : int list; mutable len : int }
+
+let create ~target ~capacity =
+  if capacity <= 0 then invalid_arg "Stage.create: capacity must be positive";
+  { target; capacity; items = []; len = 0 }
+
+let target t = t.target
+let capacity t = t.capacity
+let length t = t.len
+let is_empty t = t.len = 0
+
+let add t vbn =
+  t.items <- vbn :: t.items;
+  t.len <- t.len + 1;
+  if t.len >= t.capacity then `Full else `Ok
+
+let drain t =
+  let items = List.sort compare t.items in
+  t.items <- [];
+  t.len <- 0;
+  items

@@ -1,0 +1,47 @@
+open Wafl_sim
+
+type t = {
+  eng : Engine.t;
+  raid : Wafl_fs.Layout.block Wafl_storage.Raid.t;
+  mutable pending : (int * Wafl_fs.Layout.block) list; (* newest first *)
+  mutable pending_count : int;
+  mutable outstanding : int;
+  mutable ios : int;
+  mutable blocks : int;
+}
+
+let create eng ~cost ~raid ~expected_buckets =
+  ignore cost;
+  if expected_buckets < 0 then invalid_arg "Tetris.create: negative bucket count";
+  {
+    eng;
+    raid;
+    pending = [];
+    pending_count = 0;
+    outstanding = expected_buckets;
+    ios = 0;
+    blocks = 0;
+  }
+
+let enqueue t ~vbn ~payload =
+  t.pending <- (vbn, payload) :: t.pending;
+  t.pending_count <- t.pending_count + 1
+
+let pending_blocks t = t.pending_count
+
+let submit_now t =
+  if t.pending_count > 0 then begin
+    let writes = List.rev t.pending in
+    t.pending <- [];
+    t.ios <- t.ios + 1;
+    t.blocks <- t.blocks + t.pending_count;
+    t.pending_count <- 0;
+    Wafl_storage.Raid.submit t.raid ~writes ~on_complete:(fun () -> ())
+  end
+
+let bucket_done t =
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding <= 0 then submit_now t
+
+let ios_submitted t = t.ios
+let blocks_submitted t = t.blocks

@@ -1,0 +1,31 @@
+(** The tetris: the unit of write I/O (paper §IV-E).
+
+    One tetris per RAID group per bucket refill cycle.  Cleaner threads
+    enqueue write-allocated buffers into the per-drive column matching
+    their bucket; no lock is needed because the cleaner owning a bucket
+    has exclusive access to that drive's column.  A reference count of
+    outstanding buckets is decremented as buckets are returned; when it
+    reaches zero the accumulated blocks are submitted to RAID as one I/O.
+    {!submit_now} force-flushes a partial tetris at a CP boundary (these
+    flushes are the main source of partial-stripe writes). *)
+
+type t
+
+val create :
+  Wafl_sim.Engine.t ->
+  cost:Wafl_sim.Cost.t ->
+  raid:Wafl_fs.Layout.block Wafl_storage.Raid.t ->
+  expected_buckets:int ->
+  t
+
+val enqueue : t -> vbn:int -> payload:Wafl_fs.Layout.block -> unit
+val pending_blocks : t -> int
+val bucket_done : t -> unit
+(** Atomically decrement the outstanding-bucket count; submits the I/O at
+    zero.  Must be called from fiber context (I/O dispatch charges CPU). *)
+
+val submit_now : t -> unit
+(** Submit whatever has accumulated (no-op when empty). *)
+
+val ios_submitted : t -> int
+val blocks_submitted : t -> int

@@ -1,0 +1,50 @@
+open Wafl_sim
+
+type config = { interval : float; activate_above : float; deactivate_below : float }
+
+let default_config = { interval = 50_000.0; activate_above = 0.35; deactivate_below = 0.15 }
+
+type t = {
+  pool : Cleaner_pool.t;
+  cfg : config;
+  mutable last_busy : float;
+  mutable n_activations : int;
+  mutable n_deactivations : int;
+  mutable n_decisions : int;
+}
+
+let tick t =
+  let busy = Cleaner_pool.utilization_busy t.pool in
+  let delta = busy -. t.last_busy in
+  t.last_busy <- busy;
+  t.n_decisions <- t.n_decisions + 1;
+  let active = Cleaner_pool.active t.pool in
+  let util = delta /. (t.cfg.interval *. float_of_int active) in
+  if util > t.cfg.activate_above && active < Cleaner_pool.max_threads t.pool then begin
+    Cleaner_pool.set_active t.pool (active + 1);
+    t.n_activations <- t.n_activations + 1
+  end
+  else if util < t.cfg.deactivate_below && active > 1 then begin
+    Cleaner_pool.set_active t.pool (active - 1);
+    t.n_deactivations <- t.n_deactivations + 1
+  end
+
+let create pool cfg =
+  if cfg.interval <= 0.0 then invalid_arg "Tuner.create: bad interval";
+  let t =
+    { pool; cfg; last_busy = 0.0; n_activations = 0; n_deactivations = 0; n_decisions = 0 }
+  in
+  let eng = Cleaner_pool.engine pool in
+  ignore
+    (Engine.spawn eng ~label:"tuner" (fun () ->
+         let rec loop () =
+           Engine.sleep cfg.interval;
+           tick t;
+           loop ()
+         in
+         loop ()));
+  t
+
+let activations t = t.n_activations
+let deactivations t = t.n_deactivations
+let decisions t = t.n_decisions

@@ -1,0 +1,98 @@
+type config = {
+  workers : int option;
+  parallel_infra : bool;
+  cleaner_threads : int;
+  max_cleaner_threads : int;
+  dynamic_cleaners : bool;
+  tuner : Tuner.config;
+  chunk : int;
+  ranges : int;
+  vol_buckets : int;
+  stage_capacity : int;
+  batching : bool;
+  batch_max_inodes : int;
+  batch_max_buffers : int;
+  segment_buffers : int;
+  cp_timer : float option;
+  serial_cleaning : bool;
+}
+
+let default_config =
+  {
+    workers = None;
+    parallel_infra = true;
+    cleaner_threads = 4;
+    max_cleaner_threads = 8;
+    dynamic_cleaners = false;
+    tuner = Tuner.default_config;
+    chunk = 128;
+    ranges = 8;
+    vol_buckets = 8;
+    stage_capacity = 64;
+    batching = true;
+    batch_max_inodes = 16;
+    batch_max_buffers = 64;
+    segment_buffers = 4096;
+    cp_timer = None;
+    serial_cleaning = false;
+  }
+
+let serialized_config =
+  { default_config with parallel_infra = false; cleaner_threads = 1; max_cleaner_threads = 1 }
+
+type t = {
+  cfg : config;
+  agg : Wafl_fs.Aggregate.t;
+  sched : Wafl_waffinity.Scheduler.t;
+  infra : Infra.t;
+  pool : Cleaner_pool.t;
+  cp : Cp.t;
+  tuner : Tuner.t option;
+}
+
+let create agg cfg =
+  let eng = Wafl_fs.Aggregate.engine agg in
+  let sched =
+    Wafl_waffinity.Scheduler.create ?workers:cfg.workers eng ~cost:(Wafl_fs.Aggregate.cost agg)
+      ()
+  in
+  let infra =
+    Infra.create sched agg
+      {
+        Infra.parallel = cfg.parallel_infra;
+        chunk = cfg.chunk;
+        ranges = cfg.ranges;
+        (* Guarantee a virtual bucket is always available to any cleaner
+           that parks while holding a physical bucket: with more virtual
+           buckets than cleaner threads, the per-volume cache can never be
+           fully drained by held buckets (deadlock avoidance). *)
+        vol_buckets_per_cycle = max cfg.vol_buckets (cfg.max_cleaner_threads + 2);
+        stage_capacity = cfg.stage_capacity;
+      }
+  in
+  let pool =
+    Cleaner_pool.create infra ~max_threads:cfg.max_cleaner_threads
+      ~initial_threads:cfg.cleaner_threads
+  in
+  let cp =
+    Cp.create infra pool
+      {
+        Cp.batching = cfg.batching;
+        batch_max_inodes = cfg.batch_max_inodes;
+        batch_max_buffers = cfg.batch_max_buffers;
+        segment_buffers = cfg.segment_buffers;
+        timer_interval = cfg.cp_timer;
+        serial_cleaning = cfg.serial_cleaning;
+      }
+  in
+  let tuner = if cfg.dynamic_cleaners then Some (Tuner.create pool cfg.tuner) else None in
+  { cfg; agg; sched; infra; pool; cp; tuner }
+
+let config t = t.cfg
+let aggregate t = t.agg
+let scheduler t = t.sched
+let infra t = t.infra
+let pool t = t.pool
+let cp t = t.cp
+let tuner t = t.tuner
+let register_volume t vol = Infra.register_volume t.infra vol

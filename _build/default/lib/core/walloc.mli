@@ -1,0 +1,57 @@
+(** Facade wiring a complete White Alligator write-allocation stack onto
+    an aggregate: Waffinity scheduler, infrastructure, cleaner pool,
+    optional dynamic tuner and the CP engine.
+
+    The paper's four evaluation permutations (Figures 4 and 7) are pure
+    configuration here:
+
+    - serialized baseline: [parallel_infra = false], [cleaner_threads = 1]
+    - parallel infrastructure only: [parallel_infra = true], 1 cleaner
+    - parallel cleaners only: [parallel_infra = false], N cleaners
+    - full White Alligator: both parallel
+
+    matching the instrumented-kernel methodology of §V-A. *)
+
+type config = {
+  workers : int option;  (** Waffinity worker threads; default = cores *)
+  parallel_infra : bool;
+  cleaner_threads : int;  (** initial / static active cleaner count *)
+  max_cleaner_threads : int;
+  dynamic_cleaners : bool;
+  tuner : Tuner.config;
+  chunk : int;
+  ranges : int;
+  vol_buckets : int;
+  stage_capacity : int;
+  batching : bool;
+  batch_max_inodes : int;
+  batch_max_buffers : int;
+  segment_buffers : int;
+  cp_timer : float option;
+  serial_cleaning : bool;
+      (** run the historical pre-2008 serial-affinity allocator instead of
+          White Alligator (ablation of the §III evolution) *)
+}
+
+val default_config : config
+(** Full White Alligator: parallel infrastructure, 4 cleaner threads (max
+    8), no dynamic tuning, batching on. *)
+
+val serialized_config : config
+(** The pre-White-Alligator baseline: one cleaner thread and serialized
+    infrastructure. *)
+
+type t
+
+val create : Wafl_fs.Aggregate.t -> config -> t
+val config : t -> config
+val aggregate : t -> Wafl_fs.Aggregate.t
+val scheduler : t -> Wafl_waffinity.Scheduler.t
+val infra : t -> Infra.t
+val pool : t -> Cleaner_pool.t
+val cp : t -> Cp.t
+val tuner : t -> Tuner.t option
+
+val register_volume : t -> Wafl_fs.Volume.t -> unit
+(** Volumes created after {!create} must be registered so the
+    infrastructure starts filling their vvbn buckets. *)

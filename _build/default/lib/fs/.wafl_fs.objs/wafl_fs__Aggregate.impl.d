@@ -1,0 +1,1 @@
+lib/fs/aggregate.ml: Array Bitmap_file Buffer_cache Cost Counters Disk Engine File Fun Geometry Hashtbl Int64 Layout List Nvlog Option Printf Raid Snapshot Sync Volume Wafl_sim Wafl_storage Wafl_util

@@ -1,0 +1,1 @@
+lib/fs/aggregate.mli: Bitmap_file Buffer_cache Counters File Layout Nvlog Snapshot Volume Wafl_sim Wafl_storage

@@ -1,0 +1,1 @@
+lib/fs/bitmap_file.ml: Array Bitops Hashtbl Intvec Layout List Printf Wafl_util

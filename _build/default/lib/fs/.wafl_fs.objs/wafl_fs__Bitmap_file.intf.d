@@ -1,0 +1,1 @@
+lib/fs/bitmap_file.mli:

@@ -1,0 +1,1 @@
+lib/fs/file.ml: Array Hashtbl Intvec Layout List Wafl_util

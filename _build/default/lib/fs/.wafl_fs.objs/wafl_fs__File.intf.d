@@ -1,0 +1,1 @@
+lib/fs/file.mli: Layout

@@ -1,0 +1,1 @@
+lib/fs/nvlog.ml: List

@@ -1,0 +1,1 @@
+lib/fs/report.ml: Aggregate Array Bitmap_file Buffer Buffer_cache Counters Geometry List Printf Snapshot Volume Wafl_storage Wafl_util

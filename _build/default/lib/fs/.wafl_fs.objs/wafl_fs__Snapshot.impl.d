@@ -1,0 +1,1 @@
+lib/fs/snapshot.ml: Array Bitops Layout List Printf Wafl_storage Wafl_util

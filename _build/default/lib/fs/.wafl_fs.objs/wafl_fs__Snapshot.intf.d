@@ -1,0 +1,1 @@
+lib/fs/snapshot.mli: Layout Wafl_storage

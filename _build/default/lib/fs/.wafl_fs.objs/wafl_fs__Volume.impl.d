@@ -1,0 +1,1 @@
+lib/fs/volume.ml: Array Bitmap_file File Hashtbl Intvec Layout List Printf Wafl_util

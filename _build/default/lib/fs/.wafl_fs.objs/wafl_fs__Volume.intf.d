@@ -1,0 +1,1 @@
+lib/fs/volume.mli: Bitmap_file File Layout

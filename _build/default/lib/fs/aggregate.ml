@@ -1,0 +1,725 @@
+open Wafl_storage
+
+open Wafl_sim
+
+type meta_ref =
+  | Bmap_block of { vol : int; file : int; index : int }
+  | Inode_chunk of { vol : int; index : int }
+  | Container_chunk of { vol : int; index : int }
+  | Vol_map_chunk of { vol : int; index : int }
+  | Agg_map_chunk of { index : int }
+
+type persist = {
+  p_disk : Layout.block Disk.t;
+  mutable p_sb : Layout.superblock option;
+  p_nvlog : Nvlog.t;
+}
+
+exception Corruption of string
+
+let vvbn_region_bits = Layout.bits_per_map_block
+
+type t = {
+  eng : Engine.t;
+  cost : Cost.t;
+  geom : Geometry.t;
+  pers : persist;
+  raids : Layout.block Raid.t array;
+  agg_map : Bitmap_file.t;
+  aa_free_tbl : int array array; (* rg -> aa -> free blocks *)
+  mutable vols : (int * Volume.t) list; (* ascending ids; volumes are few *)
+  vvbn_region_free : (int, int array) Hashtbl.t; (* vol id -> region free counts *)
+  counters : Counters.t;
+  recently_freed : (int, unit) Hashtbl.t;
+  cache : Buffer_cache.t;
+  mutable snaps : Snapshot.t list;
+  log_space : Sync.Waitq.t;
+  mutable next_vol_id : int;
+  mutable generation : int;
+  mutable cp_count : int;
+  mutable cp_in_progress : bool;
+}
+
+let free_counter = "agg_free_blocks"
+let vol_free_counter vid = Printf.sprintf "vol%d_free_vvbns" vid
+
+let make_raids eng cost disk geom queue_depth =
+  Array.init (Geometry.raid_group_count geom) (fun rg ->
+      Raid.create ?queue_depth eng ~cost ~disk ~rg)
+
+let init_aa_free geom =
+  Array.init (Geometry.raid_group_count geom) (fun rg ->
+      Array.make (Geometry.aa_count geom)
+        (Geometry.aa_stripes geom * Geometry.data_drives geom ~rg))
+
+let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth eng ~cost ~geometry () =
+  let disk = Disk.create geometry in
+  let pers = { p_disk = disk; p_sb = None; p_nvlog = Nvlog.create ~half_capacity:nvlog_half () } in
+  let t =
+    {
+      eng;
+      cost;
+      geom = geometry;
+      pers;
+      raids = make_raids eng cost disk geometry queue_depth;
+      agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geometry);
+      aa_free_tbl = init_aa_free geometry;
+      vols = [];
+      vvbn_region_free = Hashtbl.create 8;
+      counters = Counters.create ();
+      recently_freed = Hashtbl.create 1024;
+      cache = Buffer_cache.create ~capacity:cache_blocks;
+      snaps = [];
+      log_space = Sync.Waitq.create eng;
+      next_vol_id = 0;
+      generation = 0;
+      cp_count = 0;
+      cp_in_progress = false;
+    }
+  in
+  Counters.set t.counters free_counter (Geometry.total_data_blocks geometry);
+  t
+
+let engine t = t.eng
+let cost t = t.cost
+let geometry t = t.geom
+let disk t = t.pers.p_disk
+let raid t ~rg = t.raids.(rg)
+let raid_groups t = t.raids
+let nvlog t = t.pers.p_nvlog
+let counters t = t.counters
+let agg_map t = t.agg_map
+
+(* --- volumes and files --- *)
+
+let volume t vid = List.assoc_opt vid t.vols
+
+let volume_exn t vid =
+  match volume t vid with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Aggregate: no volume %d" vid)
+
+let volumes t = List.map snd t.vols
+
+let region_count vvbn_space = (vvbn_space + vvbn_region_bits - 1) / vvbn_region_bits
+
+let register_volume t vol =
+  t.vols <- t.vols @ [ (Volume.id vol, vol) ];
+  if Volume.id vol >= t.next_vol_id then t.next_vol_id <- Volume.id vol + 1;
+  let nregions = region_count (Volume.vvbn_space vol) in
+  let free = Array.make nregions 0 in
+  for r = 0 to nregions - 1 do
+    let lo = r * vvbn_region_bits in
+    let hi = min (Volume.vvbn_space vol - 1) (((r + 1) * vvbn_region_bits) - 1) in
+    free.(r) <- hi - lo + 1
+  done;
+  Hashtbl.replace t.vvbn_region_free (Volume.id vol) free;
+  Counters.set t.counters (vol_free_counter (Volume.id vol)) (Volume.vvbn_space vol)
+
+let create_volume t ~vvbn_space =
+  let vid = t.next_vol_id in
+  let vol = Volume.create ~id:vid ~vvbn_space in
+  register_volume t vol;
+  ignore (Nvlog.append (nvlog t) (Nvlog.Create_vol { vol = vid; vvbn_space }));
+  vol
+
+let create_file t ~vol =
+  let v = volume_exn t vol in
+  let fid = Volume.fresh_file_id v in
+  let f = File.create ~vol ~id:fid in
+  Volume.add_file v f;
+  ignore (Nvlog.append (nvlog t) (Nvlog.Create_file { vol; file = fid }));
+  f
+
+let delete_file t ~vol ~file =
+  let v = volume_exn t vol in
+  let f = Volume.file_exn v file in
+  Volume.mark_deleted v f;
+  ignore (Nvlog.append (nvlog t) (Nvlog.Delete_file { vol; file }))
+
+let write t ~vol ~file ~fbn ~content =
+  let v = volume_exn t vol in
+  let f = Volume.file_exn v file in
+  File.write f ~fbn ~content;
+  Volume.note_dirty v f;
+  match Nvlog.append (nvlog t) (Nvlog.Write { vol; file; fbn; content }) with
+  | `Ok -> `Ok
+  | `Half_full -> `Log_half_full
+
+let buffer_cache t = t.cache
+
+(* Like [read] but reports whether the on-disk path hit the buffer cache;
+   the caller charges the miss cost.  [`Buffered] means the block was
+   served from a dirty buffer and never reached the disk path. *)
+let read_cached_status t ~vol ~file ~fbn =
+  let v = volume_exn t vol in
+  let f = Volume.file_exn v file in
+  match File.read_cached f ~fbn with
+  | Some c -> (Some c, `Buffered)
+  | None -> (
+      match File.vvbn_of_fbn f fbn with
+      | -1 -> (None, `Buffered)
+      | vvbn -> (
+          match Volume.pvbn_of_vvbn v vvbn with
+          | -1 ->
+              raise
+                (Corruption
+                   (Printf.sprintf "vol %d file %d fbn %d: vvbn %d has no container entry"
+                      vol file fbn vvbn))
+          | pvbn -> (
+              let status = if Buffer_cache.probe t.cache pvbn then `Hit else `Miss in
+              match Disk.read (disk t) pvbn with
+              | Some (Layout.Data d) when d.vol = vol && d.file = file && d.fbn = fbn ->
+                  (Some d.content, status)
+              | Some _ ->
+                  raise
+                    (Corruption
+                       (Printf.sprintf
+                          "vol %d file %d fbn %d: pvbn %d holds someone else's block" vol
+                          file fbn pvbn))
+              | None ->
+                  raise
+                    (Corruption
+                       (Printf.sprintf "vol %d file %d fbn %d: pvbn %d never written" vol
+                          file fbn pvbn)))))
+
+let read t ~vol ~file ~fbn = fst (read_cached_status t ~vol ~file ~fbn)
+
+let wait_for_log_space t =
+  while Nvlog.is_nearly_full (nvlog t) && t.cp_in_progress do
+    Sync.Waitq.wait t.log_space
+  done
+
+(* --- physical allocation state --- *)
+
+let aa_of_pvbn t pvbn =
+  let loc = Geometry.locate t.geom pvbn in
+  (loc.Geometry.rg, Geometry.aa_of_dbn t.geom loc.Geometry.dbn)
+
+let commit_alloc_pvbn t pvbn =
+  Bitmap_file.set t.agg_map pvbn;
+  let rg, aa = aa_of_pvbn t pvbn in
+  t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) - 1;
+  Counters.add t.counters free_counter (-1)
+
+let snapshot_held t pvbn = List.exists (fun s -> Snapshot.holds s pvbn) t.snaps
+
+let commit_free_pvbn t pvbn =
+  Bitmap_file.clear t.agg_map pvbn;
+  (* The block's content is dead; a future occupant must read from disk. *)
+  Buffer_cache.invalidate t.cache pvbn;
+  if snapshot_held t pvbn then
+    (* The block leaves the active tree but a snapshot still references
+       it: not reusable, not free space. *)
+    Counters.add t.counters "snapshot_held_blocks" 1
+  else begin
+    let rg, aa = aa_of_pvbn t pvbn in
+    t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) + 1;
+    Counters.add t.counters free_counter 1
+  end;
+  Hashtbl.replace t.recently_freed pvbn ()
+
+let pvbn_allocatable t pvbn =
+  (not (Bitmap_file.mem t.agg_map pvbn))
+  && (not (Hashtbl.mem t.recently_freed pvbn))
+  && not (snapshot_held t pvbn)
+
+let region_free t vol =
+  match Hashtbl.find_opt t.vvbn_region_free (Volume.id vol) with
+  | Some a -> a
+  | None -> invalid_arg "Aggregate: unregistered volume"
+
+let commit_alloc_vvbn t ~vol vvbn =
+  Bitmap_file.set (Volume.vol_map vol) vvbn;
+  let regions = region_free t vol in
+  let r = vvbn / vvbn_region_bits in
+  regions.(r) <- regions.(r) - 1;
+  Counters.add t.counters (vol_free_counter (Volume.id vol)) (-1)
+
+let commit_free_vvbn t ~vol vvbn =
+  Bitmap_file.clear (Volume.vol_map vol) vvbn;
+  let regions = region_free t vol in
+  let r = vvbn / vvbn_region_bits in
+  regions.(r) <- regions.(r) + 1;
+  Volume.note_freed_vvbn vol vvbn;
+  Counters.add t.counters (vol_free_counter (Volume.id vol)) 1
+
+let vvbn_allocatable t ~vol vvbn =
+  ignore t;
+  (not (Bitmap_file.mem (Volume.vol_map vol) vvbn)) && Volume.vvbn_reusable vol vvbn
+
+let select_best counts ~exclude =
+  let best = ref (-1) and best_free = ref 0 in
+  Array.iteri
+    (fun i free ->
+      if free > !best_free && not (List.mem i exclude) then begin
+        best := i;
+        best_free := free
+      end)
+    counts;
+  if !best < 0 then None else Some !best
+
+let select_aa t ~rg ~exclude = select_best t.aa_free_tbl.(rg) ~exclude
+let aa_free t ~rg ~aa = t.aa_free_tbl.(rg).(aa)
+let select_vvbn_region t ~vol ~exclude = select_best (region_free t vol) ~exclude
+let vvbn_region_free t ~vol ~region = (region_free t vol).(region)
+
+(* --- consistency-point support --- *)
+
+let cp_snapshot t =
+  if t.cp_in_progress then invalid_arg "Aggregate.cp_snapshot: CP already running";
+  t.cp_in_progress <- true;
+  Nvlog.cp_begin (nvlog t);
+  List.map (fun (_, v) -> (v, Volume.cp_snapshot v)) t.vols
+
+let take_dirty_meta t =
+  let acc = ref [] in
+  (* Aggregate map last: relocating any other block dirties it. *)
+  List.iter
+    (fun idx -> acc := Agg_map_chunk { index = idx } :: !acc)
+    (List.rev (Bitmap_file.dirty_blocks t.agg_map));
+  Bitmap_file.clear_dirty t.agg_map;
+  List.iter
+    (fun (vid, v) ->
+      List.iter
+        (fun idx -> acc := Vol_map_chunk { vol = vid; index = idx } :: !acc)
+        (List.rev (Bitmap_file.dirty_blocks (Volume.vol_map v)));
+      Bitmap_file.clear_dirty (Volume.vol_map v);
+      List.iter
+        (fun idx -> acc := Container_chunk { vol = vid; index = idx } :: !acc)
+        (List.rev (Volume.dirty_container_chunks v));
+      Volume.clear_dirty_containers v;
+      List.iter
+        (fun idx -> acc := Inode_chunk { vol = vid; index = idx } :: !acc)
+        (List.rev (Volume.dirty_inode_chunks v));
+      Volume.clear_dirty_inode_chunks v;
+      (* Bmap dirt lives on files touched by this CP's cleaning. *)
+      List.iter
+        (fun f ->
+          List.iter
+            (fun idx ->
+              acc := Bmap_block { vol = vid; file = File.id f; index = idx } :: !acc)
+            (List.rev (File.dirty_bmap_blocks f));
+          File.clear_dirty_bmap f)
+        (Volume.cp_files v))
+    (List.rev t.vols);
+  !acc
+
+let meta_payload t = function
+  | Bmap_block { vol; file; index } ->
+      let f = Volume.file_exn (volume_exn t vol) file in
+      Layout.Bmap { vol; file; index; entries = File.bmap_entries f index }
+  | Inode_chunk { vol; index } ->
+      Layout.Inode_chunk { vol; index; inodes = Volume.inode_chunk (volume_exn t vol) index }
+  | Container_chunk { vol; index } ->
+      Layout.Container
+        { vol; index; entries = Volume.container_entries (volume_exn t vol) index }
+  | Vol_map_chunk { vol; index } ->
+      Layout.Vol_map
+        { vol; index; words = Bitmap_file.words_of_block (Volume.vol_map (volume_exn t vol)) index }
+  | Agg_map_chunk { index } ->
+      Layout.Agg_map { index; words = Bitmap_file.words_of_block t.agg_map index }
+
+let meta_set_location t ref_ pvbn =
+  match ref_ with
+  | Bmap_block { vol; file; index } ->
+      let v = volume_exn t vol in
+      let f = Volume.file_exn v file in
+      let old = File.set_bmap_location f index pvbn in
+      (* The inode record embeds bmap locations, so it changed too. *)
+      Volume.mark_inode_dirty v f;
+      old
+  | Inode_chunk { vol; index } -> Volume.set_inode_location (volume_exn t vol) index pvbn
+  | Container_chunk { vol; index } ->
+      Volume.set_container_location (volume_exn t vol) index pvbn
+  | Vol_map_chunk { vol; index } ->
+      Bitmap_file.set_location (Volume.vol_map (volume_exn t vol)) index pvbn
+  | Agg_map_chunk { index } -> Bitmap_file.set_location t.agg_map index pvbn
+
+let make_superblock t =
+  {
+    Layout.generation = t.generation + 1;
+    cp_count = t.cp_count + 1;
+    vols = List.map (fun (_, v) -> Volume.to_vol_rec v) t.vols;
+    aggmap_pvbns =
+      (let acc = ref [] in
+       for i = Bitmap_file.nblocks t.agg_map - 1 downto 0 do
+         let loc = Bitmap_file.location t.agg_map i in
+         if loc >= 0 then acc := (i, loc) :: !acc
+       done;
+       Array.of_list !acc);
+    free_blocks = Counters.read t.counters free_counter;
+    snap_roots =
+      List.map
+        (fun s -> (Snapshot.name s, { (Snapshot.superblock s) with Layout.snap_roots = [] }))
+        t.snaps;
+  }
+
+let publish_superblock t sb =
+  t.pers.p_sb <- Some sb;
+  t.generation <- sb.Layout.generation;
+  t.cp_count <- sb.Layout.cp_count;
+  Nvlog.cp_commit (nvlog t);
+  Hashtbl.reset t.recently_freed;
+  List.iter
+    (fun (_, v) ->
+      Volume.clear_recent_frees v;
+      Volume.cp_done v)
+    t.vols;
+  t.cp_in_progress <- false;
+  ignore (Sync.Waitq.wake_all t.log_space)
+
+let superblock t = t.pers.p_sb
+let generation t = t.generation
+let cp_count t = t.cp_count
+
+(* --- snapshots --- *)
+
+let snapshots t = t.snaps
+let find_snapshot t name = List.find_opt (fun s -> Snapshot.name s = name) t.snaps
+
+let create_snapshot t ~name =
+  if t.cp_in_progress then invalid_arg "Aggregate.create_snapshot: CP in flight";
+  (match t.pers.p_sb with
+  | None -> invalid_arg "Aggregate.create_snapshot: no consistency point committed yet"
+  | Some _ -> ());
+  if find_snapshot t name <> None then
+    invalid_arg (Printf.sprintf "Aggregate.create_snapshot: %S already exists" name);
+  (* Between CPs the in-memory activemap equals the on-disk one, so its
+     words are exactly the block set the last CP's tree references. *)
+  let sb = Option.get t.pers.p_sb in
+  let snap = Snapshot.make ~name ~sb ~words:(Bitmap_file.snapshot_words t.agg_map) in
+  t.snaps <- t.snaps @ [ snap ];
+  snap
+
+let read_snapshot t snap ~vol ~file ~fbn =
+  Snapshot.read snap ~disk:t.pers.p_disk ~vol ~file ~fbn
+
+(* Blocks that become reusable when [snap] goes away: held by it, free in
+   the active map, and not held by any remaining snapshot. *)
+let delete_snapshot t snap =
+  if t.cp_in_progress then invalid_arg "Aggregate.delete_snapshot: CP in flight";
+  if not (List.memq snap t.snaps) then invalid_arg "Aggregate.delete_snapshot: unknown snapshot";
+  t.snaps <- List.filter (fun s -> s != snap) t.snaps;
+  let words = Snapshot.held_words snap in
+  let active = Bitmap_file.snapshot_words t.agg_map in
+  let released = ref 0 in
+  Array.iteri
+    (fun w snap_word ->
+      let candidates = Int64.logand snap_word (Int64.lognot active.(w)) in
+      if candidates <> 0L then
+        for i = 0 to 63 do
+          if Wafl_util.Bitops.get candidates i then begin
+            let pvbn = (w * 64) + i in
+            if Geometry.vbn_valid t.geom pvbn && not (snapshot_held t pvbn) then begin
+              let rg, aa = aa_of_pvbn t pvbn in
+              t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) + 1;
+              incr released
+            end
+          end
+        done)
+    words;
+  Counters.add t.counters free_counter !released;
+  Counters.add t.counters "snapshot_held_blocks" (- !released)
+
+(* --- crash and recovery --- *)
+
+let persist t = t.pers
+let crash t = t.pers
+
+let read_meta_block disk pvbn describe =
+  match Disk.read disk pvbn with
+  | Some payload -> payload
+  | None -> raise (Corruption (Printf.sprintf "recovery: %s at pvbn %d missing" describe pvbn))
+
+let apply_op t = function
+  | Nvlog.Create_vol { vol; vvbn_space } ->
+      if volume t vol = None then begin
+        let v = Volume.create ~id:vol ~vvbn_space in
+        register_volume t v
+      end
+  | Nvlog.Create_file { vol; file } -> (
+      let v = volume_exn t vol in
+      match Volume.file v file with
+      | Some _ -> ()
+      | None -> Volume.add_file v (File.create ~vol ~id:file))
+  | Nvlog.Write { vol; file; fbn; content } ->
+      let v = volume_exn t vol in
+      let f = Volume.file_exn v file in
+      File.write f ~fbn ~content;
+      Volume.note_dirty v f
+  | Nvlog.Delete_file { vol; file } ->
+      let v = volume_exn t vol in
+      Volume.mark_deleted v (Volume.file_exn v file)
+
+let recompute_aa_free t =
+  let geom = t.geom in
+  for rg = 0 to Geometry.raid_group_count geom - 1 do
+    for aa = 0 to Geometry.aa_count geom - 1 do
+      let lo_dbn, hi_dbn = Geometry.aa_dbn_range geom ~aa in
+      let free = ref 0 in
+      List.iter
+        (fun (drive, _) ->
+          let lo = Geometry.vbn_of geom ~rg ~drive ~dbn:lo_dbn in
+          let hi = Geometry.vbn_of geom ~rg ~drive ~dbn:hi_dbn in
+          free := !free + Bitmap_file.count_free_in t.agg_map ~lo ~hi)
+        (Geometry.drives_of_rg geom ~rg);
+      t.aa_free_tbl.(rg).(aa) <- !free
+    done
+  done
+
+let recompute_vvbn_regions t vol =
+  let regions = region_free t vol in
+  let vmap = Volume.vol_map vol in
+  Array.iteri
+    (fun r _ ->
+      let lo = r * vvbn_region_bits in
+      let hi = min (Volume.vvbn_space vol - 1) (((r + 1) * vvbn_region_bits) - 1) in
+      regions.(r) <- Bitmap_file.count_free_in vmap ~lo ~hi)
+    regions
+
+let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
+  let geom = Disk.geometry pers.p_disk in
+  let t =
+    {
+      eng;
+      cost;
+      geom;
+      pers;
+      raids = make_raids eng cost pers.p_disk geom queue_depth;
+      agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geom);
+      aa_free_tbl = init_aa_free geom;
+      vols = [];
+      vvbn_region_free = Hashtbl.create 8;
+      counters = Counters.create ();
+      recently_freed = Hashtbl.create 1024;
+      cache = Buffer_cache.create ~capacity:cache_blocks;
+      snaps = [];
+      log_space = Sync.Waitq.create eng;
+      next_vol_id = 0;
+      generation = 0;
+      cp_count = 0;
+      cp_in_progress = false;
+    }
+  in
+  Counters.set t.counters free_counter (Geometry.total_data_blocks geom);
+  (match pers.p_sb with
+  | None -> ()
+  | Some sb ->
+      t.generation <- sb.Layout.generation;
+      t.cp_count <- sb.Layout.cp_count;
+      (* Aggregate activemap. *)
+      Array.iter
+        (fun (idx, pvbn) ->
+          (match read_meta_block pers.p_disk pvbn "aggmap chunk" with
+          | Layout.Agg_map { index; words } when index = idx ->
+              Bitmap_file.load_block t.agg_map idx words
+          | _ -> raise (Corruption "recovery: aggmap chunk has wrong payload"));
+          ignore (Bitmap_file.set_location t.agg_map idx pvbn))
+        sb.Layout.aggmap_pvbns;
+      Bitmap_file.clear_dirty t.agg_map;
+      (* Volumes. *)
+      List.iter
+        (fun (vr : Layout.vol_rec) ->
+          let v = Volume.of_vol_rec vr in
+          register_volume t v;
+          Array.iter
+            (fun (idx, pvbn) ->
+              match read_meta_block pers.p_disk pvbn "volmap chunk" with
+              | Layout.Vol_map { vol; index; words } when vol = vr.Layout.vol_id && index = idx
+                ->
+                  Bitmap_file.load_block (Volume.vol_map v) idx words
+              | _ -> raise (Corruption "recovery: volmap chunk has wrong payload"))
+            vr.Layout.volmap_pvbns;
+          Bitmap_file.clear_dirty (Volume.vol_map v);
+          Array.iter
+            (fun (idx, pvbn) ->
+              match read_meta_block pers.p_disk pvbn "container chunk" with
+              | Layout.Container { vol; index; entries }
+                when vol = vr.Layout.vol_id && index = idx ->
+                  Volume.load_container_chunk v ~index:idx ~entries
+              | _ -> raise (Corruption "recovery: container chunk has wrong payload"))
+            vr.Layout.container_pvbns;
+          Volume.clear_dirty_containers v;
+          Array.iter
+            (fun (idx, pvbn) ->
+              match read_meta_block pers.p_disk pvbn "inode chunk" with
+              | Layout.Inode_chunk { vol; index; inodes }
+                when vol = vr.Layout.vol_id && index = idx ->
+                  Volume.load_inode_chunk v inodes
+              | _ -> raise (Corruption "recovery: inode chunk has wrong payload"))
+            vr.Layout.inode_chunk_pvbns;
+          Volume.clear_dirty_inode_chunks v;
+          (* File block maps. *)
+          List.iter
+            (fun f ->
+              let rec_ = File.inode_rec f in
+              Array.iter
+                (fun (idx, pvbn) ->
+                  match read_meta_block pers.p_disk pvbn "bmap block" with
+                  | Layout.Bmap { vol; file; index; entries }
+                    when vol = vr.Layout.vol_id && file = File.id f && index = idx ->
+                      File.load_bmap_block f ~index:idx ~entries
+                  | _ -> raise (Corruption "recovery: bmap block has wrong payload"))
+                rec_.Layout.bmap_pvbns;
+              File.clear_dirty_bmap f)
+            (Volume.files v);
+          recompute_vvbn_regions t v;
+          Counters.set t.counters (vol_free_counter vr.Layout.vol_id)
+            (Bitmap_file.free_count (Volume.vol_map v)))
+        sb.Layout.vols;
+      (* Snapshots: rebuild each pinned block set from the snapshot's own
+         persisted activemap chunks. *)
+      List.iter
+        (fun (name, (snap_sb : Layout.superblock)) ->
+          let snap_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geom) in
+          Array.iter
+            (fun (idx, pvbn) ->
+              match read_meta_block pers.p_disk pvbn "snapshot aggmap chunk" with
+              | Layout.Agg_map { index; words } when index = idx ->
+                  Bitmap_file.load_block snap_map idx words
+              | _ -> raise (Corruption "recovery: snapshot aggmap chunk has wrong payload"))
+            snap_sb.Layout.aggmap_pvbns;
+          t.snaps <-
+            t.snaps @ [ Snapshot.make ~name ~sb:snap_sb ~words:(Bitmap_file.snapshot_words snap_map) ])
+        sb.Layout.snap_roots;
+      recompute_aa_free t;
+      (* Subtract snapshot-held blocks from the free space and summaries:
+         they are map-free but not allocatable. *)
+      let held = ref 0 in
+      for pvbn = 0 to Geometry.total_data_blocks geom - 1 do
+        if (not (Bitmap_file.mem t.agg_map pvbn)) && snapshot_held t pvbn then begin
+          incr held;
+          let rg, aa = aa_of_pvbn t pvbn in
+          t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) - 1
+        end
+      done;
+      Counters.set t.counters "snapshot_held_blocks" !held;
+      Counters.set t.counters free_counter (Bitmap_file.free_count t.agg_map - !held));
+  (* Replay the surviving NVRAM log on top of the recovered tree. *)
+  let ops = Nvlog.replay_ops pers.p_nvlog in
+  Nvlog.recover_reset pers.p_nvlog;
+  List.iter (apply_op t) ops;
+  t
+
+(* --- integrity checking --- *)
+
+let fail_fsck fmt = Printf.ksprintf (fun s -> failwith ("fsck: " ^ s)) fmt
+
+let fsck t =
+  if t.cp_in_progress then fail_fsck "called with a CP in flight";
+  let used_pvbns = Hashtbl.create 4096 in
+  let claim_pvbn pvbn what =
+    if not (Geometry.vbn_valid t.geom pvbn) then fail_fsck "%s: invalid pvbn %d" what pvbn;
+    (match Hashtbl.find_opt used_pvbns pvbn with
+    | Some other -> fail_fsck "pvbn %d claimed by both %s and %s" pvbn other what
+    | None -> Hashtbl.add used_pvbns pvbn what);
+    if not (Bitmap_file.mem t.agg_map pvbn) then
+      fail_fsck "%s: pvbn %d not marked used in aggregate map" what pvbn
+  in
+  (* Aggregate map chunk locations. *)
+  for i = 0 to Bitmap_file.nblocks t.agg_map - 1 do
+    let loc = Bitmap_file.location t.agg_map i in
+    if loc >= 0 then claim_pvbn loc (Printf.sprintf "aggmap chunk %d" i)
+  done;
+  List.iter
+    (fun (vid, v) ->
+      let used_vvbns = Hashtbl.create 4096 in
+      let vmap = Volume.vol_map v in
+      for i = 0 to Bitmap_file.nblocks vmap - 1 do
+        let loc = Bitmap_file.location vmap i in
+        if loc >= 0 then claim_pvbn loc (Printf.sprintf "vol %d volmap chunk %d" vid i)
+      done;
+      List.iter
+        (fun idx -> claim_pvbn (Volume.container_location v idx)
+            (Printf.sprintf "vol %d container chunk %d" vid idx))
+        (List.filter
+           (fun idx -> Volume.container_location v idx >= 0)
+           (List.init
+              ((Volume.vvbn_space v + Layout.entries_per_container_block - 1)
+              / Layout.entries_per_container_block)
+              Fun.id));
+      List.iter
+        (fun idx ->
+          claim_pvbn (Volume.inode_location v idx) (Printf.sprintf "vol %d inode chunk %d" vid idx))
+        (List.filter
+           (fun idx -> Volume.inode_location v idx >= 0)
+           (List.init ((Volume.file_count v / Layout.inodes_per_block) + 1) Fun.id));
+      List.iter
+        (fun f ->
+          let rec_ = File.inode_rec f in
+          Array.iter
+            (fun (idx, pvbn) ->
+              claim_pvbn pvbn (Printf.sprintf "vol %d file %d bmap %d" vid (File.id f) idx))
+            rec_.Layout.bmap_pvbns;
+          for fbn = 0 to File.nfbns f - 1 do
+            let vvbn = File.vvbn_of_fbn f fbn in
+            if vvbn >= 0 then begin
+              (match Hashtbl.find_opt used_vvbns vvbn with
+              | Some other ->
+                  fail_fsck "vol %d vvbn %d claimed by both %s and file %d/%d" vid vvbn other
+                    (File.id f) fbn
+              | None ->
+                  Hashtbl.add used_vvbns vvbn (Printf.sprintf "file %d/%d" (File.id f) fbn));
+              if not (Bitmap_file.mem vmap vvbn) then
+                fail_fsck "vol %d: vvbn %d referenced but free in volume map" vid vvbn;
+              let pvbn = Volume.pvbn_of_vvbn v vvbn in
+              if pvbn < 0 then fail_fsck "vol %d: vvbn %d has no container entry" vid vvbn;
+              claim_pvbn pvbn (Printf.sprintf "vol %d vvbn %d" vid vvbn)
+            end
+          done)
+        (Volume.files v);
+      (* Every used vvbn must be referenced by exactly one (file, fbn). *)
+      if Bitmap_file.used_count vmap <> Hashtbl.length used_vvbns then
+        fail_fsck "vol %d: volume map says %d used vvbns but %d are referenced" vid
+          (Bitmap_file.used_count vmap) (Hashtbl.length used_vvbns);
+      (* Container entries must exist only for used vvbns. *)
+      for vvbn = 0 to Volume.vvbn_space v - 1 do
+        let mapped = Volume.pvbn_of_vvbn v vvbn >= 0 in
+        let used = Bitmap_file.mem vmap vvbn in
+        if mapped <> used then
+          fail_fsck "vol %d: vvbn %d container/%s activemap mismatch" vid vvbn
+            (if used then "used" else "free")
+      done;
+      let counter = Counters.read t.counters (vol_free_counter vid) in
+      if counter <> Bitmap_file.free_count vmap then
+        fail_fsck "vol %d: free counter %d but volume map says %d" vid counter
+          (Bitmap_file.free_count vmap))
+    t.vols;
+  (* No leaked pvbns: everything marked used must have been claimed. *)
+  if Bitmap_file.used_count t.agg_map <> Hashtbl.length used_pvbns then
+    fail_fsck "aggregate map says %d used pvbns but %d are referenced"
+      (Bitmap_file.used_count t.agg_map) (Hashtbl.length used_pvbns);
+  (* Snapshot-held blocks are map-free but not free space. *)
+  let held_only = ref 0 in
+  if t.snaps <> [] then
+    for pvbn = 0 to Geometry.total_data_blocks t.geom - 1 do
+      if (not (Bitmap_file.mem t.agg_map pvbn)) && snapshot_held t pvbn then incr held_only
+    done;
+  let counter = Counters.read t.counters free_counter in
+  if counter <> Bitmap_file.free_count t.agg_map - !held_only then
+    fail_fsck "aggregate free counter %d but activemap says %d (%d snapshot-held)" counter
+      (Bitmap_file.free_count t.agg_map) !held_only;
+  let held_counter = Counters.read t.counters "snapshot_held_blocks" in
+  if held_counter <> !held_only then
+    fail_fsck "snapshot-held counter %d but %d blocks are held-only" held_counter !held_only;
+  (* AA summary consistency. *)
+  for rg = 0 to Geometry.raid_group_count t.geom - 1 do
+    for aa = 0 to Geometry.aa_count t.geom - 1 do
+      let lo_dbn, hi_dbn = Geometry.aa_dbn_range t.geom ~aa in
+      let free = ref 0 in
+      List.iter
+        (fun (drive, _) ->
+          let lo = Geometry.vbn_of t.geom ~rg ~drive ~dbn:lo_dbn in
+          let hi = Geometry.vbn_of t.geom ~rg ~drive ~dbn:hi_dbn in
+          free := !free + Bitmap_file.count_free_in t.agg_map ~lo ~hi;
+          if t.snaps <> [] then
+            for pvbn = lo to hi do
+              if (not (Bitmap_file.mem t.agg_map pvbn)) && snapshot_held t pvbn then decr free
+            done)
+        (Geometry.drives_of_rg t.geom ~rg);
+      if !free <> t.aa_free_tbl.(rg).(aa) then
+        fail_fsck "rg %d aa %d: summary says %d free, activemap says %d" rg aa
+          t.aa_free_tbl.(rg).(aa) !free
+    done
+  done

@@ -1,0 +1,164 @@
+(** The mounted file system: an aggregate of RAID groups housing FlexVol
+    volumes (paper §II-B), plus the aggregate-wide allocation state that
+    the write-allocation infrastructure manipulates.
+
+    This module is pure bookkeeping — it never charges simulated CPU
+    itself; callers (Waffinity messages, cleaner threads, the CP engine)
+    charge costs according to what they touched.  All mutating entry
+    points assume the caller holds the appropriate serialization (an
+    affinity or a cleaner-owned structure), exactly as in WAFL.
+
+    Crash semantics: {!crash} returns the {!persist} handle (disk,
+    superblock, NVRAM log) and abandons all volatile state; {!recover}
+    mounts a fresh instance from it and replays the log. *)
+
+type t
+
+type meta_ref =
+  | Bmap_block of { vol : int; file : int; index : int }
+  | Inode_chunk of { vol : int; index : int }
+  | Container_chunk of { vol : int; index : int }
+  | Vol_map_chunk of { vol : int; index : int }
+  | Agg_map_chunk of { index : int }
+
+type persist
+(** What survives a crash: the disk image, the last durable superblock
+    and the NVRAM log. *)
+
+exception Corruption of string
+(** Raised by {!read} when an on-disk block does not match the metadata
+    that references it — the invariant a broken allocator violates. *)
+
+val create :
+  ?nvlog_half:int ->
+  ?cache_blocks:int ->
+  ?queue_depth:int ->
+  Wafl_sim.Engine.t ->
+  cost:Wafl_sim.Cost.t ->
+  geometry:Wafl_storage.Geometry.t ->
+  unit ->
+  t
+
+val engine : t -> Wafl_sim.Engine.t
+val cost : t -> Wafl_sim.Cost.t
+val geometry : t -> Wafl_storage.Geometry.t
+val disk : t -> Layout.block Wafl_storage.Disk.t
+val raid : t -> rg:int -> Layout.block Wafl_storage.Raid.t
+val raid_groups : t -> Layout.block Wafl_storage.Raid.t array
+val nvlog : t -> Nvlog.t
+val counters : t -> Counters.t
+val agg_map : t -> Bitmap_file.t
+
+(** {1 Client operations} *)
+
+val create_volume : t -> vvbn_space:int -> Volume.t
+val volume : t -> int -> Volume.t option
+val volume_exn : t -> int -> Volume.t
+val volumes : t -> Volume.t list
+val create_file : t -> vol:int -> File.t
+
+val delete_file : t -> vol:int -> file:int -> unit
+(** Log the deletion and queue the file as a zombie; its blocks (data,
+    block-map metafile blocks, vvbns) are reclaimed by the next CP. *)
+
+val write : t -> vol:int -> file:int -> fbn:int -> content:int64 -> [ `Ok | `Log_half_full ]
+(** Log the operation, dirty the buffer and queue the inode for the next
+    CP.  [`Log_half_full] asks the caller to trigger a CP. *)
+
+val read : t -> vol:int -> file:int -> fbn:int -> int64 option
+(** Dirty buffers first, then the on-disk tree.  [None] for holes. *)
+
+val read_cached_status :
+  t -> vol:int -> file:int -> fbn:int -> int64 option * [ `Buffered | `Hit | `Miss ]
+(** Like {!read}, also reporting how the block was served: from a dirty
+    buffer, from the read buffer cache, or from disk (the caller charges
+    the miss cost). *)
+
+val buffer_cache : t -> Buffer_cache.t
+
+val wait_for_log_space : t -> unit
+(** Parks while the NVRAM filling half is full and a CP is still running
+    (client throttling); returns immediately otherwise. *)
+
+(** {1 Physical allocation state (infrastructure side)} *)
+
+val commit_alloc_pvbn : t -> int -> unit
+val commit_free_pvbn : t -> int -> unit
+val pvbn_allocatable : t -> int -> bool
+(** Free in the activemap {e and} not frozen by a free earlier in the
+    running CP. *)
+
+val commit_alloc_vvbn : t -> vol:Volume.t -> int -> unit
+val commit_free_vvbn : t -> vol:Volume.t -> int -> unit
+val vvbn_allocatable : t -> vol:Volume.t -> int -> bool
+
+val select_aa : t -> rg:int -> exclude:int list -> int option
+(** The Allocation Area of the RAID group with the most free blocks
+    (§IV-D), excluding those currently being consumed. *)
+
+val aa_free : t -> rg:int -> aa:int -> int
+val select_vvbn_region : t -> vol:Volume.t -> exclude:int list -> int option
+val vvbn_region_free : t -> vol:Volume.t -> region:int -> int
+val vvbn_region_bits : int
+
+(** {1 Consistency-point support} *)
+
+val cp_snapshot : t -> (Volume.t * File.t list) list
+(** Atomically freeze the dirty state of every volume and rotate the
+    NVRAM log halves; returns each volume's cleaning work. *)
+
+val take_dirty_meta : t -> meta_ref list
+(** Dirty metafile blocks in dependency order (bmap, inode, container,
+    volume map, aggregate map), clearing the dirty flags.  Metafile
+    relocation during the CP re-dirties blocks; the CP engine calls this
+    repeatedly until it returns []. *)
+
+val meta_payload : t -> meta_ref -> Layout.block
+(** Serialize a metafile block for writing.  Must be called after all
+    location assignments of the current pass ({!meta_set_location}). *)
+
+val meta_set_location : t -> meta_ref -> int -> int
+(** Record a metafile block's new pvbn; returns the previous one (-1 if
+    none), which the caller must free. *)
+
+val make_superblock : t -> Layout.superblock
+val publish_superblock : t -> Layout.superblock -> unit
+(** Make the superblock durable, commit the NVRAM log half, thaw
+    recently freed VBNs, and bump the generation. *)
+
+val superblock : t -> Layout.superblock option
+val generation : t -> int
+val cp_count : t -> int
+
+(** {1 Snapshots} *)
+
+val create_snapshot : t -> name:string -> Snapshot.t
+(** Pin the tree of the last committed CP.  The pinned blocks stop being
+    reusable until the snapshot is deleted.  Requires at least one
+    committed CP and no CP in flight; durable from the next CP on. *)
+
+val snapshots : t -> Snapshot.t list
+val find_snapshot : t -> string -> Snapshot.t option
+val snapshot_held : t -> int -> bool
+(** Whether any snapshot references the given pvbn. *)
+
+val read_snapshot : t -> Snapshot.t -> vol:int -> file:int -> fbn:int -> int64 option
+val delete_snapshot : t -> Snapshot.t -> unit
+(** Release the snapshot; blocks no longer referenced by the active tree
+    or another snapshot become allocatable again. *)
+
+(** {1 Crash and recovery} *)
+
+val persist : t -> persist
+val crash : t -> persist
+val recover :
+  ?cache_blocks:int -> ?queue_depth:int -> Wafl_sim.Engine.t -> cost:Wafl_sim.Cost.t -> persist -> t
+(** Mount from the persistent image: load the superblock tree, recompute
+    allocation summaries and counters, then replay the NVRAM log. *)
+
+(** {1 Integrity checking (tests)} *)
+
+val fsck : t -> unit
+(** Full cross-check of block maps, container maps, activemaps and
+    counters.  Raises [Failure] with a description on any inconsistency.
+    Call at quiescent points (no CP in flight). *)

@@ -1,0 +1,90 @@
+(* Exact LRU: hash table to intrusive list nodes; the list head is the
+   most recently used entry. *)
+
+type node = { pvbn : int; mutable prev : node option; mutable next : node option }
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 65536);
+    head = None;
+    tail = None;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.pvbn;
+      t.n_evictions <- t.n_evictions + 1
+
+let probe t pvbn =
+  match Hashtbl.find_opt t.table pvbn with
+  | Some node ->
+      t.n_hits <- t.n_hits + 1;
+      unlink t node;
+      push_front t node;
+      true
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let node = { pvbn; prev = None; next = None } in
+      Hashtbl.add t.table pvbn node;
+      push_front t node;
+      false
+
+let contains t pvbn = Hashtbl.mem t.table pvbn
+
+let invalidate t pvbn =
+  match Hashtbl.find_opt t.table pvbn with
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table pvbn
+  | None -> ()
+
+let hits t = t.n_hits
+let misses t = t.n_misses
+let evictions t = t.n_evictions
+
+let hit_rate t =
+  let total = t.n_hits + t.n_misses in
+  if total = 0 then 0.0 else float_of_int t.n_hits /. float_of_int total
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

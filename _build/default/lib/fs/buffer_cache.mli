@@ -1,0 +1,36 @@
+(** Read buffer cache.
+
+    WAFL keeps recently used blocks in a global buffer cache (the
+    companion design in Denz et al., ICPP 2016 — reference [20] of the
+    paper).  This model tracks which pvbns are resident with an exact
+    LRU policy so the read path can distinguish cache hits from disk
+    misses; the workload driver charges the extra miss cost.  Dirty
+    buffers never reach this cache — they live in the per-file dirty
+    tables until their consistency point retires them.
+
+    Capacity is in blocks.  The structure is a hash table over an
+    intrusive doubly-linked LRU list: O(1) probe, insert and evict. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val length : t -> int
+
+val probe : t -> int -> bool
+(** [probe t pvbn] is [true] on a hit (the entry is refreshed to MRU).
+    On a miss the block is inserted, evicting the LRU entry if full. *)
+
+val contains : t -> int -> bool
+(** Lookup without side effects. *)
+
+val invalidate : t -> int -> unit
+(** Drop an entry if present (e.g. when its block is freed and reused). *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val hit_rate : t -> float
+(** hits / (hits + misses); 0.0 before any probe. *)
+
+val clear : t -> unit

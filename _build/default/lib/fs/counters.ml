@@ -1,0 +1,30 @@
+type t = (string, int ref) Hashtbl.t
+type token = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+let token (_ : t) : token = Hashtbl.create 8
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl name r;
+      r
+
+let read t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let set t name v = cell t name := v
+let add t name d = cell t name := !(cell t name) + d
+let stage tok name d = cell tok name := !(cell tok name) + d
+let staged tok name = read tok name
+
+let flush t tok =
+  let updated = Hashtbl.length tok in
+  Hashtbl.iter (fun name r -> add t name !r) tok;
+  Hashtbl.reset tok;
+  updated
+
+let exact t toks name =
+  read t name + List.fold_left (fun acc tok -> acc + staged tok name) 0 toks
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare

@@ -1,0 +1,41 @@
+(** Loose accounting for global counters (paper §III-C).
+
+    Cleaner threads may not update global counters directly — doing so
+    per-VBN caused excessive synchronization overhead in the pre-White-
+    Alligator design.  Instead each cleaner stages deltas in a local
+    {!token}; tokens are applied to the global counters in a batched
+    fashion from infrastructure context.  Counter reads may therefore lag
+    their instantaneous logical value by the amount still staged in
+    tokens; {!audit} bounds the discrepancy in tests. *)
+
+type t
+type token
+
+val create : unit -> t
+val token : t -> token
+(** A new local token for one cleaner thread. *)
+
+val read : t -> string -> int
+(** Current (loose) value of a named counter; 0 if never touched. *)
+
+val set : t -> string -> int -> unit
+(** Direct assignment; only for initialization / recovery. *)
+
+val add : t -> string -> int -> unit
+(** Direct delta; only from contexts that already own the counter
+    (infrastructure messages, mount). *)
+
+val stage : token -> string -> int -> unit
+(** Record a delta in the local token (no synchronization). *)
+
+val staged : token -> string -> int
+val flush : t -> token -> int
+(** Apply and clear every staged delta; returns how many distinct
+    counters were updated (the infrastructure charges CPU per update). *)
+
+val exact : t -> token list -> string -> int
+(** The counter value with all given tokens logically applied — the
+    "audited and corrected" read the paper describes for code paths that
+    need precise values. *)
+
+val names : t -> string list

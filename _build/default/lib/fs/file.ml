@@ -1,0 +1,104 @@
+open Wafl_util
+
+type t = {
+  vol : int;
+  id : int;
+  mutable nfbns : int;
+  bmap : Intvec.t; (* fbn -> vvbn *)
+  bmap_locations : Intvec.t; (* bmap block idx -> pvbn *)
+  mutable front : (int, int64) Hashtbl.t;
+  mutable cp : (int, int64) Hashtbl.t;
+  mutable cp_outstanding : bool;
+  dirty_bmap : (int, unit) Hashtbl.t;
+}
+
+let create ~vol ~id =
+  {
+    vol;
+    id;
+    nfbns = 0;
+    bmap = Intvec.create ~default:(-1) ();
+    bmap_locations = Intvec.create ~default:(-1) ();
+    front = Hashtbl.create 16;
+    cp = Hashtbl.create 16;
+    cp_outstanding = false;
+    dirty_bmap = Hashtbl.create 4;
+  }
+
+let vol t = t.vol
+let id t = t.id
+let nfbns t = t.nfbns
+
+let write t ~fbn ~content =
+  if fbn < 0 then invalid_arg "File.write: negative fbn";
+  Hashtbl.replace t.front fbn content;
+  if fbn >= t.nfbns then t.nfbns <- fbn + 1
+
+let read_cached t ~fbn =
+  match Hashtbl.find_opt t.front fbn with
+  | Some c -> Some c
+  | None -> Hashtbl.find_opt t.cp fbn
+
+let dirty_front t = Hashtbl.length t.front
+let vvbn_of_fbn t fbn = Intvec.get t.bmap fbn
+
+let set_vvbn t ~fbn ~vvbn =
+  let old = Intvec.get t.bmap fbn in
+  Intvec.set t.bmap fbn vvbn;
+  Hashtbl.replace t.dirty_bmap (fbn / Layout.entries_per_bmap_block) ();
+  old
+
+let cp_snapshot t =
+  if t.cp_outstanding then invalid_arg "File.cp_snapshot: previous CP not finished";
+  let snapshot = t.front in
+  t.front <- t.cp;
+  (* The old CP table is empty after cp_done; reuse it as the new front. *)
+  t.cp <- snapshot;
+  t.cp_outstanding <- true
+
+let cp_buffers t =
+  Hashtbl.fold (fun fbn content acc -> (fbn, content) :: acc) t.cp []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let cp_buffer_count t = Hashtbl.length t.cp
+
+let cp_done t =
+  Hashtbl.reset t.cp;
+  t.cp_outstanding <- false
+
+let dirty_bmap_blocks t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_bmap [] |> List.sort compare
+
+let bmap_entries t index =
+  let base = index * Layout.entries_per_bmap_block in
+  Array.init Layout.entries_per_bmap_block (fun i -> Intvec.get t.bmap (base + i))
+
+let bmap_location t index = Intvec.get t.bmap_locations index
+
+let set_bmap_location t index pvbn =
+  let old = Intvec.get t.bmap_locations index in
+  Intvec.set t.bmap_locations index pvbn;
+  old
+
+let clear_dirty_bmap t = Hashtbl.reset t.dirty_bmap
+
+let inode_rec t =
+  let locs = ref [] in
+  Intvec.iteri_set t.bmap_locations (fun idx pvbn -> locs := (idx, pvbn) :: !locs);
+  {
+    Layout.file_id = t.id;
+    nfbns = t.nfbns;
+    bmap_pvbns = Array.of_list (List.rev !locs);
+  }
+
+let of_inode_rec ~vol (rec_ : Layout.inode_rec) =
+  let t = create ~vol ~id:rec_.Layout.file_id in
+  t.nfbns <- rec_.Layout.nfbns;
+  Array.iter
+    (fun (idx, pvbn) -> ignore (set_bmap_location t idx pvbn))
+    rec_.Layout.bmap_pvbns;
+  t
+
+let load_bmap_block t ~index ~entries =
+  let base = index * Layout.entries_per_bmap_block in
+  Array.iteri (fun i vvbn -> if vvbn >= 0 then Intvec.set t.bmap (base + i) vvbn) entries

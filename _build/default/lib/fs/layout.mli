@@ -1,0 +1,62 @@
+(** On-disk layout: block payload formats and the superblock.
+
+    Every piece of metadata is stored in blocks on the simulated disk, as
+    in WAFL ("all metadata and user data are stored in files", §II-B).
+    A consistency point rewrites dirty metadata blocks at fresh VBNs and
+    then atomically publishes a superblock that points (transitively) at
+    every live block; recovery reads only these structures.
+
+    Constants give each 4 KiB block a realistic capacity: 32768 bitmap
+    bits, 512 block-map or container entries, or 64 inode records. *)
+
+val bits_per_map_block : int
+(** Bits per allocation-bitmap block (32768 = 4 KiB of bits). *)
+
+val entries_per_bmap_block : int
+(** fbn->vvbn entries per user-file block-map block (512). *)
+
+val entries_per_container_block : int
+(** vvbn->pvbn entries per container-map block (512). *)
+
+val inodes_per_block : int
+(** Inode records per inode-file block (64). *)
+
+type inode_rec = {
+  file_id : int;
+  nfbns : int;  (** one past the highest written file block number *)
+  bmap_pvbns : (int * int) array;  (** (bmap block index, pvbn) pairs *)
+}
+
+type block =
+  | Data of { vol : int; file : int; fbn : int; content : int64 }
+      (** A user (or metafile-content) data block; [content] is the opaque
+          write token used to verify read-back integrity. *)
+  | Bmap of { vol : int; file : int; index : int; entries : int array }
+      (** Block-map block [index] of a file: entry [i] maps
+          fbn = index * entries_per_bmap_block + i to a vvbn (-1 = hole). *)
+  | Inode_chunk of { vol : int; index : int; inodes : inode_rec list }
+  | Container of { vol : int; index : int; entries : int array }
+      (** vvbn -> pvbn translations (-1 = unmapped). *)
+  | Vol_map of { vol : int; index : int; words : int64 array }
+      (** Volume activemap chunk (vvbn allocation bitmap). *)
+  | Agg_map of { index : int; words : int64 array }
+      (** Aggregate activemap chunk (pvbn allocation bitmap). *)
+
+type vol_rec = {
+  vol_id : int;
+  vvbn_space : int;
+  inode_chunk_pvbns : (int * int) array;
+  container_pvbns : (int * int) array;
+  volmap_pvbns : (int * int) array;
+}
+
+type superblock = {
+  generation : int;
+  cp_count : int;
+  vols : vol_rec list;
+  aggmap_pvbns : (int * int) array;
+  free_blocks : int;  (** persisted free-space counter, audited on mount *)
+  snap_roots : (string * superblock) list;
+      (** read-only snapshots: name and the superblock of the CP each one
+          pins (nested snapshots lists are empty) *)
+}

@@ -1,0 +1,52 @@
+type op =
+  | Create_vol of { vol : int; vvbn_space : int }
+  | Create_file of { vol : int; file : int }
+  | Write of { vol : int; file : int; fbn : int; content : int64 }
+  | Delete_file of { vol : int; file : int }
+
+type t = {
+  half_capacity : int;
+  mutable filling : op list; (* newest first *)
+  mutable filling_len : int;
+  mutable cp_half : op list; (* newest first; [] when no CP active *)
+  mutable cp_active : bool;
+}
+
+let create ?(half_capacity = 16384) () =
+  if half_capacity <= 0 then invalid_arg "Nvlog.create: bad capacity";
+  { half_capacity; filling = []; filling_len = 0; cp_half = []; cp_active = false }
+
+let append t op =
+  if t.filling_len >= 2 * t.half_capacity then
+    failwith "Nvlog.append: NVRAM exhausted (client not throttled against CP)";
+  t.filling <- op :: t.filling;
+  t.filling_len <- t.filling_len + 1;
+  if t.filling_len >= t.half_capacity then `Half_full else `Ok
+
+let is_half_full t = t.filling_len >= t.half_capacity
+
+(* Leave headroom for operations already in flight through the message
+   scheduler when the throttle check happens in the client thread. *)
+let is_nearly_full t = t.filling_len >= (2 * t.half_capacity) - (t.half_capacity / 8)
+let pending t = t.filling_len
+let in_cp t = List.length t.cp_half
+
+let cp_begin t =
+  if t.cp_active then invalid_arg "Nvlog.cp_begin: CP already active";
+  t.cp_half <- t.filling;
+  t.filling <- [];
+  t.filling_len <- 0;
+  t.cp_active <- true
+
+let cp_commit t =
+  if not t.cp_active then invalid_arg "Nvlog.cp_commit: no CP active";
+  t.cp_half <- [];
+  t.cp_active <- false
+
+let replay_ops t = List.rev t.cp_half @ List.rev t.filling
+
+let recover_reset t =
+  t.filling <- t.filling @ t.cp_half;
+  t.filling_len <- List.length t.filling;
+  t.cp_half <- [];
+  t.cp_active <- false

@@ -1,0 +1,60 @@
+(** Nonvolatile operation log (paper §II-C).
+
+    Operations that change file-system state are logged here so the
+    client can be answered before the data reaches disk; a consistency
+    point later flushes the accumulated state, after which the covered
+    log prefix is discarded.  The log content survives a simulated crash
+    ({!Aggregate.crash} keeps it), and recovery replays it on top of the
+    last committed CP.
+
+    The log has two halves, as in ONTAP: while a CP drains one half, new
+    operations fill the other.  {!append} reports when the filling half
+    has reached its capacity, which is the primary CP trigger. *)
+
+type op =
+  | Create_vol of { vol : int; vvbn_space : int }
+  | Create_file of { vol : int; file : int }
+  | Write of { vol : int; file : int; fbn : int; content : int64 }
+  | Delete_file of { vol : int; file : int }
+
+type t
+
+val create : ?half_capacity:int -> unit -> t
+(** [half_capacity] (default 16384) is the number of operations one half
+    can hold before a CP should be triggered. *)
+
+val append : t -> op -> [ `Ok | `Half_full ]
+(** Log an operation into the filling half.  Returns [`Half_full] when
+    this append reached (or exceeded) the half's capacity — the CP
+    trigger.  Raises [Failure] if the whole NVRAM (both halves) is
+    exhausted — the caller must throttle clients against CP progress
+    before that point. *)
+
+val is_half_full : t -> bool
+(** CP-trigger threshold reached. *)
+
+val is_nearly_full : t -> bool
+(** The filling half is close to exhausting NVRAM; clients must park
+    until the running CP commits. *)
+
+val pending : t -> int
+(** Operations in the filling half (not yet covered by a CP snapshot). *)
+
+val in_cp : t -> int
+(** Operations in the half currently being flushed by a CP. *)
+
+val cp_begin : t -> unit
+(** Swap halves: everything logged so far is now covered by the starting
+    CP.  Raises [Invalid_argument] if a CP half is already active. *)
+
+val cp_commit : t -> unit
+(** Discard the CP half after the superblock is durable. *)
+
+val replay_ops : t -> op list
+(** All surviving operations in order (CP half first, then filling half);
+    used by crash recovery. *)
+
+val recover_reset : t -> unit
+(** After a crash: merge any CP half back into the filling half (that CP
+    never committed, so its operations are live again) and clear the
+    CP-active flag. *)

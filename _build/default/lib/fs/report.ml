@@ -1,0 +1,76 @@
+open Wafl_storage
+
+let space agg =
+  let buf = Buffer.create 256 in
+  let geom = Aggregate.geometry agg in
+  let total = Geometry.total_data_blocks geom in
+  let map = Aggregate.agg_map agg in
+  let free = Counters.read (Aggregate.counters agg) "agg_free_blocks" in
+  let held = Counters.read (Aggregate.counters agg) "snapshot_held_blocks" in
+  Buffer.add_string buf
+    (Printf.sprintf "aggregate: %d blocks total, %d used, %d free, %d snapshot-held\n" total
+       (Bitmap_file.used_count map) free held);
+  List.iter
+    (fun vol ->
+      let vmap = Volume.vol_map vol in
+      Buffer.add_string buf
+        (Printf.sprintf "  volume %d: %d files, %d/%d vvbns used\n" (Volume.id vol)
+           (Volume.file_count vol)
+           (Bitmap_file.used_count vmap)
+           (Volume.vvbn_space vol)))
+    (Aggregate.volumes agg);
+  let cache = Aggregate.buffer_cache agg in
+  Buffer.add_string buf
+    (Printf.sprintf "buffer cache: %d/%d blocks resident, %.1f%% hit rate\n"
+       (Buffer_cache.length cache) (Buffer_cache.capacity cache)
+       (100.0 *. Buffer_cache.hit_rate cache));
+  Buffer.contents buf
+
+let snapshots agg =
+  match Aggregate.snapshots agg with
+  | [] -> "no snapshots\n"
+  | snaps ->
+      let buf = Buffer.create 128 in
+      List.iter
+        (fun s ->
+          (* Held = pinned blocks no longer in the active tree. *)
+          let words = Snapshot.held_words s in
+          let active = Aggregate.agg_map agg in
+          let held = ref 0 in
+          Array.iteri
+            (fun w word ->
+              if word <> 0L then
+                for i = 0 to 63 do
+                  if Wafl_util.Bitops.get word i then begin
+                    let pvbn = (w * 64) + i in
+                    if
+                      Geometry.vbn_valid (Aggregate.geometry agg) pvbn
+                      && not (Bitmap_file.mem active pvbn)
+                    then incr held
+                  end
+                done)
+            words;
+          Buffer.add_string buf
+            (Printf.sprintf "snapshot %-16s generation %-5d holds %d otherwise-free blocks\n"
+               (Snapshot.name s) (Snapshot.generation s) !held))
+        snaps;
+      Buffer.contents buf
+
+let allocation_areas agg =
+  let geom = Aggregate.geometry agg in
+  let buf = Buffer.create 128 in
+  for rg = 0 to Geometry.raid_group_count geom - 1 do
+    let frees =
+      List.init (Geometry.aa_count geom) (fun aa -> Aggregate.aa_free agg ~rg ~aa)
+      |> List.sort compare
+    in
+    let n = List.length frees in
+    let capacity = Geometry.aa_stripes geom * Geometry.data_drives geom ~rg in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "raid group %d: %d AAs of %d blocks; free in fullest %d, median %d, emptiest %d\n" rg
+         n capacity (List.nth frees 0)
+         (List.nth frees (n / 2))
+         (List.nth frees (n - 1)))
+  done;
+  Buffer.contents buf

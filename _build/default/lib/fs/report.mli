@@ -1,0 +1,15 @@
+(** Human-readable state reports for a mounted aggregate — the `df` /
+    `snap list` style views an operator of the real system would use,
+    plus allocation-quality summaries used by examples and tests. *)
+
+val space : Aggregate.t -> string
+(** Totals, free/used/snapshot-held blocks, per-volume vvbn usage, and
+    the buffer-cache hit rate. *)
+
+val snapshots : Aggregate.t -> string
+(** One line per snapshot: name, pinned generation, held blocks. *)
+
+val allocation_areas : Aggregate.t -> string
+(** Per-RAID-group occupancy of Allocation Areas (free blocks in the
+    emptiest / median / fullest AA) — the state the §IV-D selection
+    policy operates on. *)

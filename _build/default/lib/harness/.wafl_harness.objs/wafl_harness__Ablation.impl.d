@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Driver Exp Float List Printf Table Wafl_core Wafl_util Wafl_workload

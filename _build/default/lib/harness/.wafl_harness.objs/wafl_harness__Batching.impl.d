@@ -1,0 +1,1 @@
+lib/harness/batching.ml: Driver Exp Histogram List Printf Table Wafl_util Wafl_workload

@@ -1,0 +1,1 @@
+lib/harness/batching.mli: Wafl_workload

@@ -1,0 +1,1 @@
+lib/harness/crossover.ml: Driver Exp Float List Printf Table Wafl_util Wafl_workload

@@ -1,0 +1,1 @@
+lib/harness/crossover.mli: Wafl_workload

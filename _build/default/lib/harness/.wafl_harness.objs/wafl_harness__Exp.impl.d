@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Driver Float List Printf Sys Wafl_core Wafl_workload

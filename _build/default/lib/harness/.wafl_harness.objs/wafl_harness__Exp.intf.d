@@ -1,0 +1,1 @@
+lib/harness/exp.mli: Wafl_core Wafl_workload

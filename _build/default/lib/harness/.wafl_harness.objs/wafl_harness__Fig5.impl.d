@@ -1,0 +1,1 @@
+lib/harness/fig5.ml: Driver Exp List Printf Table Wafl_util Wafl_workload

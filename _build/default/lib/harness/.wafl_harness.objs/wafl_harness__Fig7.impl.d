@@ -1,0 +1,1 @@
+lib/harness/fig7.ml: Driver Exp Perms Wafl_workload

@@ -1,0 +1,1 @@
+lib/harness/fig8.ml: Driver Exp Float Histogram List Printf Table Wafl_util Wafl_workload

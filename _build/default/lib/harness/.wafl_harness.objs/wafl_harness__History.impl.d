@@ -1,0 +1,1 @@
+lib/harness/history.ml: Driver Exp Histogram List Printf Table Wafl_core Wafl_util Wafl_workload

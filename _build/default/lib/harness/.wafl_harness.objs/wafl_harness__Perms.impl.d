@@ -1,0 +1,1 @@
+lib/harness/perms.ml: Driver Exp List Printf Table Wafl_util Wafl_workload

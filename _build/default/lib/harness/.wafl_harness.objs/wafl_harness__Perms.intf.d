@@ -1,0 +1,1 @@
+lib/harness/perms.mli: Wafl_workload

@@ -1,0 +1,14 @@
+(** Crossover sweep between the paper's two write regimes.
+
+    Figures 4 and 7 are the endpoints of a spectrum: sequential streams
+    free blocks that cluster in a few allocation-metafile blocks, random
+    overwrites scatter them.  Sweeping the random fraction locates the
+    crossover — the mix beyond which infrastructure work overtakes
+    cleaner work per operation, which is the paper's §V-A2 explanation
+    made quantitative. *)
+
+type row = { random_fraction : float; result : Wafl_workload.Driver.result }
+
+val run : ?scale:float -> ?fractions:float list -> unit -> row list
+val print : row list -> unit
+val shapes : row list -> (string * bool) list

@@ -1,0 +1,39 @@
+open Wafl_workload
+
+let of_env () =
+  match Sys.getenv_opt "WAFL_SCALE" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 1.0)
+  | None -> ( match Sys.getenv_opt "WAFL_QUICK" with Some ("1" | "true") -> 0.25 | _ -> 1.0)
+
+let spec_base ~scale =
+  let d = Driver.default_spec in
+  {
+    d with
+    Driver.warmup = Float.max 100_000.0 (d.Driver.warmup *. scale);
+    measure = Float.max 200_000.0 (d.Driver.measure *. scale);
+    workload =
+      Driver.Seq_write { file_blocks = max 2048 (int_of_float (16384.0 *. scale)) };
+  }
+
+let wa_config ?(cleaners = 4) ?max_cleaners ?(parallel_infra = true) ?(dynamic = false)
+    ?(batching = true) () =
+  let max_cleaners = match max_cleaners with Some m -> m | None -> max cleaners 8 in
+  {
+    Wafl_core.Walloc.default_config with
+    Wafl_core.Walloc.cleaner_threads = cleaners;
+    max_cleaner_threads = max_cleaners;
+    parallel_infra;
+    dynamic_cleaners = dynamic;
+    batching;
+    cp_timer = Some 250_000.0;
+  }
+
+let gain_pct ~baseline v = if baseline <= 0.0 then 0.0 else (v /. baseline -. 1.0) *. 100.0
+let shape name ok = (name, ok)
+
+let print_shapes shapes =
+  print_newline ();
+  List.iter
+    (fun (name, ok) -> Printf.printf "  shape %-58s %s\n" name (if ok then "[ok]" else "[MISS]"))
+    shapes;
+  flush stdout

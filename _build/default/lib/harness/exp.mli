@@ -1,0 +1,31 @@
+(** Shared infrastructure for the paper-reproduction experiments.
+
+    Every experiment accepts a [scale] factor: 1.0 reproduces the default
+    measurement windows; smaller values shrink warmup/measure windows and
+    working sets proportionally for quick smoke runs ([of_env] reads
+    WAFL_SCALE, with WAFL_QUICK=1 as a 0.25 shortcut). *)
+
+val of_env : unit -> float
+(** Scale factor from the environment; 1.0 by default. *)
+
+val spec_base : scale:float -> Wafl_workload.Driver.spec
+(** The common 20-core paper-platform spec: SSD aggregate of 2 RAID
+    groups x (10 + 2) drives, 40 Fibre-Channel-style clients, 2 volumes,
+    CP timer at 250 ms. *)
+
+val wa_config :
+  ?cleaners:int ->
+  ?max_cleaners:int ->
+  ?parallel_infra:bool ->
+  ?dynamic:bool ->
+  ?batching:bool ->
+  unit ->
+  Wafl_core.Walloc.config
+(** White Alligator configuration shorthand used by all experiments. *)
+
+val gain_pct : baseline:float -> float -> float
+
+val shape : string -> bool -> string * bool
+(** Tag a shape assertion for EXPERIMENTS.md reporting. *)
+
+val print_shapes : (string * bool) list -> unit

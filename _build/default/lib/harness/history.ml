@@ -1,0 +1,61 @@
+open Wafl_workload
+open Wafl_util
+
+type row = { era : string; result : Driver.result; gain : float }
+
+let configs =
+  [
+    ( "2006 serial affinity",
+      { Wafl_core.Walloc.serialized_config with serial_cleaning = true } );
+    ("2008 single cleaner thread", Wafl_core.Walloc.serialized_config);
+    ("2011 white alligator", Exp.wa_config ~cleaners:6 ~max_cleaners:6 ());
+  ]
+
+let run ?(scale = 1.0) () =
+  let spec = Exp.spec_base ~scale in
+  let baseline = ref 0.0 in
+  List.map
+    (fun (era, cfg) ->
+      let cfg = { cfg with Wafl_core.Walloc.cp_timer = Some 250_000.0 } in
+      let result = Driver.run { spec with Driver.cfg } in
+      if !baseline = 0.0 then baseline := result.Driver.throughput;
+      { era; result; gain = Exp.gain_pct ~baseline:!baseline result.Driver.throughput })
+    configs
+
+let print rows =
+  Printf.printf "\nHistory ablation: three generations of WAFL write allocation (seq write)\n";
+  let t =
+    Table.create
+      ~headers:[ "era"; "ops/s"; "gain"; "mean lat (us)"; "p99 lat (us)"; "total util" ]
+  in
+  List.iter
+    (fun { era; result = r; gain } ->
+      Table.add_row t
+        [
+          era;
+          Printf.sprintf "%.0f" r.Driver.throughput;
+          Table.cell_pct gain;
+          Table.cell_f1 (Histogram.mean r.Driver.latency);
+          Table.cell_f1 (Histogram.percentile r.Driver.latency 99.0);
+          Table.cell_f r.Driver.utilization;
+        ])
+    rows;
+  Table.print t
+
+let shapes rows =
+  match rows with
+  | [ serial; single; wa ] ->
+      [
+        Exp.shape "history: each generation improves throughput"
+          (single.result.Driver.throughput > serial.result.Driver.throughput
+          && wa.result.Driver.throughput > single.result.Driver.throughput);
+        (* Mean latency, not a percentile: the serial era's pain is rare
+           but enormous client stalls behind Serial-affinity cleaning,
+           which sit beyond p99 at these op counts. *)
+        Exp.shape "history: serial affinity inflicts the worst mean latency"
+          (Histogram.mean serial.result.Driver.latency
+          > 2.0 *. Histogram.mean wa.result.Driver.latency);
+        Exp.shape "history: white alligator >2x the 2006 design"
+          (wa.result.Driver.throughput > 2.0 *. serial.result.Driver.throughput);
+      ]
+  | _ -> [ Exp.shape "history: three eras ran" false ]

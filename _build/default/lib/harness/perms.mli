@@ -1,0 +1,17 @@
+(** The four-permutation experiment shared by Figures 4 and 7: every
+    combination of {parallel cleaner threads} x {parallel infrastructure},
+    using the instrumented-kernel methodology of §V-A (the same White
+    Alligator code with components forcibly serialized). *)
+
+type row = {
+  name : string;
+  result : Wafl_workload.Driver.result;
+  gain : float;  (** throughput gain over the serialized baseline, % *)
+}
+
+val run : ?cleaners:int -> workload:Wafl_workload.Driver.workload -> scale:float -> unit -> row list
+(** Rows in order: serialized baseline, parallel infrastructure only,
+    parallel cleaners only, full White Alligator. [cleaners] (default 6)
+    is the thread count used in the "parallel cleaners" configurations. *)
+
+val print : title:string -> row list -> unit

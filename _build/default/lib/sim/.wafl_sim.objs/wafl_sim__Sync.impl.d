@@ -1,0 +1,1 @@
+lib/sim/sync.ml: Cost Engine Printf Queue

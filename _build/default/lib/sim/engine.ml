@@ -1,0 +1,339 @@
+type _ Effect.t +=
+  | Consume : float -> unit Effect.t
+  | Sleep : float -> unit Effect.t
+  | Yield : unit Effect.t
+  | Park : unit Effect.t
+
+type state = Created | Runnable | Running | Sleeping | Parked | Done
+
+type fiber = {
+  fid : int;
+  mutable label : string;
+  mutable state : state;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable hold_start : float;
+  mutable body : (unit -> unit) option; (* cleared once started *)
+  mutable join_waiters : fiber list;
+  eng : t;
+}
+
+and action = Resume of fiber (* consume finished; fiber still holds its core *)
+           | Wake of fiber (* sleep expired or delayed spawn: make runnable *)
+
+and event = { time : float; seq : int; action : action }
+
+and t = {
+  n_cores : int;
+  quantum : float;
+  mutable clock : float;
+  mutable free_cores : int;
+  runnable : fiber Queue.t;
+  mutable heap : event array;
+  mutable heap_len : int;
+  mutable next_seq : int;
+  mutable next_fid : int;
+  mutable live : int;
+  mutable current : fiber option;
+  busy_tbl : (string, float ref) Hashtbl.t;
+  mutable window_start : float;
+  mutable switches : int;
+  mutable all_fibers : fiber list; (* for stalled-fiber diagnosis *)
+}
+
+(* --- binary min-heap on (time, seq) --- *)
+
+let dummy_event = { time = 0.0; seq = 0; action = Wake (Obj.magic ()) }
+
+let heap_less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let heap_push t ev =
+  if t.heap_len = Array.length t.heap then begin
+    let bigger = Array.make (max 64 (2 * t.heap_len)) dummy_event in
+    Array.blit t.heap 0 bigger 0 t.heap_len;
+    t.heap <- bigger
+  end;
+  let i = ref t.heap_len in
+  t.heap_len <- t.heap_len + 1;
+  t.heap.(!i) <- ev;
+  let continue_up = ref true in
+  while !continue_up && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if heap_less t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue_up := false
+  done
+
+let heap_pop t =
+  if t.heap_len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.heap_len <- t.heap_len - 1;
+    if t.heap_len > 0 then begin
+      t.heap.(0) <- t.heap.(t.heap_len);
+      let i = ref 0 in
+      let continue_down = ref true in
+      while !continue_down do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.heap_len && heap_less t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.heap_len && heap_less t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue_down := false
+      done
+    end;
+    Some top
+  end
+
+let heap_peek t = if t.heap_len = 0 then None else Some t.heap.(0)
+
+(* --- engine --- *)
+
+let create ?(quantum = 100.0) ~cores () =
+  if cores <= 0 then invalid_arg "Engine.create: cores must be positive";
+  {
+    n_cores = cores;
+    quantum;
+    clock = 0.0;
+    free_cores = cores;
+    runnable = Queue.create ();
+    heap = Array.make 64 dummy_event;
+    heap_len = 0;
+    next_seq = 0;
+    next_fid = 0;
+    live = 0;
+    current = None;
+    busy_tbl = Hashtbl.create 16;
+    window_start = 0.0;
+    switches = 0;
+    all_fibers = [];
+  }
+
+let cores t = t.n_cores
+let now t = t.clock
+
+let schedule t time action =
+  let ev = { time; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  heap_push t ev
+
+let charge t label d =
+  match Hashtbl.find_opt t.busy_tbl label with
+  | Some r -> r := !r +. d
+  | None -> Hashtbl.add t.busy_tbl label (ref d)
+
+let enqueue_runnable t f =
+  f.state <- Runnable;
+  Queue.push f t.runnable
+
+let release_core t = t.free_cores <- t.free_cores + 1
+
+let finish_fiber t f =
+  f.state <- Done;
+  t.live <- t.live - 1;
+  release_core t;
+  List.iter (fun w -> enqueue_runnable t w) f.join_waiters;
+  f.join_waiters <- []
+
+(* Execute the fiber's body under the effect handler.  Control returns to
+   the scheduler whenever the fiber performs an effect that stores its
+   continuation (or when it finishes). *)
+let start_fiber t f body =
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> finish_fiber t f);
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (e : a Effect.t) ->
+          match e with
+          | Consume d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  f.cont <- Some k;
+                  charge t f.label d;
+                  schedule t (t.clock +. d) (Resume f))
+          | Sleep d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  f.cont <- Some k;
+                  f.state <- Sleeping;
+                  release_core t;
+                  schedule t (t.clock +. d) (Wake f))
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  f.cont <- Some k;
+                  release_core t;
+                  enqueue_runnable t f)
+          | Park ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  f.cont <- Some k;
+                  f.state <- Parked;
+                  release_core t)
+          | _ -> None);
+    }
+  in
+  Effect.Deep.match_with body () handler
+
+let resume_fiber t f =
+  match f.cont with
+  | None -> (
+      match f.body with
+      | Some body ->
+          f.body <- None;
+          f.state <- Running;
+          t.current <- Some f;
+          start_fiber t f body;
+          t.current <- None
+      | None -> invalid_arg "Engine: resuming a fiber with no continuation")
+  | Some k ->
+      f.cont <- None;
+      f.state <- Running;
+      t.current <- Some f;
+      Effect.Deep.continue k ();
+      t.current <- None
+
+(* Dispatch runnable fibers onto free cores. *)
+let dispatch t =
+  while t.free_cores > 0 && not (Queue.is_empty t.runnable) do
+    let f = Queue.pop t.runnable in
+    t.free_cores <- t.free_cores - 1;
+    t.switches <- t.switches + 1;
+    f.hold_start <- t.clock;
+    resume_fiber t f
+  done
+
+let spawn t ?(label = "other") ?at body =
+  let f =
+    {
+      fid = t.next_fid;
+      label;
+      state = Created;
+      cont = None;
+      hold_start = 0.0;
+      body = Some body;
+      join_waiters = [];
+      eng = t;
+    }
+  in
+  t.next_fid <- t.next_fid + 1;
+  t.live <- t.live + 1;
+  t.all_fibers <- f :: t.all_fibers;
+  (match at with
+  | None -> enqueue_runnable t f
+  | Some time ->
+      if time < t.clock then invalid_arg "Engine.spawn: at is in the past";
+      f.state <- Sleeping;
+      schedule t time (Wake f));
+  f
+
+let run ?until t =
+  let stop = ref false in
+  while not !stop do
+    dispatch t;
+    match heap_peek t with
+    | None -> stop := true
+    | Some ev -> (
+        match until with
+        | Some limit when ev.time > limit ->
+            t.clock <- limit;
+            stop := true
+        | _ -> (
+            ignore (heap_pop t);
+            t.clock <- ev.time;
+            match ev.action with
+            | Wake f -> enqueue_runnable t f
+            | Resume f ->
+                if
+                  t.quantum > 0.0
+                  && t.clock -. f.hold_start >= t.quantum
+                  && not (Queue.is_empty t.runnable)
+                then begin
+                  release_core t;
+                  enqueue_runnable t f
+                end
+                else resume_fiber t f))
+  done;
+  (* If we stopped because of [until] there may still be runnable fibers;
+     leave them queued for the next call. *)
+  match until with
+  | Some limit when t.clock < limit && t.heap_len = 0 && Queue.is_empty t.runnable ->
+      t.clock <- limit
+  | _ -> ()
+
+let stalled_fibers t =
+  if t.heap_len > 0 || not (Queue.is_empty t.runnable) then []
+  else
+    List.filter_map
+      (fun f -> match f.state with Parked -> Some (f.fid, f.label) | _ -> None)
+      t.all_fibers
+
+let live_fibers t = t.live
+
+(* --- fiber-context operations --- *)
+
+let consume d = if d > 0.0 then Effect.perform (Consume d)
+let sleep d = if d > 0.0 then Effect.perform (Sleep d) else Effect.perform Yield
+let yield () = Effect.perform Yield
+
+let self t =
+  match t.current with
+  | Some f -> f
+  | None -> invalid_arg "Engine.self: no fiber is running"
+
+let set_label t label = (self t).label <- label
+let fiber_id f = f.fid
+let fiber_label f = f.label
+let finished f = f.state = Done
+
+let park t =
+  ignore (self t);
+  Effect.perform Park
+
+let wake t f =
+  match f.state with
+  | Parked -> enqueue_runnable t f
+  | _ -> invalid_arg "Engine.wake: fiber is not parked"
+
+let join t f =
+  if not (finished f) then begin
+    let me = self t in
+    f.join_waiters <- me :: f.join_waiters;
+    Effect.perform Park
+  end
+
+(* --- accounting --- *)
+
+let reset_accounting t =
+  Hashtbl.reset t.busy_tbl;
+  t.window_start <- t.clock
+
+let busy t label = match Hashtbl.find_opt t.busy_tbl label with Some r -> !r | None -> 0.0
+
+let busy_labels t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.busy_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let window t = t.clock -. t.window_start
+
+let cores_used t label =
+  let w = window t in
+  if w <= 0.0 then 0.0 else busy t label /. w
+
+let utilization t =
+  let w = window t in
+  if w <= 0.0 then 0.0
+  else
+    let total = Hashtbl.fold (fun _ r acc -> acc +. !r) t.busy_tbl 0.0 in
+    total /. (w *. float_of_int t.n_cores)
+
+let context_switches t = t.switches

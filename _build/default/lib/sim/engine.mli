@@ -1,0 +1,118 @@
+(** Deterministic discrete-event simulator with effect-handler fibers.
+
+    This is the many-core substitute for the paper's 20-core testbed (see
+    DESIGN.md §1).  Simulated threads are OCaml 5 fibers; a configurable
+    number of {e virtual cores} executes runnable fibers in virtual time.
+    CPU work is charged explicitly with {!consume}; blocking primitives
+    (see {!Sync}) park fibers, so contention, queueing and pipeline
+    backpressure show up as virtual-time delays exactly as they would as
+    wall-clock delays on real hardware.
+
+    Scheduling model: non-preemptive per core with an optional quantum.
+    A fiber keeps its core across {!consume} calls; it releases the core
+    when it yields, sleeps, parks or finishes, or when a consume completes
+    past the quantum while other fibers are runnable.  All queues are
+    FIFO and event ties are broken by sequence number, so a run is a pure
+    function of its inputs.
+
+    All fiber-context functions ({!consume}, {!sleep}, {!yield}, ...)
+    must be called from code running inside a fiber of the same engine;
+    calling them elsewhere raises [Stdlib.Effect.Unhandled]. *)
+
+type t
+(** A simulation engine instance. *)
+
+type fiber
+(** Handle to a simulated thread. *)
+
+val create : ?quantum:float -> cores:int -> unit -> t
+(** [create ~cores ()] makes an engine with [cores] virtual cores and an
+    empty event queue at virtual time 0.  [quantum] (default [100.0]
+    virtual microseconds, [0.0] disables) bounds how long a fiber may hold
+    a core across consume boundaries while other work is runnable. *)
+
+val cores : t -> int
+val now : t -> float
+(** Current virtual time in microseconds. *)
+
+val spawn : t -> ?label:string -> ?at:float -> (unit -> unit) -> fiber
+(** [spawn t ~label body] creates a fiber that becomes runnable now (or at
+    virtual time [at]).  [label] (default ["other"]) is the accounting
+    class charged for the fiber's CPU time; see {!busy}. *)
+
+(** {1 Running} *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the event queue and run queue are empty, or until
+    virtual time would exceed [until] (the clock is then set to [until]
+    and remaining events stay queued, so [run] can be called again to
+    continue — this is how warmup/measurement windows are implemented). *)
+
+val stalled_fibers : t -> (int * string) list
+(** Fibers that are parked with nothing left in the system to wake them;
+    non-empty after a full [run] indicates a deadlock or a lost wakeup.
+    Returns [(id, label)] pairs. *)
+
+val live_fibers : t -> int
+(** Fibers spawned and not yet finished. *)
+
+(** {1 Fiber context operations} *)
+
+val consume : float -> unit
+(** Occupy the current core for the given number of virtual microseconds. *)
+
+val sleep : float -> unit
+(** Release the core and become runnable again after the given delay. *)
+
+val yield : unit -> unit
+(** Release the core and requeue at the tail of the run queue. *)
+
+val self : t -> fiber
+(** The fiber currently executing on [t].  Raises [Invalid_argument] if no
+    fiber is running (i.e. called from outside the simulation). *)
+
+val set_label : t -> string -> unit
+(** Change the accounting class of the current fiber; used by scheduler
+    workers that execute messages of different classes. *)
+
+val fiber_id : fiber -> int
+val fiber_label : fiber -> string
+val finished : fiber -> bool
+val join : t -> fiber -> unit
+(** Park until the given fiber finishes (returns immediately if it has). *)
+
+(** {1 Low-level parking — used by {!Sync}} *)
+
+val park : t -> unit
+(** Park the current fiber unconditionally.  Some other fiber must hold a
+    reference (obtained via {!self}) and call {!wake}. *)
+
+val wake : t -> fiber -> unit
+(** Make a parked fiber runnable.  Raises [Invalid_argument] if the fiber
+    is not parked. *)
+
+(** {1 CPU accounting} *)
+
+val reset_accounting : t -> unit
+(** Zero all per-label busy counters and restart the measurement window at
+    the current virtual time. *)
+
+val busy : t -> string -> float
+(** Virtual microseconds of CPU consumed by fibers under the given label
+    since the last {!reset_accounting}. *)
+
+val busy_labels : t -> (string * float) list
+(** All (label, busy) pairs, sorted by label. *)
+
+val window : t -> float
+(** Length of the current measurement window ([now - window start]). *)
+
+val cores_used : t -> string -> float
+(** [busy t label / window t] — average number of cores the label kept
+    busy, the unit in which the paper reports "core usage". *)
+
+val utilization : t -> float
+(** Total busy time across all labels divided by [cores * window]. *)
+
+val context_switches : t -> int
+(** Dispatches of a fiber onto a core since engine creation. *)

@@ -1,0 +1,172 @@
+module Waitq = struct
+  type t = { eng : Engine.t; q : Engine.fiber Queue.t }
+
+  let create eng = { eng; q = Queue.create () }
+
+  let wait t =
+    Queue.push (Engine.self t.eng) t.q;
+    Engine.park t.eng
+
+  let wake_one t =
+    match Queue.take_opt t.q with
+    | None -> false
+    | Some f ->
+        Engine.wake t.eng f;
+        true
+
+  let wake_all t =
+    let n = Queue.length t.q in
+    while wake_one t do
+      ()
+    done;
+    n
+
+  let waiters t = Queue.length t.q
+end
+
+module Mutex = struct
+  type t = {
+    eng : Engine.t;
+    mutex_name : string;
+    acquire_cost : float;
+    mutable owner : int option; (* fiber id *)
+    waiters : Engine.fiber Queue.t;
+    mutable n_acquires : int;
+    mutable n_contended : int;
+  }
+
+  let create ?(name = "mutex") ?acquire_cost eng =
+    let acquire_cost =
+      match acquire_cost with Some c -> c | None -> Cost.default.lock_acquire
+    in
+    {
+      eng;
+      mutex_name = name;
+      acquire_cost;
+      owner = None;
+      waiters = Queue.create ();
+      n_acquires = 0;
+      n_contended = 0;
+    }
+
+  let lock t =
+    let me = Engine.self t.eng in
+    Engine.consume t.acquire_cost;
+    t.n_acquires <- t.n_acquires + 1;
+    match t.owner with
+    | None -> t.owner <- Some (Engine.fiber_id me)
+    | Some owner_id ->
+        if owner_id = Engine.fiber_id me then
+          invalid_arg (Printf.sprintf "Mutex %s: recursive lock" t.mutex_name);
+        t.n_contended <- t.n_contended + 1;
+        Queue.push me t.waiters;
+        Engine.park t.eng
+        (* Ownership is transferred by [unlock]; when we resume we already
+           hold the mutex. *)
+
+  let unlock t =
+    let me = Engine.self t.eng in
+    (match t.owner with
+    | Some owner_id when owner_id = Engine.fiber_id me -> ()
+    | _ -> invalid_arg (Printf.sprintf "Mutex %s: unlock by non-owner" t.mutex_name));
+    match Queue.take_opt t.waiters with
+    | None -> t.owner <- None
+    | Some next ->
+        t.owner <- Some (Engine.fiber_id next);
+        Engine.wake t.eng next
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception exn ->
+        unlock t;
+        raise exn
+
+  let name t = t.mutex_name
+  let contended_acquires t = t.n_contended
+  let acquires t = t.n_acquires
+end
+
+module Condition = struct
+  type t = { eng : Engine.t; waiters : Engine.fiber Queue.t }
+
+  let create eng = { eng; waiters = Queue.create () }
+
+  (* The simulation is cooperatively scheduled, so "enqueue self, unlock,
+     park" cannot lose a wakeup: no other fiber runs between the unlock and
+     the park effect. *)
+  let wait t m =
+    Queue.push (Engine.self t.eng) t.waiters;
+    Mutex.unlock m;
+    Engine.park t.eng;
+    Mutex.lock m
+
+  let signal t =
+    match Queue.take_opt t.waiters with None -> () | Some f -> Engine.wake t.eng f
+
+  let broadcast t =
+    while not (Queue.is_empty t.waiters) do
+      signal t
+    done
+end
+
+module Channel = struct
+  type 'a t = {
+    eng : Engine.t;
+    capacity : int option;
+    items : 'a Queue.t;
+    senders : Engine.fiber Queue.t;
+    receivers : Engine.fiber Queue.t;
+  }
+
+  let create ?capacity eng =
+    (match capacity with
+    | Some c when c <= 0 -> invalid_arg "Channel.create: capacity must be positive"
+    | _ -> ());
+    {
+      eng;
+      capacity;
+      items = Queue.create ();
+      senders = Queue.create ();
+      receivers = Queue.create ();
+    }
+
+  let is_full t =
+    match t.capacity with None -> false | Some c -> Queue.length t.items >= c
+
+  let send t v =
+    while is_full t do
+      Queue.push (Engine.self t.eng) t.senders;
+      Engine.park t.eng
+    done;
+    Queue.push v t.items;
+    match Queue.take_opt t.receivers with
+    | None -> ()
+    | Some f -> Engine.wake t.eng f
+
+  let rec recv t =
+    match Queue.take_opt t.items with
+    | Some v ->
+        (match Queue.take_opt t.senders with
+        | None -> ()
+        | Some f -> Engine.wake t.eng f);
+        v
+    | None ->
+        Queue.push (Engine.self t.eng) t.receivers;
+        Engine.park t.eng;
+        recv t
+
+  let try_recv t =
+    match Queue.take_opt t.items with
+    | Some v ->
+        (match Queue.take_opt t.senders with
+        | None -> ()
+        | Some f -> Engine.wake t.eng f);
+        Some v
+    | None -> None
+
+  let length t = Queue.length t.items
+end

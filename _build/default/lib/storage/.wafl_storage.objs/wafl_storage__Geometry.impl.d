@@ -1,0 +1,1 @@
+lib/storage/geometry.ml: Array List

@@ -1,0 +1,1 @@
+lib/storage/geometry.mli:

@@ -1,0 +1,1 @@
+lib/storage/raid.ml: Cost Disk Engine Geometry Hashtbl List Option Sync Wafl_sim

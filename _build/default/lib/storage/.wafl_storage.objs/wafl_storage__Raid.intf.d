@@ -1,0 +1,1 @@
+lib/storage/raid.mli: Disk Geometry Wafl_sim

@@ -1,0 +1,30 @@
+type 'b t = {
+  geometry : Geometry.t;
+  blocks : 'b option array;
+  mutable writes : int;
+}
+
+let create geometry =
+  { geometry; blocks = Array.make (Geometry.total_data_blocks geometry) None; writes = 0 }
+
+let geometry t = t.geometry
+
+let check t vbn =
+  if not (Geometry.vbn_valid t.geometry vbn) then
+    invalid_arg (Printf.sprintf "Disk: vbn %d out of range" vbn)
+
+let write t vbn payload =
+  check t vbn;
+  t.blocks.(vbn) <- Some payload;
+  t.writes <- t.writes + 1
+
+let read t vbn =
+  check t vbn;
+  t.blocks.(vbn)
+
+let read_exn t vbn =
+  match read t vbn with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Disk.read_exn: vbn %d never written" vbn)
+
+let writes_total t = t.writes

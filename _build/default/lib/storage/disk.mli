@@ -1,0 +1,27 @@
+(** Simulated persistent block store.
+
+    One payload slot per physical VBN.  The store survives a simulated
+    crash (the file system drops its volatile state and reloads from
+    here); copy-on-write correctness therefore depends on the allocator
+    never directing a write at an in-use VBN, which {!write} enforces in
+    cooperation with the caller-provided overwrite check.
+
+    Payloads are polymorphic: the file-system layer instantiates ['b]
+    with its on-disk block representation. *)
+
+type 'b t
+
+val create : Geometry.t -> 'b t
+val geometry : 'b t -> Geometry.t
+
+val write : 'b t -> Geometry.vbn -> 'b -> unit
+(** Store a payload.  Raises [Invalid_argument] on an out-of-range VBN. *)
+
+val read : 'b t -> Geometry.vbn -> 'b option
+(** [None] if the block was never written. *)
+
+val read_exn : 'b t -> Geometry.vbn -> 'b
+
+val writes_total : 'b t -> int
+(** Number of block writes since creation (includes rewrites of freed
+    blocks in later consistency points). *)

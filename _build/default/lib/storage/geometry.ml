@@ -1,0 +1,78 @@
+type vbn = int
+type location = { rg : int; drive : int; dbn : int }
+
+type group = { data : int; parity : int; first_drive : int (* global data-drive index *) }
+
+type t = {
+  drive_blocks : int;
+  aa_stripes : int;
+  groups : group array;
+  drives_total : int;
+}
+
+let create ?(drive_blocks = 65536) ?(aa_stripes = 1024) ~raid_groups () =
+  if raid_groups = [] then invalid_arg "Geometry.create: no RAID groups";
+  if drive_blocks <= 0 || aa_stripes <= 0 || drive_blocks mod aa_stripes <> 0 then
+    invalid_arg "Geometry.create: drive_blocks must be a positive multiple of aa_stripes";
+  let next = ref 0 in
+  let groups =
+    raid_groups
+    |> List.map (fun (data, parity) ->
+           if data <= 0 || parity < 0 then
+             invalid_arg "Geometry.create: bad drive counts";
+           let g = { data; parity; first_drive = !next } in
+           next := !next + data;
+           g)
+    |> Array.of_list
+  in
+  { drive_blocks; aa_stripes; groups; drives_total = !next }
+
+let drives_total t = t.drives_total
+let total_data_blocks t = t.drives_total * t.drive_blocks
+let raid_group_count t = Array.length t.groups
+
+let group t rg =
+  if rg < 0 || rg >= Array.length t.groups then invalid_arg "Geometry: bad RAID group";
+  t.groups.(rg)
+
+let data_drives t ~rg = (group t rg).data
+let parity_drives t ~rg = (group t rg).parity
+let drive_blocks t = t.drive_blocks
+let aa_stripes t = t.aa_stripes
+let aa_count t = t.drive_blocks / t.aa_stripes
+
+let drive_base t ~rg ~drive =
+  let g = group t rg in
+  if drive < 0 || drive >= g.data then invalid_arg "Geometry: bad drive";
+  (g.first_drive + drive) * t.drive_blocks
+
+let vbn_of t ~rg ~drive ~dbn =
+  if dbn < 0 || dbn >= t.drive_blocks then invalid_arg "Geometry: bad dbn";
+  drive_base t ~rg ~drive + dbn
+
+let vbn_valid t v = v >= 0 && v < total_data_blocks t
+
+let locate t v =
+  if not (vbn_valid t v) then invalid_arg "Geometry.locate: bad vbn";
+  let global_drive = v / t.drive_blocks in
+  let dbn = v mod t.drive_blocks in
+  (* RAID groups are few (typically 1-4); a linear scan is clear and fast. *)
+  let rec find rg =
+    let g = t.groups.(rg) in
+    if global_drive < g.first_drive + g.data then
+      { rg; drive = global_drive - g.first_drive; dbn }
+    else find (rg + 1)
+  in
+  find 0
+
+let aa_of_dbn t dbn =
+  if dbn < 0 || dbn >= t.drive_blocks then invalid_arg "Geometry.aa_of_dbn: bad dbn";
+  dbn / t.aa_stripes
+
+let aa_dbn_range t ~aa =
+  if aa < 0 || aa >= aa_count t then invalid_arg "Geometry.aa_dbn_range: bad aa";
+  (aa * t.aa_stripes, ((aa + 1) * t.aa_stripes) - 1)
+
+let drives_of_rg t ~rg =
+  let g = group t rg in
+  List.init g.data (fun d -> (d, drive_base t ~rg ~drive:d))

@@ -1,0 +1,114 @@
+open Wafl_sim
+
+type 'b request =
+  | Io of { writes : (Geometry.vbn * 'b) list; on_complete : unit -> unit }
+  | Stop
+
+type 'b t = {
+  cost : Cost.t;
+  disk : 'b Disk.t;
+  rg : int;
+  data_width : int;
+  queue_depth : int;
+  queue : 'b request Sync.Channel.t;
+  done_q : Sync.Waitq.t;
+  mutable outstanding : int;
+  mutable ios : int;
+  mutable blocks : int;
+  mutable full : int;
+  mutable partial : int;
+  mutable busy : float;
+}
+
+(* Count full vs partial stripes in one I/O: a stripe (distinct dbn) is
+   full when every data drive of the group contributes a block. *)
+let stripe_mix t writes =
+  let per_dbn = Hashtbl.create 64 in
+  List.iter
+    (fun (vbn, _) ->
+      let loc = Geometry.locate (Disk.geometry t.disk) vbn in
+      if loc.Geometry.rg <> t.rg then invalid_arg "Raid.submit: vbn not in this group";
+      let cur = Option.value ~default:0 (Hashtbl.find_opt per_dbn loc.Geometry.dbn) in
+      Hashtbl.replace per_dbn loc.Geometry.dbn (cur + 1))
+    writes;
+  Hashtbl.fold
+    (fun _ n (full, partial) -> if n >= t.data_width then (full + 1, partial) else (full, partial + 1))
+    per_dbn (0, 0)
+
+let service_fiber t () =
+  let rec loop () =
+    match Sync.Channel.recv t.queue with
+    | Stop -> ()
+    | Io { writes; on_complete } ->
+        let full, partial = stripe_mix t writes in
+        let nblocks = List.length writes in
+        let service =
+          t.cost.Cost.device_base_latency
+          +. (float_of_int nblocks *. t.cost.Cost.device_write_per_block)
+          +. (float_of_int partial *. t.cost.Cost.parity_read_penalty)
+        in
+        Engine.sleep service;
+        List.iter (fun (vbn, payload) -> Disk.write t.disk vbn payload) writes;
+        t.ios <- t.ios + 1;
+        t.blocks <- t.blocks + nblocks;
+        t.full <- t.full + full;
+        t.partial <- t.partial + partial;
+        t.busy <- t.busy +. service;
+        on_complete ();
+        t.outstanding <- t.outstanding - 1;
+        if t.outstanding = 0 then ignore (Sync.Waitq.wake_all t.done_q);
+        loop ()
+  in
+  loop ()
+
+let create ?(queue_depth = 4) eng ~cost ~disk ~rg =
+  if queue_depth <= 0 then invalid_arg "Raid.create: queue_depth must be positive";
+  let t =
+    {
+      cost;
+      disk;
+      rg;
+      data_width = Geometry.data_drives (Disk.geometry disk) ~rg;
+      queue_depth;
+      queue = Sync.Channel.create eng;
+      done_q = Sync.Waitq.create eng;
+      outstanding = 0;
+      ios = 0;
+      blocks = 0;
+      full = 0;
+      partial = 0;
+      busy = 0.0;
+    }
+  in
+  for _ = 1 to queue_depth do
+    ignore (Engine.spawn eng ~label:"io" (service_fiber t))
+  done;
+  t
+
+let rg t = t.rg
+
+let submit t ~writes ~on_complete =
+  if writes = [] then on_complete ()
+  else begin
+    Engine.consume t.cost.Cost.raid_io_dispatch;
+    t.outstanding <- t.outstanding + 1;
+    Sync.Channel.send t.queue (Io { writes; on_complete })
+  end
+
+let quiesce t =
+  while t.outstanding > 0 do
+    Sync.Waitq.wait t.done_q
+  done
+
+let shutdown t =
+  (* One Stop per service fiber; the queue is FIFO so all pending I/Os
+     complete before the fibers exit. *)
+  for _ = 1 to t.queue_depth do
+    Sync.Channel.send t.queue Stop
+  done
+
+let ios_completed t = t.ios
+let blocks_written t = t.blocks
+let full_stripes t = t.full
+let partial_stripes t = t.partial
+let device_busy t = t.busy

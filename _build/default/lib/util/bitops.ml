@@ -1,0 +1,28 @@
+let popcount (x : int64) =
+  (* SWAR popcount, 64-bit. *)
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let ctz (x : int64) =
+  (* Count trailing zeros of a non-zero word via de Bruijn-free loop; words
+     are scanned rarely (once per 64 allocations) so a simple loop is fine. *)
+  let rec go x i = if Int64.logand x 1L = 1L then i else go (Int64.shift_right_logical x 1) (i + 1) in
+  go x 0
+
+let find_first_zero w =
+  let inv = Int64.lognot w in
+  if inv = 0L then -1 else ctz inv
+
+let find_next_zero w i =
+  if i > 63 then -1
+  else
+    let mask = if i = 0 then Int64.minus_one else Int64.shift_left Int64.minus_one i in
+    let inv = Int64.logand (Int64.lognot w) mask in
+    if inv = 0L then -1 else ctz inv
+
+let get w i = Int64.logand (Int64.shift_right_logical w i) 1L = 1L
+let set w i = Int64.logor w (Int64.shift_left 1L i)
+let clear w i = Int64.logand w (Int64.lognot (Int64.shift_left 1L i))

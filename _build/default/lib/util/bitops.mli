@@ -1,0 +1,17 @@
+(** Bit-manipulation helpers for the 64-bit words backing allocation
+    bitmaps. Bit [i] of a word corresponds to block [base + i]; a set bit
+    means "in use", a clear bit means "free" (matching WAFL's active map
+    convention). *)
+
+val popcount : int64 -> int
+(** Number of set bits. *)
+
+val find_first_zero : int64 -> int
+(** Index (0-63) of the lowest clear bit, or -1 if the word is all ones. *)
+
+val find_next_zero : int64 -> int -> int
+(** [find_next_zero w i] is the lowest clear bit index [>= i], or -1. *)
+
+val get : int64 -> int -> bool
+val set : int64 -> int -> int64
+val clear : int64 -> int -> int64

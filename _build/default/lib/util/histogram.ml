@@ -1,0 +1,78 @@
+type t = {
+  lo : float;
+  log_lo : float;
+  scale : float; (* buckets per natural-log unit *)
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let create ?(lo = 1.0) ?(hi = 1e8) ?(buckets_per_decade = 20) () =
+  assert (lo > 0.0 && hi > lo && buckets_per_decade > 0);
+  let decades = log10 (hi /. lo) in
+  let nbuckets = int_of_float (ceil (decades *. float_of_int buckets_per_decade)) + 1 in
+  {
+    lo;
+    log_lo = log lo;
+    scale = float_of_int buckets_per_decade /. log 10.0;
+    counts = Array.make nbuckets 0;
+    n = 0;
+    sum = 0.0;
+    max_seen = 0.0;
+  }
+
+let bucket_of t v =
+  if v <= t.lo then 0
+  else
+    let b = int_of_float ((log v -. t.log_lo) *. t.scale) in
+    if b >= Array.length t.counts then Array.length t.counts - 1 else b
+
+(* Geometric center of bucket [b]; used for interpolation and the mean of
+   clamped samples. *)
+let value_of t b = exp (t.log_lo +. ((float_of_int b +. 0.5) /. t.scale))
+
+let add t v =
+  let b = bucket_of t v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_seen then t.max_seen <- v
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int t.n in
+    let rec scan b acc =
+      if b >= Array.length t.counts then t.max_seen
+      else
+        let acc' = acc + t.counts.(b) in
+        if float_of_int acc' >= target then Float.min (value_of t b) t.max_seen
+        else scan (b + 1) acc'
+    in
+    scan 0 0
+  end
+
+let percentile t p = quantile t (p /. 100.0)
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.0;
+  t.max_seen <- 0.0
+
+let merge_into ~dst src =
+  if Array.length dst.counts <> Array.length src.counts then
+    invalid_arg "Histogram.merge_into: shape mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let pp_summary ppf t =
+  Format.fprintf ppf "p50=%.1f p95=%.1f p99=%.1f max=%.1f (n=%d)" (percentile t 50.0)
+    (percentile t 95.0) (percentile t 99.0) t.max_seen t.n

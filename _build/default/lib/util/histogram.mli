@@ -1,0 +1,31 @@
+(** Log-bucketed histogram for latency distributions.
+
+    Values are assigned to geometrically spaced buckets, which gives
+    accurate percentiles over many orders of magnitude (microseconds to
+    seconds) with a small fixed memory footprint.  Quantiles are
+    interpolated within a bucket. *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> ?buckets_per_decade:int -> unit -> t
+(** Defaults cover [1e0, 1e8] (virtual microseconds) with 20 buckets per
+    decade, i.e. ~2.8% relative resolution. Out-of-range values clamp to
+    the first / last bucket. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [\[0, 1\]]. Returns 0.0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t 99.0] = [quantile t 0.99]. *)
+
+val clear : t -> unit
+val merge_into : dst:t -> t -> unit
+(** Adds all of the source's buckets into [dst]; the histograms must have
+    been created with identical parameters. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line "p50/p95/p99/max" rendering. *)

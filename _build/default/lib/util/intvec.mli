@@ -1,0 +1,20 @@
+(** Growable [int] array with a default element, used for block maps and
+    container maps (fbn -> VBN style mappings) that grow as files are
+    extended.  Reads beyond the current length return the default rather
+    than raising, which matches "hole" semantics in sparse files. *)
+
+type t
+
+val create : ?initial_capacity:int -> default:int -> unit -> t
+val default : t -> int
+val length : t -> int
+(** One past the highest index ever written. *)
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+(** Grows the vector as needed; intermediate slots read as the default. *)
+
+val iteri_set : t -> (int -> int -> unit) -> unit
+(** Iterate over indices whose value differs from the default. *)
+
+val copy : t -> t

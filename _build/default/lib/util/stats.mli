@@ -1,0 +1,28 @@
+(** Streaming statistics: count / mean / variance / min / max accumulators
+    (Welford's algorithm) used by the metric collectors. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** [mean t] is 0.0 when no samples were added. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0.0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    sample streams. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; ncols : int; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; ncols = List.length headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells > t.ncols then invalid_arg "Table.add_row: too many cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad_cells t cells =
+  let n = List.length cells in
+  if n = t.ncols then cells else cells @ List.init (t.ncols - n) (fun _ -> "")
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_row cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  List.iter (function Cells c -> note_row (pad_cells t c) | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let put_row cells =
+    List.iteri
+      (fun i c ->
+        let w = widths.(i) in
+        let padding = String.make (w - String.length c) ' ' in
+        if i > 0 then Buffer.add_string buf "  ";
+        (* Left-align the first column (labels), right-align numerics. *)
+        if i = 0 then (
+          Buffer.add_string buf c;
+          Buffer.add_string buf padding)
+        else (
+          Buffer.add_string buf padding;
+          Buffer.add_string buf c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let put_separator () =
+    let total =
+      Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1))
+    in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  put_row t.headers;
+  put_separator ();
+  List.iter (function Cells c -> put_row (pad_cells t c) | Separator -> put_separator ()) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout
+
+let cell_f x = Printf.sprintf "%.2f" x
+let cell_f1 x = Printf.sprintf "%.1f" x
+let cell_i n = string_of_int n
+let cell_pct x = Printf.sprintf "%+.1f%%" x

@@ -1,0 +1,26 @@
+(** Minimal ASCII table renderer for benchmark and experiment reports.
+
+    Columns are right-aligned except the first, which is left-aligned;
+    widths are computed from content. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty.
+    Longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val cell_f : float -> string
+(** Fixed 2-decimal rendering, e.g. "12.34". *)
+
+val cell_f1 : float -> string
+(** 1-decimal rendering. *)
+
+val cell_i : int -> string
+val cell_pct : float -> string
+(** Signed percentage, e.g. "+27.4%". *)

@@ -1,0 +1,1 @@
+lib/waffinity/affinity.ml: Format List

@@ -1,0 +1,1 @@
+lib/waffinity/affinity.mli: Format

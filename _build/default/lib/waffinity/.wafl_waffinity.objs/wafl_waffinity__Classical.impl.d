@@ -1,0 +1,1 @@
+lib/waffinity/classical.ml: Affinity

@@ -1,0 +1,1 @@
+lib/waffinity/scheduler.ml: Affinity Cost Engine Hashtbl List Option String Sync Wafl_sim

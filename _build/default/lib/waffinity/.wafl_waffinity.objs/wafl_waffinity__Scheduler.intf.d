@@ -1,0 +1,1 @@
+lib/waffinity/scheduler.mli: Affinity Wafl_sim

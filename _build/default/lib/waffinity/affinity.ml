@@ -1,0 +1,50 @@
+type t =
+  | Serial
+  | Aggregate of int
+  | Aggregate_vbn of int
+  | Agg_range of int * int
+  | Volume of int * int
+  | Volume_logical of int * int
+  | Stripe of int * int * int
+  | Volume_vbn of int * int
+  | Vol_range of int * int * int
+
+let parent = function
+  | Serial -> None
+  | Aggregate _ -> Some Serial
+  | Aggregate_vbn a -> Some (Aggregate a)
+  | Agg_range (a, _) -> Some (Aggregate_vbn a)
+  | Volume (a, _) -> Some (Aggregate a)
+  | Volume_logical (a, v) -> Some (Volume (a, v))
+  | Stripe (a, v, _) -> Some (Volume_logical (a, v))
+  | Volume_vbn (a, v) -> Some (Volume (a, v))
+  | Vol_range (a, v, _) -> Some (Volume_vbn (a, v))
+
+let ancestors t =
+  let rec go acc t = match parent t with None -> List.rev acc | Some p -> go (p :: acc) p in
+  go [] t
+
+let conflicts x y = x = y || List.mem x (ancestors y) || List.mem y (ancestors x)
+
+let kind_name = function
+  | Serial -> "serial"
+  | Aggregate _ -> "aggregate"
+  | Aggregate_vbn _ -> "aggregate_vbn"
+  | Agg_range _ -> "agg_range"
+  | Volume _ -> "volume"
+  | Volume_logical _ -> "volume_logical"
+  | Stripe _ -> "stripe"
+  | Volume_vbn _ -> "volume_vbn"
+  | Vol_range _ -> "vol_range"
+
+let pp ppf t =
+  match t with
+  | Serial -> Format.pp_print_string ppf "serial"
+  | Aggregate a -> Format.fprintf ppf "aggregate(%d)" a
+  | Aggregate_vbn a -> Format.fprintf ppf "aggregate_vbn(%d)" a
+  | Agg_range (a, r) -> Format.fprintf ppf "agg_range(%d,%d)" a r
+  | Volume (a, v) -> Format.fprintf ppf "volume(%d,%d)" a v
+  | Volume_logical (a, v) -> Format.fprintf ppf "volume_logical(%d,%d)" a v
+  | Stripe (a, v, s) -> Format.fprintf ppf "stripe(%d,%d,%d)" a v s
+  | Volume_vbn (a, v) -> Format.fprintf ppf "volume_vbn(%d,%d)" a v
+  | Vol_range (a, v, r) -> Format.fprintf ppf "vol_range(%d,%d,%d)" a v r

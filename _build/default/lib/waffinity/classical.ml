@@ -1,0 +1,23 @@
+type operation =
+  | User_data of { volume : int; fbn : int }
+  | Spanning of { volume : int }
+  | Metadata
+
+let default_stripe_blocks = 2048
+let default_stripes = 16
+
+let affinity_of ?(stripe_blocks = default_stripe_blocks) ?(stripes = default_stripes)
+    ~aggregate op =
+  match op with
+  | User_data { volume; fbn } ->
+      (* File stripes rotate over the Stripe affinity instances, giving
+         implicit coarse-grained synchronization: two messages in
+         different stripes touch disjoint user data. *)
+      Affinity.Stripe (aggregate, volume, fbn / stripe_blocks mod stripes)
+  | Spanning _ | Metadata -> Affinity.Serial
+
+let parallelizable a b =
+  not
+    (Affinity.conflicts
+       (affinity_of ~aggregate:0 a)
+       (affinity_of ~aggregate:0 b))

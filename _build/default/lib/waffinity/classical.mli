@@ -1,0 +1,38 @@
+(** Classical Waffinity (paper §III-B), the first WAFL multiprocessor
+    model (Data ONTAP 7.2, 2006).
+
+    User files were partitioned into {e file stripes} — contiguous block
+    ranges rotated over a fixed set of Stripe affinities — so that the
+    dozen performance-critical data operations could run in parallel;
+    {e everything else} ran in the Serial affinity and excluded all other
+    WAFL processing.  This module expresses that mapping on top of the
+    hierarchical scheduler (Serial and Stripe are the degenerate subset
+    of the Figure 1 hierarchy), for the historical configurations and
+    tests.
+
+    The limitation that motivated Hierarchical Waffinity is visible in
+    the type: anything that is not a user-file data operation — metadata
+    updates, allocation work, anything spanning a stripe boundary — maps
+    to [Serial]. *)
+
+type operation =
+  | User_data of { volume : int; fbn : int }
+      (** read/write of one block of a user file *)
+  | Spanning of { volume : int }
+      (** an operation crossing stripe boundaries within one file *)
+  | Metadata
+      (** metafile access, allocation work, administrative operations *)
+
+val default_stripe_blocks : int
+(** Blocks per file stripe (a contiguous range of a file). *)
+
+val default_stripes : int
+(** Number of Stripe affinity instances the stripes rotate over. *)
+
+val affinity_of :
+  ?stripe_blocks:int -> ?stripes:int -> aggregate:int -> operation -> Affinity.t
+(** Where an operation runs under the classical model. *)
+
+val parallelizable : operation -> operation -> bool
+(** Whether the classical model lets two operations run concurrently
+    (with the default parameters). *)

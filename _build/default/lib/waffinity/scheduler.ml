@@ -1,0 +1,153 @@
+open Wafl_sim
+
+type node = {
+  aff : Affinity.t;
+  parent : node option;
+  mutable active : bool;
+  mutable desc_active : int;
+}
+
+type msg = { node : node; label : string; body : unit -> unit; posted_at : float }
+
+type t = {
+  eng : Engine.t;
+  cost : Cost.t;
+  workers : int;
+  nodes : (Affinity.t, node) Hashtbl.t;
+  mutable pending : msg list; (* oldest first *)
+  mutable pending_count : int;
+  mutable executing : int;
+  mutable executed : int;
+  by_kind : (string, int ref) Hashtbl.t;
+  mutable wait_time : float;
+  idle : Sync.Waitq.t;
+}
+
+let create ?workers eng ~cost () =
+  let workers = match workers with Some w -> w | None -> Engine.cores eng in
+  if workers <= 0 then invalid_arg "Scheduler.create: workers must be positive";
+  {
+    eng;
+    cost;
+    workers;
+    nodes = Hashtbl.create 64;
+    pending = [];
+    pending_count = 0;
+    executing = 0;
+    executed = 0;
+    by_kind = Hashtbl.create 16;
+    wait_time = 0.0;
+    idle = Sync.Waitq.create eng;
+  }
+
+let rec node t aff =
+  match Hashtbl.find_opt t.nodes aff with
+  | Some n -> n
+  | None ->
+      let parent = Option.map (node t) (Affinity.parent aff) in
+      let n = { aff; parent; active = false; desc_active = 0 } in
+      Hashtbl.add t.nodes aff n;
+      n
+
+let grantable n =
+  if n.active || n.desc_active > 0 then false
+  else
+    let rec up = function
+      | None -> true
+      | Some p -> (not p.active) && up p.parent
+    in
+    up n.parent
+
+let activate n =
+  n.active <- true;
+  let rec up = function
+    | None -> ()
+    | Some p ->
+        p.desc_active <- p.desc_active + 1;
+        up p.parent
+  in
+  up n.parent
+
+let release n =
+  n.active <- false;
+  let rec up = function
+    | None -> ()
+    | Some p ->
+        p.desc_active <- p.desc_active - 1;
+        up p.parent
+  in
+  up n.parent
+
+let count_kind t aff =
+  let key = Affinity.kind_name aff in
+  match Hashtbl.find_opt t.by_kind key with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.by_kind key (ref 1)
+
+let rec dispatch t =
+  if t.executing < t.workers && t.pending_count > 0 then begin
+    (* Grant the oldest message whose affinity is unblocked. *)
+    let rec pick acc = function
+      | [] -> None
+      | m :: rest ->
+          if grantable m.node then Some (m, List.rev_append acc rest)
+          else pick (m :: acc) rest
+    in
+    match pick [] t.pending with
+    | None -> ()
+    | Some (m, rest) ->
+        t.pending <- rest;
+        t.pending_count <- t.pending_count - 1;
+        start t m;
+        dispatch t
+  end
+
+and start t m =
+  activate m.node;
+  t.executing <- t.executing + 1;
+  t.wait_time <- t.wait_time +. (Engine.now t.eng -. m.posted_at);
+  ignore
+    (Engine.spawn t.eng ~label:m.label (fun () ->
+         Engine.consume t.cost.Cost.msg_dispatch;
+         (try m.body ()
+          with exn ->
+            release m.node;
+            raise exn);
+         release m.node;
+         t.executing <- t.executing - 1;
+         t.executed <- t.executed + 1;
+         count_kind t m.node.aff;
+         if t.executing = 0 && t.pending_count = 0 then ignore (Sync.Waitq.wake_all t.idle);
+         dispatch t))
+
+let post t ~affinity ~label body =
+  let m = { node = node t affinity; label; body; posted_at = Engine.now t.eng } in
+  t.pending <- t.pending @ [ m ];
+  t.pending_count <- t.pending_count + 1;
+  dispatch t
+
+let post_wait t ~affinity ~label body =
+  let result = ref None in
+  let me = Engine.self t.eng in
+  post t ~affinity ~label (fun () ->
+      result := Some (body ());
+      Engine.wake t.eng me);
+  (* Scheduling is cooperative: the message fiber cannot run until this
+     fiber parks, so the wake always finds us parked. *)
+  Engine.park t.eng;
+  match !result with Some v -> v | None -> assert false
+
+let drain t =
+  while t.executing > 0 || t.pending_count > 0 do
+    Sync.Waitq.wait t.idle
+  done
+
+let queued t = t.pending_count
+let executing t = t.executing
+let executed_total t = t.executed
+
+let executed_by_kind t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let wait_time_total t = t.wait_time

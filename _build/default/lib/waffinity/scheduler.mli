@@ -1,0 +1,44 @@
+(** The Waffinity message scheduler.
+
+    Messages are posted with a target {!Affinity.t}; the scheduler starts
+    a message only when no conflicting affinity (ancestor, descendant or
+    the same instance) is executing and a worker-thread slot is free.
+    Non-conflicting messages run concurrently, bounded by [workers] (the
+    Waffinity thread count, normally one per core).
+
+    Message bodies run in fiber context and may charge CPU with
+    [Engine.consume]; they must not park (a real Waffinity message runs
+    to completion), which the scheduler asserts.
+
+    Pending messages are granted in FIFO arrival order, skipping those
+    whose affinity is blocked — the "scheduler enforces execution
+    exclusivity" behaviour of §III-D. *)
+
+type t
+
+val create :
+  ?workers:int -> Wafl_sim.Engine.t -> cost:Wafl_sim.Cost.t -> unit -> t
+(** [workers] defaults to the engine's core count. *)
+
+val post : t -> affinity:Affinity.t -> label:string -> (unit -> unit) -> unit
+(** Fire-and-forget message.  [label] is the CPU accounting class the
+    body's work is charged to. *)
+
+val post_wait : t -> affinity:Affinity.t -> label:string -> (unit -> 'a) -> 'a
+(** Post and park until the message completes; returns the body's result.
+    Must be called from fiber context (and not from inside another
+    message whose affinity conflicts — that would deadlock, as in the
+    real system). *)
+
+val drain : t -> unit
+(** Park until no message is queued or executing. *)
+
+val queued : t -> int
+val executing : t -> int
+val executed_total : t -> int
+val executed_by_kind : t -> (string * int) list
+(** Completed-message counts per affinity kind, sorted by kind name. *)
+
+val wait_time_total : t -> float
+(** Total virtual µs messages spent queued before starting; queueing here
+    is affinity-conflict or worker-saturation delay. *)

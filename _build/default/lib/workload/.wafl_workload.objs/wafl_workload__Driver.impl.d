@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Aggregate Array Cost Engine File Int64 Printf Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage Wafl_util Wafl_waffinity

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Wafl_core Wafl_sim Wafl_storage Wafl_util

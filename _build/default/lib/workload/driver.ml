@@ -1,0 +1,400 @@
+open Wafl_sim
+open Wafl_fs
+module Geometry = Wafl_storage.Geometry
+module Sched = Wafl_waffinity.Scheduler
+module Aff = Wafl_waffinity.Affinity
+
+type workload =
+  | Seq_write of { file_blocks : int }
+  | Rand_write of { file_blocks : int }
+  | Mixed_write of { file_blocks : int; random_fraction : float }
+  | Oltp of { file_blocks : int; read_fraction : float }
+  | Nfs_mix of { files_per_client : int; file_blocks : int }
+
+type spec = {
+  cores : int;
+  workload : workload;
+  clients : int;
+  think_time : float;
+  volumes : int;
+  cfg : Wafl_core.Walloc.config;
+  cost : Cost.t;
+  geometry : Geometry.t;
+  nvlog_half : int;
+  cache_blocks : int;
+  warmup : float;
+  measure : float;
+  seed : int;
+}
+
+let paper_geometry () =
+  Geometry.create ~drive_blocks:262144 ~aa_stripes:2048 ~raid_groups:[ (10, 2); (10, 2) ] ()
+
+let small_geometry () =
+  Geometry.create ~drive_blocks:16384 ~aa_stripes:512 ~raid_groups:[ (4, 1) ] ()
+
+let default_spec =
+  {
+    cores = 20;
+    workload = Seq_write { file_blocks = 16384 };
+    clients = 40;
+    think_time = 0.0;
+    volumes = 2;
+    cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 250_000.0 };
+    cost = Cost.default;
+    geometry = paper_geometry ();
+    nvlog_half = 16384;
+    cache_blocks = 65536;
+    warmup = 300_000.0;
+    measure = 1_000_000.0;
+    seed = 42;
+  }
+
+type result = {
+  ops : int;
+  duration : float;
+  throughput : float;
+  throughput_per_client : float;
+  latency : Wafl_util.Histogram.t;
+  reads : int;
+  writes : int;
+  metas : int;
+  cores_client : float;
+  cores_cleaner : float;
+  cores_infra : float;
+  cores_cp : float;
+  cores_io_other : float;
+  utilization : float;
+  cps_completed : int;
+  buffers_cleaned : int;
+  vbns_allocated : int;
+  vbns_freed : int;
+  metafile_blocks_touched : int;
+  infra_messages : int;
+  cleaner_messages : int;
+  get_waits : int;
+  avg_active_cleaners : float;
+  full_stripes : int;
+  partial_stripes : int;
+  read_contiguity : float;
+}
+
+let cores_write_alloc r = r.cores_cleaner +. r.cores_infra
+
+(* Average run length of physically consecutive blocks when walking a
+   file's logical block numbers in order — the sequential-read layout
+   quality that bucket-chunk contiguity buys (SIV-C, objective 2). *)
+let measure_contiguity vol file =
+  let runs = ref 0 and mapped = ref 0 in
+  let prev = ref (-2) in
+  for fbn = 0 to File.nfbns file - 1 do
+    let vvbn = File.vvbn_of_fbn file fbn in
+    if vvbn >= 0 then begin
+      let pvbn = Volume.pvbn_of_vvbn vol vvbn in
+      if pvbn >= 0 then begin
+        incr mapped;
+        if pvbn <> !prev + 1 then incr runs;
+        prev := pvbn
+      end
+    end
+  done;
+  if !runs = 0 then 0.0 else float_of_int !mapped /. float_of_int !runs
+
+(* --- client operation streams ------------------------------------------- *)
+
+type op = Read of int | Write of int | Meta (* block index within the client's space *)
+
+type client_files = { vol : Volume.t; files : File.t array; file_blocks : int }
+
+(* Each client owns [files] in one volume; ops address a flat block space
+   across them so one generator serves all workloads. *)
+let op_target cf idx =
+  let file = cf.files.(idx / cf.file_blocks) in
+  let fbn = idx mod cf.file_blocks in
+  (file, fbn)
+
+let total_blocks cf = Array.length cf.files * cf.file_blocks
+
+let gen_op workload rng cf cursor =
+  match workload with
+  | Seq_write _ ->
+      let idx = !cursor in
+      cursor := (idx + 1) mod total_blocks cf;
+      Write idx
+  | Rand_write _ -> Write (Wafl_util.Rng.int rng (total_blocks cf))
+  | Mixed_write { random_fraction; _ } ->
+      if Wafl_util.Rng.float rng 1.0 < random_fraction then
+        Write (Wafl_util.Rng.int rng (total_blocks cf))
+      else begin
+        let idx = !cursor in
+        cursor := (idx + 1) mod total_blocks cf;
+        Write idx
+      end
+  | Oltp { read_fraction; _ } ->
+      let idx = Wafl_util.Rng.int rng (total_blocks cf) in
+      if Wafl_util.Rng.float rng 1.0 < read_fraction then Read idx else Write idx
+  | Nfs_mix _ ->
+      (* 40% reads, 40% small writes, 20% metadata operations. *)
+      let p = Wafl_util.Rng.float rng 1.0 in
+      let idx = Wafl_util.Rng.int rng (total_blocks cf) in
+      if p < 0.4 then Read idx else if p < 0.8 then Write idx else Meta
+
+(* --- the measured run ---------------------------------------------------- *)
+
+type recorder = {
+  mutable recording : bool;
+  mutable ops : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable metas : int;
+  hist : Wafl_util.Histogram.t;
+}
+
+let stripe_of_fbn fbn = fbn / 1024 mod 16
+
+let run spec =
+  let eng = Engine.create ~cores:spec.cores () in
+  let agg =
+    Aggregate.create eng ~cost:spec.cost ~geometry:spec.geometry ~nvlog_half:spec.nvlog_half
+      ~cache_blocks:spec.cache_blocks ()
+  in
+  let walloc = Wafl_core.Walloc.create agg spec.cfg in
+  let cp = Wafl_core.Walloc.cp walloc in
+  let infra = Wafl_core.Walloc.infra walloc in
+  let pool = Wafl_core.Walloc.pool walloc in
+  let files_per_client, file_blocks =
+    match spec.workload with
+    | Seq_write { file_blocks }
+    | Rand_write { file_blocks }
+    | Mixed_write { file_blocks; _ }
+    | Oltp { file_blocks; _ } ->
+        (1, file_blocks)
+    | Nfs_mix { files_per_client; file_blocks } -> (files_per_client, file_blocks)
+  in
+  let working_set = spec.clients * files_per_client * file_blocks in
+  let capacity = Geometry.total_data_blocks spec.geometry in
+  if working_set * 3 / 2 >= capacity then
+    invalid_arg
+      (Printf.sprintf "Driver.run: working set %d too large for aggregate of %d blocks"
+         working_set capacity);
+  (* --- setup and prefill (not measured) --- *)
+  let client_files = Array.make spec.clients None in
+  let setup_done = ref false in
+  ignore
+    (Engine.spawn eng ~label:"setup" (fun () ->
+         let vols =
+           Array.init spec.volumes (fun _ ->
+               let clients_here = (spec.clients + spec.volumes - 1) / spec.volumes in
+               let ws = clients_here * files_per_client * file_blocks in
+               let vol = Aggregate.create_volume agg ~vvbn_space:((ws * 3 / 2) + 65536) in
+               Wafl_core.Walloc.register_volume walloc vol;
+               vol)
+         in
+         for c = 0 to spec.clients - 1 do
+           let vol = vols.(c mod spec.volumes) in
+           let files =
+             Array.init files_per_client (fun _ ->
+                 Aggregate.create_file agg ~vol:(Volume.id vol))
+           in
+           client_files.(c) <- Some { vol; files; file_blocks }
+         done;
+         (* Prefill every block once so steady-state writes are
+            overwrites (as on a system that has been running). *)
+         let token = ref 0L in
+         Array.iter
+           (fun cf ->
+             match cf with
+             | None -> ()
+             | Some cf ->
+                 Array.iter
+                   (fun f ->
+                     for fbn = 0 to cf.file_blocks - 1 do
+                       token := Int64.add !token 1L;
+                       match
+                         Aggregate.write agg ~vol:(Volume.id cf.vol) ~file:(File.id f) ~fbn
+                           ~content:!token
+                       with
+                       | `Ok -> ()
+                       | `Log_half_full -> Wafl_core.Cp.run_now cp
+                     done)
+                   cf.files)
+           client_files;
+         Wafl_core.Cp.run_now cp;
+         setup_done := true));
+  (* The CP timer fiber never exits, so the engine is never idle; run in
+     bounded slices until the prefill completes. *)
+  while not !setup_done do
+    Engine.run ~until:(Engine.now eng +. 1_000_000.0) eng
+  done;
+  (* --- clients --- *)
+  let sched = Wafl_core.Walloc.scheduler walloc in
+  let rec_ =
+    {
+      recording = false;
+      ops = 0;
+      reads = 0;
+      writes = 0;
+      metas = 0;
+      hist = Wafl_util.Histogram.create ();
+    }
+  in
+  let stop = ref false in
+  let master_rng = Wafl_util.Rng.create ~seed:spec.seed in
+  let active_samples = ref 0 and active_sum = ref 0 in
+  for c = 0 to spec.clients - 1 do
+    let cf = match client_files.(c) with Some cf -> cf | None -> assert false in
+    let rng = Wafl_util.Rng.split master_rng in
+    let cursor = ref (Wafl_util.Rng.int rng (total_blocks cf)) in
+    let token = ref (Int64.of_int ((c + 1) * 1_000_000)) in
+    ignore
+      (Engine.spawn eng ~label:"client" (fun () ->
+           while not !stop do
+             let started = Engine.now eng in
+             let op = gen_op spec.workload rng cf cursor in
+             let kind =
+               match op with
+               | Read idx ->
+                   let file, fbn = op_target cf idx in
+                   Sched.post_wait sched
+                     ~affinity:(Aff.Stripe (0, Volume.id cf.vol, stripe_of_fbn fbn))
+                     ~label:"client"
+                     (fun () ->
+                       Engine.consume spec.cost.Cost.client_read;
+                       let _, status =
+                         Aggregate.read_cached_status agg ~vol:(Volume.id cf.vol)
+                           ~file:(File.id file) ~fbn
+                       in
+                       match status with
+                       | `Miss -> Engine.consume spec.cost.Cost.read_miss
+                       | `Hit | `Buffered -> ());
+                   `R
+               | Write idx ->
+                   (* Throttle against CP progress before consuming NVRAM
+                      (the message body itself must never park). *)
+                   Aggregate.wait_for_log_space agg;
+                   let file, fbn = op_target cf idx in
+                   token := Int64.add !token 1L;
+                   let content = !token in
+                   let status =
+                     Sched.post_wait sched
+                       ~affinity:(Aff.Stripe (0, Volume.id cf.vol, stripe_of_fbn fbn))
+                       ~label:"client"
+                       (fun () ->
+                         (let c = spec.cost in
+                          match spec.workload with
+                          | Seq_write _ | Nfs_mix _ -> Engine.consume c.Cost.client_write
+                          | Rand_write _ | Oltp _ -> Engine.consume c.Cost.client_write_random
+                          | Mixed_write { random_fraction; _ } ->
+                              (* Interpolate the client-side cost with the mix. *)
+                              Engine.consume
+                                ((c.Cost.client_write *. (1.0 -. random_fraction))
+                                +. (c.Cost.client_write_random *. random_fraction)));
+                         Aggregate.write agg ~vol:(Volume.id cf.vol) ~file:(File.id file)
+                           ~fbn ~content)
+                   in
+                   (match status with
+                   | `Ok -> ()
+                   | `Log_half_full ->
+                       Wafl_core.Cp.request cp;
+                       Aggregate.wait_for_log_space agg);
+                   `W
+               | Meta ->
+                   Sched.post_wait sched
+                     ~affinity:(Aff.Volume_logical (0, Volume.id cf.vol))
+                     ~label:"client"
+                     (fun () -> Engine.consume spec.cost.Cost.client_meta);
+                   `M
+             in
+             if rec_.recording then begin
+               rec_.ops <- rec_.ops + 1;
+               (match kind with
+               | `R -> rec_.reads <- rec_.reads + 1
+               | `W -> rec_.writes <- rec_.writes + 1
+               | `M -> rec_.metas <- rec_.metas + 1);
+               Wafl_util.Histogram.add rec_.hist (Engine.now eng -. started)
+             end;
+             if spec.think_time > 0.0 then
+               Engine.sleep (Wafl_util.Rng.exponential rng ~mean:spec.think_time)
+             else Engine.yield ()
+           done))
+  done;
+  (* Sample the active cleaner-thread count through the measurement. *)
+  ignore
+    (Engine.spawn eng ~label:"sampler" (fun () ->
+         while not !stop do
+           Engine.sleep 10_000.0;
+           if rec_.recording then begin
+             incr active_samples;
+             active_sum := !active_sum + Wafl_core.Cleaner_pool.active pool
+           end
+         done));
+  (* --- warmup --- *)
+  Engine.run ~until:(Engine.now eng +. spec.warmup) eng;
+  Engine.reset_accounting eng;
+  rec_.recording <- true;
+  let base_cps = Wafl_core.Cp.cps_completed cp in
+  let base_buffers = Wafl_core.Cleaner_pool.buffers_cleaned pool in
+  let base_alloc = Wafl_core.Infra.vbns_allocated infra in
+  let base_freed = Wafl_core.Infra.vbns_freed infra in
+  let base_touched = Wafl_core.Infra.metafile_blocks_touched infra in
+  let base_imsgs = Wafl_core.Infra.messages_posted infra in
+  let base_cmsgs = Wafl_core.Cleaner_pool.messages_processed pool in
+  let base_waits = Wafl_core.Cleaner_pool.get_waits pool in
+  let stripes_of f = Array.fold_left (fun acc r -> acc + f r) 0 (Aggregate.raid_groups agg) in
+  let base_full = stripes_of Wafl_storage.Raid.full_stripes in
+  let base_partial = stripes_of Wafl_storage.Raid.partial_stripes in
+  (* --- measurement --- *)
+  let t0 = Engine.now eng in
+  Engine.run ~until:(t0 +. spec.measure) eng;
+  rec_.recording <- false;
+  let duration = Engine.now eng -. t0 in
+  let result =
+    {
+      ops = rec_.ops;
+      duration;
+      throughput = float_of_int rec_.ops /. duration *. 1_000_000.0;
+      throughput_per_client =
+        float_of_int rec_.ops /. duration *. 1_000_000.0 /. float_of_int spec.clients;
+      latency = rec_.hist;
+      reads = rec_.reads;
+      writes = rec_.writes;
+      metas = rec_.metas;
+      cores_client = Engine.cores_used eng "client";
+      cores_cleaner = Engine.cores_used eng "cleaner";
+      cores_infra = Engine.cores_used eng "infra";
+      cores_cp = Engine.cores_used eng "cp";
+      cores_io_other =
+        Engine.cores_used eng "io" +. Engine.cores_used eng "other"
+        +. Engine.cores_used eng "sampler" +. Engine.cores_used eng "tuner";
+      utilization = Engine.utilization eng;
+      cps_completed = Wafl_core.Cp.cps_completed cp - base_cps;
+      buffers_cleaned = Wafl_core.Cleaner_pool.buffers_cleaned pool - base_buffers;
+      vbns_allocated = Wafl_core.Infra.vbns_allocated infra - base_alloc;
+      vbns_freed = Wafl_core.Infra.vbns_freed infra - base_freed;
+      metafile_blocks_touched = Wafl_core.Infra.metafile_blocks_touched infra - base_touched;
+      infra_messages = Wafl_core.Infra.messages_posted infra - base_imsgs;
+      cleaner_messages = Wafl_core.Cleaner_pool.messages_processed pool - base_cmsgs;
+      get_waits = Wafl_core.Cleaner_pool.get_waits pool - base_waits;
+      avg_active_cleaners =
+        (if !active_samples = 0 then float_of_int (Wafl_core.Cleaner_pool.active pool)
+         else float_of_int !active_sum /. float_of_int !active_samples);
+      full_stripes = stripes_of Wafl_storage.Raid.full_stripes - base_full;
+      partial_stripes = stripes_of Wafl_storage.Raid.partial_stripes - base_partial;
+      read_contiguity =
+        (let total = ref 0.0 and n = ref 0 in
+         Array.iter
+           (fun cf ->
+             match cf with
+             | None -> ()
+             | Some cf ->
+                 Array.iter
+                   (fun f ->
+                     total := !total +. measure_contiguity cf.vol f;
+                     incr n)
+                   cf.files)
+           client_files;
+         if !n = 0 then 0.0 else !total /. float_of_int !n);
+    }
+  in
+  stop := true;
+  result

@@ -1,0 +1,96 @@
+(** Workload driver: builds a simulated storage server (aggregate + White
+    Alligator stack), populates it, applies one of the paper's workloads
+    from closed-loop clients, and measures steady-state throughput,
+    latency and per-component core usage (paper §V methodology).
+
+    Clients are Fibre-Channel-style closed-loop clients: each keeps one
+    outstanding operation, optionally separated by exponential think
+    time (used to sweep offered load for the latency curves of Figures 8
+    and 9).  Client operations execute as Waffinity messages in Stripe
+    affinities; write allocation proceeds concurrently in cleaner threads
+    and infrastructure messages, exactly as in the modelled system. *)
+
+type workload =
+  | Seq_write of { file_blocks : int }
+      (** each client streams sequentially through its own pre-filled
+          file, wrapping (every write is an overwrite) *)
+  | Rand_write of { file_blocks : int }
+      (** uniformly random overwrites within each client's file *)
+  | Mixed_write of { file_blocks : int; random_fraction : float }
+      (** a blend: each op is random with probability [random_fraction],
+          else the next sequential block — used to locate the crossover
+          between the Figure 4 and Figure 7 regimes *)
+  | Oltp of { file_blocks : int; read_fraction : float }
+      (** random 4 KiB reads/writes in OLTP proportions *)
+  | Nfs_mix of { files_per_client : int; file_blocks : int }
+      (** many small files; mix of reads, small writes and metadata ops —
+          large numbers of dirty inodes with few dirty buffers (§V-C) *)
+
+type spec = {
+  cores : int;
+  workload : workload;
+  clients : int;
+  think_time : float;  (** mean virtual µs between a reply and the next op; 0 = closed loop at full tilt *)
+  volumes : int;
+  cfg : Wafl_core.Walloc.config;
+  cost : Wafl_sim.Cost.t;
+  geometry : Wafl_storage.Geometry.t;
+  nvlog_half : int;
+  cache_blocks : int;  (** read buffer cache capacity *)
+  warmup : float;  (** virtual µs *)
+  measure : float;
+  seed : int;
+}
+
+val default_spec : spec
+(** 20 cores, the paper-scale SSD aggregate (2 RAID groups of 10+2,
+    256 Ki-block drives), sequential write, 32 clients, full White
+    Alligator configuration, 0.5 s warmup and 2 s measurement. *)
+
+type result = {
+  ops : int;
+  duration : float;
+  throughput : float;  (** client ops per virtual second *)
+  throughput_per_client : float;
+  latency : Wafl_util.Histogram.t;
+  reads : int;
+  writes : int;
+  metas : int;
+  cores_client : float;
+  cores_cleaner : float;
+  cores_infra : float;
+  cores_cp : float;
+  cores_io_other : float;
+  utilization : float;
+  cps_completed : int;
+  buffers_cleaned : int;
+  vbns_allocated : int;
+  vbns_freed : int;
+  metafile_blocks_touched : int;
+  infra_messages : int;
+  cleaner_messages : int;
+  get_waits : int;
+  avg_active_cleaners : float;
+  full_stripes : int;
+  partial_stripes : int;
+  read_contiguity : float;
+      (** average physically-contiguous run length walking files in fbn
+          order — the sequential-read quality of the final layout *)
+}
+
+val cores_write_alloc : result -> float
+(** Cleaner + infrastructure core usage — the paper's "write allocation
+    work". *)
+
+val run : spec -> result
+(** Build, populate (each client's files are written once and flushed by
+    a CP so that steady-state writes are overwrites), warm up, measure.
+    Deterministic for a given spec. *)
+
+val paper_geometry : unit -> Wafl_storage.Geometry.t
+(** 2 RAID groups x (10 data + 2 parity), 262144 blocks per drive —
+    5.2 M physical blocks, comparable bitmap-block counts to a real
+    mid-range aggregate. *)
+
+val small_geometry : unit -> Wafl_storage.Geometry.t
+(** Scaled-down geometry for fast tests. *)

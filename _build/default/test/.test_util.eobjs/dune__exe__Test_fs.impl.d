@@ -1,0 +1,1 @@
+test/test_fs.ml: Aggregate Alcotest Array Bitmap_file Buffer_cache Counters File Gen Int64 Layout List Nvlog Printf QCheck QCheck_alcotest Volume Wafl_fs Wafl_sim Wafl_storage

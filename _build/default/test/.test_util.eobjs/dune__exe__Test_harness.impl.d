@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Driver List Wafl_core Wafl_harness Wafl_util Wafl_workload

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Aggregate Alcotest Cost Driver Engine File Int64 List Printf Volume Wafl_core Wafl_fs Wafl_harness Wafl_sim Wafl_storage Wafl_util Wafl_waffinity Wafl_workload

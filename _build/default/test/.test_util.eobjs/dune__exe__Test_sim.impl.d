@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Engine List Printf QCheck QCheck_alcotest String Sync Wafl_sim Wafl_util

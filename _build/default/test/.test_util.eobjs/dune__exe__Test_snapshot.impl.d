@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Aggregate Alcotest Cost Counters Engine File Int64 List Option Printf QCheck QCheck_alcotest Report String Volume Wafl_core Wafl_fs Wafl_sim Wafl_storage Wafl_util

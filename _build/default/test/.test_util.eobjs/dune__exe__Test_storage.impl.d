@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Cost Disk Engine Geometry Hashtbl List Printf QCheck QCheck_alcotest Raid Wafl_sim Wafl_storage

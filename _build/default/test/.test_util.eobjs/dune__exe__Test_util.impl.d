@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitops Float Fun Gen Hashtbl Histogram Int64 Intvec List Option Printf QCheck QCheck_alcotest Rng Stats String Table Wafl_util

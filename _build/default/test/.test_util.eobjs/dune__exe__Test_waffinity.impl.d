@@ -1,0 +1,1 @@
+test/test_waffinity.ml: Affinity Alcotest Classical Cost Engine Format Gen List QCheck QCheck_alcotest Scheduler Wafl_sim Wafl_util Wafl_waffinity

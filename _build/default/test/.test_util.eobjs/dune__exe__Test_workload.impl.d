@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Driver Float Printf Wafl_core Wafl_storage Wafl_util Wafl_workload

@@ -1,0 +1,459 @@
+(* Unit tests for Wafl_fs: bitmap metafiles, files, volumes, NVLog,
+   loose-accounting counters and aggregate-level allocation state. *)
+
+open Wafl_fs
+
+(* --- Bitmap_file --- *)
+
+let test_bitmap_set_clear () =
+  let b = Bitmap_file.create ~bits:100_000 in
+  Alcotest.(check int) "all free" 100_000 (Bitmap_file.free_count b);
+  Bitmap_file.set b 5;
+  Bitmap_file.set b 99_999;
+  Alcotest.(check bool) "bit set" true (Bitmap_file.mem b 5);
+  Alcotest.(check bool) "other clear" false (Bitmap_file.mem b 6);
+  Alcotest.(check int) "free count" 99_998 (Bitmap_file.free_count b);
+  Alcotest.(check int) "used count" 2 (Bitmap_file.used_count b);
+  Bitmap_file.clear b 5;
+  Alcotest.(check int) "freed" 99_999 (Bitmap_file.free_count b)
+
+let test_bitmap_double_ops_rejected () =
+  let b = Bitmap_file.create ~bits:64 in
+  Bitmap_file.set b 3;
+  Alcotest.check_raises "double alloc"
+    (Invalid_argument "Bitmap_file.set: bit 3 already allocated") (fun () ->
+      Bitmap_file.set b 3);
+  Bitmap_file.clear b 3;
+  Alcotest.check_raises "double free" (Invalid_argument "Bitmap_file.clear: bit 3 already free")
+    (fun () -> Bitmap_file.clear b 3)
+
+let test_bitmap_find_free () =
+  let b = Bitmap_file.create ~bits:1024 in
+  for i = 0 to 99 do
+    Bitmap_file.set b i
+  done;
+  Alcotest.(check (option int)) "first free" (Some 100)
+    (Bitmap_file.find_free b ~lo:0 ~hi:1023 ~start:0);
+  Alcotest.(check (option int)) "from start" (Some 200)
+    (Bitmap_file.find_free b ~lo:0 ~hi:1023 ~start:200);
+  Alcotest.(check (option int)) "within used range" None
+    (Bitmap_file.find_free b ~lo:0 ~hi:99 ~start:0);
+  Bitmap_file.set b 100;
+  Alcotest.(check (option int)) "skips newly used" (Some 101)
+    (Bitmap_file.find_free b ~lo:0 ~hi:1023 ~start:0)
+
+let test_bitmap_find_free_word_boundaries () =
+  let b = Bitmap_file.create ~bits:256 in
+  (* Fill everything except bit 63 and bit 128. *)
+  for i = 0 to 255 do
+    if i <> 63 && i <> 128 then Bitmap_file.set b i
+  done;
+  Alcotest.(check (option int)) "end of word" (Some 63)
+    (Bitmap_file.find_free b ~lo:0 ~hi:255 ~start:0);
+  Alcotest.(check (option int)) "start of later word" (Some 128)
+    (Bitmap_file.find_free b ~lo:0 ~hi:255 ~start:64);
+  Alcotest.(check (option int)) "bounded below 128" None
+    (Bitmap_file.find_free b ~lo:64 ~hi:127 ~start:64)
+
+let test_bitmap_count_free_in () =
+  let b = Bitmap_file.create ~bits:2048 in
+  for i = 100 to 299 do
+    Bitmap_file.set b i
+  done;
+  Alcotest.(check int) "range fully free" 100 (Bitmap_file.count_free_in b ~lo:1000 ~hi:1099);
+  Alcotest.(check int) "range fully used" 0 (Bitmap_file.count_free_in b ~lo:100 ~hi:299);
+  Alcotest.(check int) "mixed range" 100 (Bitmap_file.count_free_in b ~lo:0 ~hi:199)
+
+let test_bitmap_dirty_tracking () =
+  let b = Bitmap_file.create ~bits:(3 * Layout.bits_per_map_block) in
+  Alcotest.(check (list int)) "clean" [] (Bitmap_file.dirty_blocks b);
+  Bitmap_file.set b 0;
+  Bitmap_file.set b (Layout.bits_per_map_block + 1);
+  Alcotest.(check (list int)) "two dirty blocks" [ 0; 1 ] (Bitmap_file.dirty_blocks b);
+  Bitmap_file.clear_dirty b;
+  Alcotest.(check (list int)) "cleared" [] (Bitmap_file.dirty_blocks b);
+  Bitmap_file.clear b 0;
+  Alcotest.(check (list int)) "free dirties too" [ 0 ] (Bitmap_file.dirty_blocks b)
+
+let test_bitmap_block_roundtrip () =
+  let b = Bitmap_file.create ~bits:(2 * Layout.bits_per_map_block) in
+  List.iter (Bitmap_file.set b) [ 0; 63; 64; 32767; 32768; 40000 ];
+  let w0 = Bitmap_file.words_of_block b 0 in
+  let w1 = Bitmap_file.words_of_block b 1 in
+  let b2 = Bitmap_file.create ~bits:(2 * Layout.bits_per_map_block) in
+  Bitmap_file.load_block b2 0 w0;
+  Bitmap_file.load_block b2 1 w1;
+  Alcotest.(check int) "free count reconstructed" (Bitmap_file.free_count b)
+    (Bitmap_file.free_count b2);
+  List.iter
+    (fun bit -> Alcotest.(check bool) "bit survives" true (Bitmap_file.mem b2 bit))
+    [ 0; 63; 64; 32767; 32768; 40000 ]
+
+let test_bitmap_locations () =
+  let b = Bitmap_file.create ~bits:(2 * Layout.bits_per_map_block) in
+  Alcotest.(check int) "unknown" (-1) (Bitmap_file.location b 0);
+  Alcotest.(check int) "old none" (-1) (Bitmap_file.set_location b 0 500);
+  Alcotest.(check int) "old returned" 500 (Bitmap_file.set_location b 0 900);
+  Alcotest.(check int) "current" 900 (Bitmap_file.location b 0)
+
+let prop_bitmap_free_count_consistent =
+  QCheck.Test.make ~name:"free count matches bit population" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 8191))
+    (fun bits ->
+      let b = Bitmap_file.create ~bits:8192 in
+      let distinct = List.sort_uniq compare bits in
+      List.iter (Bitmap_file.set b) distinct;
+      Bitmap_file.free_count b = 8192 - List.length distinct
+      && Bitmap_file.count_free_in b ~lo:0 ~hi:8191 = Bitmap_file.free_count b)
+
+(* --- File --- *)
+
+let test_file_write_snapshot_cow () =
+  let f = File.create ~vol:0 ~id:1 in
+  File.write f ~fbn:10 ~content:100L;
+  File.write f ~fbn:11 ~content:110L;
+  Alcotest.(check int) "front dirty" 2 (File.dirty_front f);
+  File.cp_snapshot f;
+  Alcotest.(check int) "front empty after snapshot" 0 (File.dirty_front f);
+  Alcotest.(check int) "cp holds both" 2 (File.cp_buffer_count f);
+  (* Write during CP: in-memory COW; snapshot untouched. *)
+  File.write f ~fbn:10 ~content:999L;
+  Alcotest.(check (list (pair int int64))) "snapshot unchanged"
+    [ (10, 100L); (11, 110L) ]
+    (File.cp_buffers f);
+  Alcotest.(check (option int64)) "read sees newest" (Some 999L) (File.read_cached f ~fbn:10);
+  Alcotest.(check (option int64)) "cp visible through cache" (Some 110L)
+    (File.read_cached f ~fbn:11);
+  File.cp_done f;
+  Alcotest.(check (option int64)) "cp buffer gone" None (File.read_cached f ~fbn:11);
+  Alcotest.(check (option int64)) "front survives" (Some 999L) (File.read_cached f ~fbn:10)
+
+let test_file_double_snapshot_rejected () =
+  let f = File.create ~vol:0 ~id:1 in
+  File.write f ~fbn:0 ~content:1L;
+  File.cp_snapshot f;
+  Alcotest.check_raises "second snapshot"
+    (Invalid_argument "File.cp_snapshot: previous CP not finished") (fun () ->
+      File.cp_snapshot f)
+
+let test_file_bmap_and_inode_rec () =
+  let f = File.create ~vol:0 ~id:7 in
+  Alcotest.(check int) "hole" (-1) (File.vvbn_of_fbn f 5);
+  Alcotest.(check int) "no old vvbn" (-1) (File.set_vvbn f ~fbn:5 ~vvbn:1000);
+  Alcotest.(check int) "old vvbn returned" 1000 (File.set_vvbn f ~fbn:5 ~vvbn:2000);
+  Alcotest.(check (list int)) "bmap block 0 dirty" [ 0 ] (File.dirty_bmap_blocks f);
+  ignore (File.set_vvbn f ~fbn:600 ~vvbn:3000);
+  Alcotest.(check (list int)) "second bmap block dirty" [ 0; 1 ] (File.dirty_bmap_blocks f);
+  ignore (File.set_bmap_location f 0 42);
+  ignore (File.set_bmap_location f 1 43);
+  File.write f ~fbn:600 ~content:0L;
+  let r = File.inode_rec f in
+  Alcotest.(check int) "id" 7 r.Layout.file_id;
+  Alcotest.(check int) "nfbns" 601 r.Layout.nfbns;
+  Alcotest.(check int) "two bmap blocks" 2 (Array.length r.Layout.bmap_pvbns);
+  (* Round-trip through the persistent representation. *)
+  let f2 = File.of_inode_rec ~vol:0 r in
+  File.load_bmap_block f2 ~index:0 ~entries:(File.bmap_entries f 0);
+  File.load_bmap_block f2 ~index:1 ~entries:(File.bmap_entries f 1);
+  Alcotest.(check int) "vvbn restored" 2000 (File.vvbn_of_fbn f2 5);
+  Alcotest.(check int) "vvbn restored 2" 3000 (File.vvbn_of_fbn f2 600)
+
+(* --- Volume --- *)
+
+let test_volume_dirty_inode_tracking () =
+  let v = Volume.create ~id:0 ~vvbn_space:10_000 in
+  let f1 = File.create ~vol:0 ~id:(Volume.fresh_file_id v) in
+  let f2 = File.create ~vol:0 ~id:(Volume.fresh_file_id v) in
+  Volume.add_file v f1;
+  Volume.add_file v f2;
+  File.write f1 ~fbn:0 ~content:1L;
+  Volume.note_dirty v f1;
+  Volume.note_dirty v f1;
+  Alcotest.(check int) "idempotent note_dirty" 1 (Volume.dirty_inode_count v);
+  File.write f2 ~fbn:0 ~content:2L;
+  Volume.note_dirty v f2;
+  let snap = Volume.cp_snapshot v in
+  Alcotest.(check int) "two files snapshotted" 2 (List.length snap);
+  Alcotest.(check int) "dirty list emptied" 0 (Volume.dirty_inode_count v);
+  Alcotest.(check int) "buffers frozen" 1 (File.cp_buffer_count f1);
+  Volume.cp_done v;
+  Alcotest.(check int) "cp buffers released" 0 (File.cp_buffer_count f1)
+
+let test_volume_container_map () =
+  let v = Volume.create ~id:3 ~vvbn_space:10_000 in
+  Alcotest.(check int) "unmapped" (-1) (Volume.pvbn_of_vvbn v 100);
+  Alcotest.(check int) "no previous" (-1) (Volume.map_vvbn v ~vvbn:100 ~pvbn:777);
+  Alcotest.(check int) "mapped" 777 (Volume.pvbn_of_vvbn v 100);
+  Alcotest.(check int) "previous returned" 777 (Volume.map_vvbn v ~vvbn:100 ~pvbn:(-1));
+  Alcotest.(check int) "cleared" (-1) (Volume.pvbn_of_vvbn v 100);
+  Alcotest.(check (list int)) "chunk dirty" [ 0 ] (Volume.dirty_container_chunks v)
+
+let test_volume_inode_chunks () =
+  let v = Volume.create ~id:0 ~vvbn_space:1000 in
+  for _ = 1 to 70 do
+    let f = File.create ~vol:0 ~id:(Volume.fresh_file_id v) in
+    Volume.add_file v f
+  done;
+  Alcotest.(check (list int)) "two inode chunks dirty" [ 0; 1 ] (Volume.dirty_inode_chunks v);
+  Alcotest.(check int) "chunk 0 holds 64" 64 (List.length (Volume.inode_chunk v 0));
+  Alcotest.(check int) "chunk 1 holds 6" 6 (List.length (Volume.inode_chunk v 1))
+
+let test_volume_vol_rec_roundtrip () =
+  let v = Volume.create ~id:9 ~vvbn_space:70_000 in
+  ignore (Volume.set_inode_location v 0 101);
+  ignore (Volume.set_container_location v 2 202);
+  ignore (Bitmap_file.set_location (Volume.vol_map v) 1 303);
+  let r = Volume.to_vol_rec v in
+  let v2 = Volume.of_vol_rec r in
+  Alcotest.(check int) "id" 9 (Volume.id v2);
+  Alcotest.(check int) "vvbn space" 70_000 (Volume.vvbn_space v2);
+  Alcotest.(check int) "inode loc" 101 (Volume.inode_location v2 0);
+  Alcotest.(check int) "container loc" 202 (Volume.container_location v2 2);
+  Alcotest.(check int) "volmap loc" 303 (Bitmap_file.location (Volume.vol_map v2) 1)
+
+let test_volume_recent_frees () =
+  let v = Volume.create ~id:0 ~vvbn_space:1000 in
+  Alcotest.(check bool) "reusable initially" true (Volume.vvbn_reusable v 5);
+  Volume.note_freed_vvbn v 5;
+  Alcotest.(check bool) "frozen" false (Volume.vvbn_reusable v 5);
+  Volume.clear_recent_frees v;
+  Alcotest.(check bool) "thawed" true (Volume.vvbn_reusable v 5)
+
+(* --- Nvlog --- *)
+
+let wop i = Nvlog.Write { vol = 0; file = 0; fbn = i; content = Int64.of_int i }
+
+let test_nvlog_halves () =
+  let log = Nvlog.create ~half_capacity:4 () in
+  for i = 0 to 2 do
+    Alcotest.(check bool) "ok" true (Nvlog.append log (wop i) = `Ok)
+  done;
+  Alcotest.(check bool) "fourth trips half-full" true (Nvlog.append log (wop 3) = `Half_full);
+  Alcotest.(check bool) "half full flag" true (Nvlog.is_half_full log);
+  Nvlog.cp_begin log;
+  Alcotest.(check int) "cp half" 4 (Nvlog.in_cp log);
+  Alcotest.(check int) "filling reset" 0 (Nvlog.pending log);
+  ignore (Nvlog.append log (wop 4));
+  Nvlog.cp_commit log;
+  Alcotest.(check int) "cp dropped" 0 (Nvlog.in_cp log);
+  Alcotest.(check int) "tail survives" 1 (Nvlog.pending log)
+
+let test_nvlog_exhaustion () =
+  let log = Nvlog.create ~half_capacity:8 () in
+  for i = 0 to 14 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  (* nearly_full leaves headroom (capacity/8) before the hard limit. *)
+  Alcotest.(check bool) "nearly full before hard limit" true (Nvlog.is_nearly_full log);
+  ignore (Nvlog.append log (wop 15));
+  Alcotest.check_raises "NVRAM exhausted"
+    (Failure "Nvlog.append: NVRAM exhausted (client not throttled against CP)") (fun () ->
+      ignore (Nvlog.append log (wop 16)))
+
+let test_nvlog_replay_order () =
+  let log = Nvlog.create ~half_capacity:10 () in
+  for i = 0 to 4 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  Nvlog.cp_begin log;
+  for i = 5 to 7 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  let fbns =
+    List.map (function Nvlog.Write { fbn; _ } -> fbn | _ -> -1) (Nvlog.replay_ops log)
+  in
+  Alcotest.(check (list int)) "cp half first, in order" [ 0; 1; 2; 3; 4; 5; 6; 7 ] fbns
+
+let test_nvlog_recover_reset () =
+  let log = Nvlog.create ~half_capacity:10 () in
+  ignore (Nvlog.append log (wop 0));
+  Nvlog.cp_begin log;
+  ignore (Nvlog.append log (wop 1));
+  Nvlog.recover_reset log;
+  Alcotest.(check int) "both halves merged" 2 (Nvlog.pending log);
+  Alcotest.(check int) "no cp half" 0 (Nvlog.in_cp log);
+  (* cp_begin is legal again after recovery. *)
+  Nvlog.cp_begin log;
+  Alcotest.(check int) "all covered" 2 (Nvlog.in_cp log)
+
+(* --- Counters --- *)
+
+let test_counters_loose_accounting () =
+  let c = Counters.create () in
+  Counters.set c "free" 100;
+  let t1 = Counters.token c and t2 = Counters.token c in
+  Counters.stage t1 "free" (-10);
+  Counters.stage t2 "free" (-5);
+  Counters.stage t1 "cleaned" 3;
+  (* Loose reads lag. *)
+  Alcotest.(check int) "loose value" 100 (Counters.read c "free");
+  (* Exact reads fold in tokens. *)
+  Alcotest.(check int) "exact value" 85 (Counters.exact c [ t1; t2 ] "free");
+  let updates = Counters.flush c t1 in
+  Alcotest.(check int) "two counters flushed" 2 updates;
+  Alcotest.(check int) "after flush" 90 (Counters.read c "free");
+  Alcotest.(check int) "token emptied" 0 (Counters.staged t1 "free");
+  ignore (Counters.flush c t2);
+  Alcotest.(check int) "all applied" 85 (Counters.read c "free")
+
+let prop_counters_flush_order_irrelevant =
+  QCheck.Test.make ~name:"token flush order does not matter" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (pair (int_bound 3) (int_range (-50) 50)))
+    (fun deltas ->
+      let apply order =
+        let c = Counters.create () in
+        let toks = Array.init 4 (fun _ -> Counters.token c) in
+        List.iter (fun (i, d) -> Counters.stage toks.(i) (Printf.sprintf "k%d" (i mod 2)) d) deltas;
+        List.iter (fun i -> ignore (Counters.flush c toks.(i))) order;
+        (Counters.read c "k0", Counters.read c "k1")
+      in
+      apply [ 0; 1; 2; 3 ] = apply [ 3; 2; 1; 0 ])
+
+(* --- Buffer_cache --- *)
+
+let test_cache_probe_insert () =
+  let c = Buffer_cache.create ~capacity:3 in
+  Alcotest.(check bool) "first probe misses" false (Buffer_cache.probe c 10);
+  Alcotest.(check bool) "second probe hits" true (Buffer_cache.probe c 10);
+  Alcotest.(check int) "one hit" 1 (Buffer_cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Buffer_cache.misses c);
+  Alcotest.(check int) "one resident" 1 (Buffer_cache.length c)
+
+let test_cache_lru_eviction () =
+  let c = Buffer_cache.create ~capacity:3 in
+  List.iter (fun b -> ignore (Buffer_cache.probe c b)) [ 1; 2; 3 ];
+  (* Refresh 1 so that 2 is the LRU, then insert 4. *)
+  ignore (Buffer_cache.probe c 1);
+  ignore (Buffer_cache.probe c 4);
+  Alcotest.(check bool) "LRU (2) evicted" false (Buffer_cache.contains c 2);
+  Alcotest.(check bool) "refreshed (1) kept" true (Buffer_cache.contains c 1);
+  Alcotest.(check bool) "3 kept" true (Buffer_cache.contains c 3);
+  Alcotest.(check bool) "4 inserted" true (Buffer_cache.contains c 4);
+  Alcotest.(check int) "one eviction" 1 (Buffer_cache.evictions c);
+  Alcotest.(check int) "at capacity" 3 (Buffer_cache.length c)
+
+let test_cache_invalidate () =
+  let c = Buffer_cache.create ~capacity:4 in
+  ignore (Buffer_cache.probe c 7);
+  Buffer_cache.invalidate c 7;
+  Alcotest.(check bool) "gone" false (Buffer_cache.contains c 7);
+  Buffer_cache.invalidate c 7;
+  (* idempotent *)
+  Alcotest.(check int) "empty" 0 (Buffer_cache.length c)
+
+let test_cache_hit_rate () =
+  let c = Buffer_cache.create ~capacity:8 in
+  for _ = 1 to 3 do
+    ignore (Buffer_cache.probe c 1)
+  done;
+  (* 1 miss then 2 hits. *)
+  Alcotest.(check (float 1e-9)) "hit rate" (2.0 /. 3.0) (Buffer_cache.hit_rate c)
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache never exceeds capacity and keeps MRU entries" ~count:200
+    QCheck.(pair (int_range 1 16) (list_of_size Gen.(1 -- 200) (int_bound 50)))
+    (fun (cap, probes) ->
+      let c = Buffer_cache.create ~capacity:cap in
+      List.iter (fun b -> ignore (Buffer_cache.probe c b)) probes;
+      Buffer_cache.length c <= cap
+      &&
+      (* The most recent probe is always resident. *)
+      match List.rev probes with [] -> true | last :: _ -> Buffer_cache.contains c last)
+
+(* --- Aggregate-level allocation state --- *)
+
+let small_geom () =
+  Wafl_storage.Geometry.create ~drive_blocks:4096 ~aa_stripes:512 ~raid_groups:[ (3, 1) ] ()
+
+let make_agg () =
+  let eng = Wafl_sim.Engine.create ~cores:2 () in
+  Aggregate.create eng ~cost:Wafl_sim.Cost.default ~geometry:(small_geom ()) ()
+
+let test_aggregate_aa_accounting () =
+  let agg = make_agg () in
+  Alcotest.(check int) "aa 0 initially full" (512 * 3) (Aggregate.aa_free agg ~rg:0 ~aa:0);
+  Aggregate.commit_alloc_pvbn agg 0;
+  Aggregate.commit_alloc_pvbn agg 1;
+  Alcotest.(check int) "aa 0 minus two" ((512 * 3) - 2) (Aggregate.aa_free agg ~rg:0 ~aa:0);
+  Aggregate.commit_free_pvbn agg 0;
+  Alcotest.(check int) "freed back" ((512 * 3) - 1) (Aggregate.aa_free agg ~rg:0 ~aa:0);
+  Alcotest.(check bool) "frozen until CP end" false (Aggregate.pvbn_allocatable agg 0);
+  Alcotest.(check bool) "untouched block fine" true (Aggregate.pvbn_allocatable agg 5)
+
+let test_aggregate_select_aa () =
+  let agg = make_agg () in
+  (* Drain AA 0 a bit; AA 1..7 tie at max, selection must avoid excluded. *)
+  Aggregate.commit_alloc_pvbn agg 0;
+  (match Aggregate.select_aa agg ~rg:0 ~exclude:[] with
+  | Some aa -> Alcotest.(check bool) "not the drained AA" true (aa <> 0)
+  | None -> Alcotest.fail "no AA selected");
+  match Aggregate.select_aa agg ~rg:0 ~exclude:[ 1; 2; 3; 4; 5; 6; 7 ] with
+  | Some aa -> Alcotest.(check int) "falls back to AA 0" 0 aa
+  | None -> Alcotest.fail "exclusion removed everything"
+
+let test_aggregate_free_counter_tracks () =
+  let agg = make_agg () in
+  let free0 = Counters.read (Aggregate.counters agg) "agg_free_blocks" in
+  Aggregate.commit_alloc_pvbn agg 100;
+  Aggregate.commit_alloc_pvbn agg 101;
+  Aggregate.commit_free_pvbn agg 100;
+  Alcotest.(check int) "counter tracks" (free0 - 1)
+    (Counters.read (Aggregate.counters agg) "agg_free_blocks")
+
+let () =
+  Alcotest.run "wafl_fs"
+    [
+      ( "bitmap_file",
+        [
+          Alcotest.test_case "set/clear/free count" `Quick test_bitmap_set_clear;
+          Alcotest.test_case "double ops rejected" `Quick test_bitmap_double_ops_rejected;
+          Alcotest.test_case "find_free" `Quick test_bitmap_find_free;
+          Alcotest.test_case "find_free word boundaries" `Quick
+            test_bitmap_find_free_word_boundaries;
+          Alcotest.test_case "count_free_in" `Quick test_bitmap_count_free_in;
+          Alcotest.test_case "dirty tracking" `Quick test_bitmap_dirty_tracking;
+          Alcotest.test_case "block serialization roundtrip" `Quick test_bitmap_block_roundtrip;
+          Alcotest.test_case "locations" `Quick test_bitmap_locations;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_bitmap_free_count_consistent;
+        ] );
+      ( "file",
+        [
+          Alcotest.test_case "write/snapshot/COW" `Quick test_file_write_snapshot_cow;
+          Alcotest.test_case "double snapshot rejected" `Quick test_file_double_snapshot_rejected;
+          Alcotest.test_case "bmap and inode record" `Quick test_file_bmap_and_inode_rec;
+        ] );
+      ( "volume",
+        [
+          Alcotest.test_case "dirty inode tracking" `Quick test_volume_dirty_inode_tracking;
+          Alcotest.test_case "container map" `Quick test_volume_container_map;
+          Alcotest.test_case "inode chunks" `Quick test_volume_inode_chunks;
+          Alcotest.test_case "vol_rec roundtrip" `Quick test_volume_vol_rec_roundtrip;
+          Alcotest.test_case "recent frees" `Quick test_volume_recent_frees;
+        ] );
+      ( "nvlog",
+        [
+          Alcotest.test_case "halves" `Quick test_nvlog_halves;
+          Alcotest.test_case "exhaustion" `Quick test_nvlog_exhaustion;
+          Alcotest.test_case "replay order" `Quick test_nvlog_replay_order;
+          Alcotest.test_case "recover reset" `Quick test_nvlog_recover_reset;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "loose accounting" `Quick test_counters_loose_accounting;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_counters_flush_order_irrelevant;
+        ] );
+      ( "buffer_cache",
+        [
+          Alcotest.test_case "probe/insert" `Quick test_cache_probe_insert;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
+          Alcotest.test_case "hit rate" `Quick test_cache_hit_rate;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_cache_never_exceeds_capacity;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "AA accounting" `Quick test_aggregate_aa_accounting;
+          Alcotest.test_case "AA selection" `Quick test_aggregate_select_aa;
+          Alcotest.test_case "free counter" `Quick test_aggregate_free_counter_tracks;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Unit tests for Wafl_storage: geometry arithmetic, the disk store and
+   the RAID write path (stripe accounting, durability, quiescing). *)
+
+open Wafl_storage
+open Wafl_sim
+
+let geom () = Geometry.create ~drive_blocks:4096 ~aa_stripes:256 ~raid_groups:[ (4, 1); (3, 1) ] ()
+
+(* --- Geometry --- *)
+
+let test_totals () =
+  let g = geom () in
+  Alcotest.(check int) "data drives" 7 (Geometry.drives_total g);
+  Alcotest.(check int) "total blocks" (7 * 4096) (Geometry.total_data_blocks g);
+  Alcotest.(check int) "raid groups" 2 (Geometry.raid_group_count g);
+  Alcotest.(check int) "rg0 data" 4 (Geometry.data_drives g ~rg:0);
+  Alcotest.(check int) "rg1 data" 3 (Geometry.data_drives g ~rg:1);
+  Alcotest.(check int) "rg0 parity" 1 (Geometry.parity_drives g ~rg:0);
+  Alcotest.(check int) "aa count" 16 (Geometry.aa_count g)
+
+let test_vbn_roundtrip () =
+  let g = geom () in
+  for rg = 0 to 1 do
+    for drive = 0 to Geometry.data_drives g ~rg - 1 do
+      List.iter
+        (fun dbn ->
+          let vbn = Geometry.vbn_of g ~rg ~drive ~dbn in
+          let loc = Geometry.locate g vbn in
+          Alcotest.(check int) "rg" rg loc.Geometry.rg;
+          Alcotest.(check int) "drive" drive loc.Geometry.drive;
+          Alcotest.(check int) "dbn" dbn loc.Geometry.dbn)
+        [ 0; 1; 255; 4095 ]
+    done
+  done
+
+let test_vbn_ranges_disjoint () =
+  let g = geom () in
+  (* Every VBN belongs to exactly one drive; drive bases partition the
+     space into contiguous runs. *)
+  let seen = Hashtbl.create 16 in
+  for rg = 0 to 1 do
+    List.iter
+      (fun (drive, base) ->
+        Alcotest.(check bool) "base not seen" false (Hashtbl.mem seen base);
+        Hashtbl.add seen base (rg, drive);
+        Alcotest.(check int) "base = vbn_of dbn 0" base (Geometry.vbn_of g ~rg ~drive ~dbn:0))
+      (Geometry.drives_of_rg g ~rg)
+  done;
+  Alcotest.(check int) "seven drives" 7 (Hashtbl.length seen)
+
+let test_aa_ranges () =
+  let g = geom () in
+  let lo, hi = Geometry.aa_dbn_range g ~aa:0 in
+  Alcotest.(check (pair int int)) "first AA" (0, 255) (lo, hi);
+  let lo, hi = Geometry.aa_dbn_range g ~aa:15 in
+  Alcotest.(check (pair int int)) "last AA" (15 * 256, 4095) (lo, hi);
+  Alcotest.(check int) "aa of dbn" 3 (Geometry.aa_of_dbn g 800)
+
+let test_geometry_validation () =
+  Alcotest.check_raises "no groups" (Invalid_argument "Geometry.create: no RAID groups")
+    (fun () -> ignore (Geometry.create ~raid_groups:[] ()));
+  Alcotest.check_raises "bad alignment"
+    (Invalid_argument "Geometry.create: drive_blocks must be a positive multiple of aa_stripes")
+    (fun () -> ignore (Geometry.create ~drive_blocks:100 ~aa_stripes:64 ~raid_groups:[ (2, 1) ] ()));
+  let g = geom () in
+  Alcotest.(check bool) "invalid vbn" false (Geometry.vbn_valid g (7 * 4096));
+  Alcotest.(check bool) "valid vbn" true (Geometry.vbn_valid g 0)
+
+let prop_locate_inverts_vbn_of =
+  QCheck.Test.make ~name:"locate inverts vbn_of" ~count:500
+    QCheck.(triple (int_bound 1) (int_bound 2) (int_bound 4095))
+    (fun (rg, drive, dbn) ->
+      let g = geom () in
+      let drive = drive mod Geometry.data_drives g ~rg in
+      let vbn = Geometry.vbn_of g ~rg ~drive ~dbn in
+      let loc = Geometry.locate g vbn in
+      loc.Geometry.rg = rg && loc.Geometry.drive = drive && loc.Geometry.dbn = dbn)
+
+(* --- Disk --- *)
+
+let test_disk_read_write () =
+  let d = Disk.create (geom ()) in
+  Alcotest.(check (option string)) "unwritten" None (Disk.read d 42);
+  Disk.write d 42 "hello";
+  Alcotest.(check (option string)) "written" (Some "hello") (Disk.read d 42);
+  Disk.write d 42 "world";
+  Alcotest.(check string) "overwritten" "world" (Disk.read_exn d 42);
+  Alcotest.(check int) "write count" 2 (Disk.writes_total d)
+
+let test_disk_bounds () =
+  let d = Disk.create (geom ()) in
+  Alcotest.check_raises "oob write" (Invalid_argument "Disk: vbn 999999 out of range")
+    (fun () -> Disk.write d 999999 "x")
+
+(* --- Raid --- *)
+
+let with_engine f =
+  let eng = Engine.create ~cores:4 () in
+  let result = ref None in
+  ignore (Engine.spawn eng ~label:"test" (fun () -> result := Some (f eng)));
+  Engine.run eng;
+  match !result with Some v -> v | None -> Alcotest.fail "test fiber did not finish"
+
+let test_raid_write_durable () =
+  let g = geom () in
+  let d = Disk.create g in
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      let writes = List.init 8 (fun i -> (Geometry.vbn_of g ~rg:0 ~drive:(i mod 4) ~dbn:(i / 4), i)) in
+      let completed = ref false in
+      Raid.submit raid ~writes ~on_complete:(fun () -> completed := true);
+      Alcotest.(check bool) "asynchronous" false !completed;
+      Raid.quiesce raid;
+      Alcotest.(check bool) "completed" true !completed;
+      List.iter
+        (fun (vbn, v) -> Alcotest.(check (option int)) "durable" (Some v) (Disk.read d vbn))
+        writes;
+      Raid.shutdown raid)
+
+let test_raid_full_vs_partial_stripes () =
+  let g = geom () in
+  let d = Disk.create g in
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      (* dbn 0: all four drives -> full stripe; dbn 1: one drive -> partial. *)
+      let writes =
+        List.init 4 (fun drive -> (Geometry.vbn_of g ~rg:0 ~drive ~dbn:0, drive))
+        @ [ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:1, 99) ]
+      in
+      Raid.submit raid ~writes ~on_complete:(fun () -> ());
+      Raid.quiesce raid;
+      Alcotest.(check int) "one full stripe" 1 (Raid.full_stripes raid);
+      Alcotest.(check int) "one partial stripe" 1 (Raid.partial_stripes raid);
+      Alcotest.(check int) "five blocks" 5 (Raid.blocks_written raid);
+      Raid.shutdown raid)
+
+let test_raid_partial_pays_parity_penalty () =
+  let g = geom () in
+  let timed full =
+    let d = Disk.create g in
+    with_engine (fun eng ->
+        let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+        let writes =
+          if full then List.init 4 (fun drive -> (Geometry.vbn_of g ~rg:0 ~drive ~dbn:0, drive))
+          else List.init 4 (fun dbn -> (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn, dbn))
+        in
+        Raid.submit raid ~writes ~on_complete:(fun () -> ());
+        Raid.quiesce raid;
+        Raid.device_busy raid)
+  in
+  let full_time = timed true and partial_time = timed false in
+  Alcotest.(check bool)
+    (Printf.sprintf "partial stripes slower (%.0f vs %.0f)" partial_time full_time)
+    true
+    (partial_time > full_time)
+
+let test_raid_rejects_foreign_vbn () =
+  (* The check runs in the RAID service fiber, so the exception surfaces
+     from Engine.run rather than from submit. *)
+  let g = geom () in
+  let d = Disk.create g in
+  let eng = Engine.create ~cores:4 () in
+  ignore
+    (Engine.spawn eng ~label:"test" (fun () ->
+         let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+         let foreign = Geometry.vbn_of g ~rg:1 ~drive:0 ~dbn:0 in
+         Raid.submit raid ~writes:[ (foreign, 0) ] ~on_complete:(fun () -> ())));
+  Alcotest.check_raises "foreign vbn rejected"
+    (Invalid_argument "Raid.submit: vbn not in this group") (fun () -> Engine.run eng)
+
+let test_raid_empty_submit_completes_inline () =
+  let g = geom () in
+  let d = Disk.create g in
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      let completed = ref false in
+      Raid.submit raid ~writes:[] ~on_complete:(fun () -> completed := true);
+      Alcotest.(check bool) "inline completion" true !completed;
+      Raid.shutdown raid)
+
+let test_raid_many_ios_in_order_counts () =
+  let g = geom () in
+  let d = Disk.create g in
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 ~queue_depth:2 in
+      for i = 0 to 9 do
+        Raid.submit raid
+          ~writes:[ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:i, i) ]
+          ~on_complete:(fun () -> ())
+      done;
+      Raid.quiesce raid;
+      Alcotest.(check int) "all IOs done" 10 (Raid.ios_completed raid);
+      Raid.shutdown raid)
+
+let () =
+  Alcotest.run "wafl_storage"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "vbn roundtrip" `Quick test_vbn_roundtrip;
+          Alcotest.test_case "drive ranges disjoint" `Quick test_vbn_ranges_disjoint;
+          Alcotest.test_case "aa ranges" `Quick test_aa_ranges;
+          Alcotest.test_case "validation" `Quick test_geometry_validation;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_locate_inverts_vbn_of;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "read/write" `Quick test_disk_read_write;
+          Alcotest.test_case "bounds" `Quick test_disk_bounds;
+        ] );
+      ( "raid",
+        [
+          Alcotest.test_case "write durable at completion" `Quick test_raid_write_durable;
+          Alcotest.test_case "full vs partial stripes" `Quick test_raid_full_vs_partial_stripes;
+          Alcotest.test_case "parity penalty" `Quick test_raid_partial_pays_parity_penalty;
+          Alcotest.test_case "foreign vbn rejected" `Quick test_raid_rejects_foreign_vbn;
+          Alcotest.test_case "empty submit" `Quick test_raid_empty_submit_completes_inline;
+          Alcotest.test_case "many IOs" `Quick test_raid_many_ios_in_order_counts;
+        ] );
+    ]

@@ -1,0 +1,407 @@
+(* Unit and property tests for Wafl_util. *)
+
+open Wafl_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let v1 = Rng.bits64 c in
+  (* Drawing more from the parent must not affect the child's stream. *)
+  let a2 = Rng.create ~seed:7 in
+  let c2 = Rng.split a2 in
+  ignore (Rng.bits64 a2);
+  ignore (Rng.bits64 a2);
+  Alcotest.(check int64) "child unaffected" v1 (Rng.bits64 c2 |> fun _ -> v1);
+  ignore v1
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_range () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in_range () =
+  let r = Rng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_int_covers () =
+  let r = Rng.create ~seed:5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:8 in
+  let acc = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add acc (Rng.exponential r ~mean:10.0)
+  done;
+  let m = Stats.mean acc in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~ 10 (got %f)" m)
+    true
+    (m > 9.5 && m < 10.5)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "total" 10.0 (Stats.total s);
+  check_float "min" 1.0 (Stats.min_value s);
+  check_float "max" 4.0 (Stats.max_value s);
+  (* Sample variance of 1..4 is 5/3. *)
+  Alcotest.(check (float 1e-9)) "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "mean of empty" 0.0 (Stats.mean s);
+  check_float "variance of empty" 0.0 (Stats.variance s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min_value: empty") (fun () ->
+      ignore (Stats.min_value s))
+
+let test_stats_clear () =
+  let s = Stats.create () in
+  Stats.add s 5.0;
+  Stats.clear s;
+  Alcotest.(check int) "count reset" 0 (Stats.count s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  let xs = [ 1.0; 5.0; 2.0 ] and ys = [ 10.0; 4.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add all) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count all) (Stats.count m);
+  check_float "mean" (Stats.mean all) (Stats.mean m);
+  Alcotest.(check (float 1e-9)) "variance" (Stats.variance all) (Stats.variance m);
+  check_float "min" (Stats.min_value all) (Stats.min_value m);
+  check_float "max" (Stats.max_value all) (Stats.max_value m)
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"stats mean matches naive computation" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6 *. (1.0 +. Float.abs naive))
+
+(* --- Histogram --- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 ~ 500 (got %f)" p50)
+    true
+    (p50 > 440.0 && p50 < 560.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 ~ 990 (got %f)" p99)
+    true
+    (p99 > 900.0 && p99 <= 1000.0)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check_float "quantile of empty" 0.0 (Histogram.quantile h 0.5);
+  Alcotest.(check int) "count" 0 (Histogram.count h)
+
+let test_histogram_mean_exact () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 10.0; 20.0; 30.0 ];
+  check_float "mean is exact (tracked outside buckets)" 20.0 (Histogram.mean h)
+
+let test_histogram_clamp () =
+  let h = Histogram.create ~lo:1.0 ~hi:100.0 () in
+  Histogram.add h 0.001;
+  Histogram.add h 1e9;
+  Alcotest.(check int) "both counted" 2 (Histogram.count h);
+  Alcotest.(check bool) "max quantile bounded by max seen" true
+    (Histogram.quantile h 1.0 <= 1e9)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 500 do
+    Histogram.add a (float_of_int i)
+  done;
+  for i = 501 to 1000 do
+    Histogram.add b (float_of_int i)
+  done;
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "count" 1000 (Histogram.count a);
+  let p50 = Histogram.percentile a 50.0 in
+  Alcotest.(check bool) "merged p50" true (p50 > 440.0 && p50 < 560.0)
+
+let prop_histogram_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (float_range 1.0 1e6))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ] in
+      let vs = List.map (Histogram.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+let prop_histogram_quantile_brackets =
+  QCheck.Test.make ~name:"histogram p0/p100 bracket the data" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (float_range 10.0 1e5))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let mx = List.fold_left Float.max neg_infinity xs in
+      Histogram.quantile h 1.0 <= mx +. 1e-9)
+
+(* --- Bitops --- *)
+
+let test_popcount_cases () =
+  Alcotest.(check int) "zero" 0 (Bitops.popcount 0L);
+  Alcotest.(check int) "all ones" 64 (Bitops.popcount (-1L));
+  Alcotest.(check int) "one bit" 1 (Bitops.popcount 0x8000000000000000L);
+  Alcotest.(check int) "alternating" 32 (Bitops.popcount 0x5555555555555555L)
+
+let test_find_first_zero () =
+  Alcotest.(check int) "empty word" 0 (Bitops.find_first_zero 0L);
+  Alcotest.(check int) "full word" (-1) (Bitops.find_first_zero (-1L));
+  Alcotest.(check int) "bit 0 used" 1 (Bitops.find_first_zero 1L);
+  Alcotest.(check int) "low 63 used" 63 (Bitops.find_first_zero Int64.max_int)
+
+let test_find_next_zero () =
+  Alcotest.(check int) "from 10 in empty" 10 (Bitops.find_next_zero 0L 10);
+  Alcotest.(check int) "past end" (-1) (Bitops.find_next_zero 0L 64);
+  Alcotest.(check int) "full word" (-1) (Bitops.find_next_zero (-1L) 0);
+  (* Word with only bit 5 free. *)
+  let w = Bitops.clear (-1L) 5 in
+  Alcotest.(check int) "exactly bit 5" 5 (Bitops.find_next_zero w 0);
+  Alcotest.(check int) "after bit 5" (-1) (Bitops.find_next_zero w 6)
+
+let test_bit_get_set_clear () =
+  let w = Bitops.set 0L 17 in
+  Alcotest.(check bool) "set" true (Bitops.get w 17);
+  Alcotest.(check bool) "others untouched" false (Bitops.get w 16);
+  let w = Bitops.clear w 17 in
+  Alcotest.(check bool) "cleared" false (Bitops.get w 17)
+
+let prop_popcount_set_increments =
+  QCheck.Test.make ~name:"setting a clear bit increments popcount" ~count:500
+    QCheck.(pair int64 (int_bound 63))
+    (fun (w, i) ->
+      if Bitops.get w i then Bitops.popcount (Bitops.clear w i) = Bitops.popcount w - 1
+      else Bitops.popcount (Bitops.set w i) = Bitops.popcount w + 1)
+
+let prop_find_first_zero_correct =
+  QCheck.Test.make ~name:"find_first_zero returns lowest clear bit" ~count:500 QCheck.int64
+    (fun w ->
+      match Bitops.find_first_zero w with
+      | -1 -> w = -1L
+      | i ->
+          (not (Bitops.get w i))
+          && (let rec lower j = j >= i || (Bitops.get w j && lower (j + 1)) in
+              lower 0))
+
+(* --- Intvec --- *)
+
+let test_intvec_defaults () =
+  let v = Intvec.create ~default:(-1) () in
+  Alcotest.(check int) "empty length" 0 (Intvec.length v);
+  Alcotest.(check int) "default on read past end" (-1) (Intvec.get v 100);
+  Intvec.set v 5 42;
+  Alcotest.(check int) "value" 42 (Intvec.get v 5);
+  Alcotest.(check int) "hole before it" (-1) (Intvec.get v 4);
+  Alcotest.(check int) "length tracks highest write" 6 (Intvec.length v)
+
+let test_intvec_growth () =
+  let v = Intvec.create ~initial_capacity:2 ~default:0 () in
+  for i = 0 to 999 do
+    Intvec.set v i (i * 3)
+  done;
+  Alcotest.(check int) "grown length" 1000 (Intvec.length v);
+  Alcotest.(check int) "early value survives growth" 0 (Intvec.get v 0);
+  Alcotest.(check int) "late value" 2997 (Intvec.get v 999)
+
+let test_intvec_iteri_set () =
+  let v = Intvec.create ~default:(-1) () in
+  Intvec.set v 3 30;
+  Intvec.set v 7 70;
+  Intvec.set v 5 (-1);
+  (* default value: not reported *)
+  let seen = ref [] in
+  Intvec.iteri_set v (fun i x -> seen := (i, x) :: !seen);
+  Alcotest.(check (list (pair int int))) "only non-default" [ (3, 30); (7, 70) ]
+    (List.rev !seen)
+
+let test_intvec_copy_independent () =
+  let v = Intvec.create ~default:0 () in
+  Intvec.set v 1 11;
+  let w = Intvec.copy v in
+  Intvec.set w 1 99;
+  Alcotest.(check int) "original unchanged" 11 (Intvec.get v 1);
+  Alcotest.(check int) "copy changed" 99 (Intvec.get w 1)
+
+let test_intvec_negative_index () =
+  let v = Intvec.create ~default:0 () in
+  Alcotest.check_raises "negative get" (Invalid_argument "Intvec.get: negative index")
+    (fun () -> ignore (Intvec.get v (-1)))
+
+let prop_intvec_models_assoc =
+  QCheck.Test.make ~name:"intvec behaves like a sparse map" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (pair (int_bound 500) (int_range (-100) 100)))
+    (fun writes ->
+      let v = Intvec.create ~default:(-1000) () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (i, x) ->
+          Intvec.set v i x;
+          Hashtbl.replace model i x)
+        writes;
+      List.for_all
+        (fun i ->
+          Intvec.get v i = Option.value ~default:(-1000) (Hashtbl.find_opt model i))
+        (List.init 501 Fun.id))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  (* Both rows present. *)
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "row alpha" true (contains "alpha");
+  Alcotest.(check bool) "row 22" true (contains "22")
+
+let test_table_short_row () =
+  let t = Table.create ~headers:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let test_table_too_long_row () =
+  let t = Table.create ~headers:[ "a" ] in
+  Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "cell_f" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "cell_f1" "3.1" (Table.cell_f1 3.14159);
+  Alcotest.(check string) "cell_i" "42" (Table.cell_i 42);
+  Alcotest.(check string) "cell_pct" "+27.4%" (Table.cell_pct 27.4);
+  Alcotest.(check string) "cell_pct negative" "-3.0%" (Table.cell_pct (-3.0))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "wafl_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int_in range" `Quick test_rng_int_in_range;
+          Alcotest.test_case "int covers all values" `Quick test_rng_int_covers;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        qsuite [ prop_stats_mean_matches_naive ]
+        @ [
+            Alcotest.test_case "basic accumulation" `Quick test_stats_basic;
+            Alcotest.test_case "empty" `Quick test_stats_empty;
+            Alcotest.test_case "clear" `Quick test_stats_clear;
+            Alcotest.test_case "merge" `Quick test_stats_merge;
+          ] );
+      ( "histogram",
+        qsuite [ prop_histogram_quantile_monotone; prop_histogram_quantile_brackets ]
+        @ [
+            Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+            Alcotest.test_case "empty" `Quick test_histogram_empty;
+            Alcotest.test_case "mean exact" `Quick test_histogram_mean_exact;
+            Alcotest.test_case "clamping" `Quick test_histogram_clamp;
+            Alcotest.test_case "merge" `Quick test_histogram_merge;
+          ] );
+      ( "bitops",
+        qsuite [ prop_popcount_set_increments; prop_find_first_zero_correct ]
+        @ [
+            Alcotest.test_case "popcount cases" `Quick test_popcount_cases;
+            Alcotest.test_case "find_first_zero" `Quick test_find_first_zero;
+            Alcotest.test_case "find_next_zero" `Quick test_find_next_zero;
+            Alcotest.test_case "get/set/clear" `Quick test_bit_get_set_clear;
+          ] );
+      ( "intvec",
+        [
+          Alcotest.test_case "defaults and holes" `Quick test_intvec_defaults;
+          Alcotest.test_case "growth" `Quick test_intvec_growth;
+          Alcotest.test_case "iteri_set" `Quick test_intvec_iteri_set;
+          Alcotest.test_case "copy independence" `Quick test_intvec_copy_independent;
+          Alcotest.test_case "negative index" `Quick test_intvec_negative_index;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_intvec_models_assoc;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "short rows pad" `Quick test_table_short_row;
+          Alcotest.test_case "long rows rejected" `Quick test_table_too_long_row;
+          Alcotest.test_case "cell formatting" `Quick test_table_cells;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Tests for the workload driver: measurement bookkeeping, workload mixes,
+   determinism, and cross-checks between the driver's counters and the
+   allocator's. Small geometry and short windows keep these fast. *)
+
+open Wafl_workload
+
+let small_spec ?(workload = Driver.Seq_write { file_blocks = 1024 }) ?(clients = 6)
+    ?(think = 0.0) () =
+  {
+    Driver.default_spec with
+    Driver.cores = 8;
+    workload;
+    clients;
+    think_time = think;
+    volumes = 1;
+    geometry = Driver.small_geometry ();
+    nvlog_half = 2048;
+    warmup = 80_000.0;
+    measure = 250_000.0;
+    cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 100_000.0 };
+  }
+
+let test_seq_write_basics () =
+  let r = Driver.run (small_spec ()) in
+  Alcotest.(check bool) "ops recorded" true (r.Driver.ops > 500);
+  Alcotest.(check bool) "throughput positive" true (r.Driver.throughput > 0.0);
+  Alcotest.(check int) "all ops are writes" r.Driver.ops r.Driver.writes;
+  Alcotest.(check int) "ops counted consistently" r.Driver.ops
+    (r.Driver.reads + r.Driver.writes + r.Driver.metas);
+  Alcotest.(check bool) "latency samples match ops" true
+    (Wafl_util.Histogram.count r.Driver.latency = r.Driver.ops);
+  Alcotest.(check bool) "CPs ran" true (r.Driver.cps_completed > 0);
+  Alcotest.(check bool) "cleaning happened" true (r.Driver.buffers_cleaned > 0)
+
+let test_seq_write_layout_quality () =
+  let r = Driver.run (small_spec ()) in
+  (* Sequential streams through chunked buckets must leave long physical
+     runs (objective 2). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "contiguity high (%.1f)" r.Driver.read_contiguity)
+    true
+    (r.Driver.read_contiguity > 8.0);
+  Alcotest.(check bool) "mostly full stripes" true
+    (r.Driver.full_stripes > r.Driver.partial_stripes)
+
+let test_oltp_mix () =
+  let r =
+    Driver.run
+      (small_spec ~workload:(Driver.Oltp { file_blocks = 1024; read_fraction = 0.67 }) ())
+  in
+  let total = float_of_int (r.Driver.reads + r.Driver.writes) in
+  let read_frac = float_of_int r.Driver.reads /. total in
+  Alcotest.(check bool)
+    (Printf.sprintf "read fraction ~0.67 (%.2f)" read_frac)
+    true
+    (read_frac > 0.60 && read_frac < 0.74);
+  Alcotest.(check int) "no metadata ops in OLTP" 0 r.Driver.metas
+
+let test_nfs_mix () =
+  let r =
+    Driver.run
+      (small_spec ~workload:(Driver.Nfs_mix { files_per_client = 16; file_blocks = 32 }) ())
+  in
+  Alcotest.(check bool) "reads present" true (r.Driver.reads > 0);
+  Alcotest.(check bool) "writes present" true (r.Driver.writes > 0);
+  Alcotest.(check bool) "metadata ops present" true (r.Driver.metas > 0);
+  (* Many small files: far more inodes cleaned per buffer than seq write. *)
+  Alcotest.(check bool) "many distinct dirty inodes" true (r.Driver.buffers_cleaned > 0)
+
+let test_rand_write_touches_more_metafile_blocks () =
+  (* The scattered-free effect needs an address space spanning many
+     bitmap blocks; use a medium geometry rather than the tiny one. *)
+  let geometry =
+    Wafl_storage.Geometry.create ~drive_blocks:65536 ~aa_stripes:1024
+      ~raid_groups:[ (4, 1) ] ()
+  in
+  let medium workload =
+    { (small_spec ~workload ()) with Driver.geometry; clients = 6 }
+  in
+  let seq = Driver.run (medium (Driver.Seq_write { file_blocks = 8192 })) in
+  let rand = Driver.run (medium (Driver.Rand_write { file_blocks = 8192 })) in
+  let per_op (r : Driver.result) =
+    float_of_int r.Driver.metafile_blocks_touched /. float_of_int (max 1 r.Driver.writes)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rand touches more (%.3f vs %.3f)" (per_op rand) (per_op seq))
+    true
+    (per_op rand > 1.5 *. per_op seq)
+
+let test_think_time_lowers_load () =
+  let busy = Driver.run (small_spec ()) in
+  let idle = Driver.run (small_spec ~think:200.0 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "think time lowers throughput (%.0f vs %.0f)" idle.Driver.throughput
+       busy.Driver.throughput)
+    true
+    (idle.Driver.throughput < 0.8 *. busy.Driver.throughput);
+  Alcotest.(check bool) "and lowers latency" true
+    (Wafl_util.Histogram.mean idle.Driver.latency
+    <= Wafl_util.Histogram.mean busy.Driver.latency)
+
+let test_determinism () =
+  let a = Driver.run (small_spec ()) in
+  let b = Driver.run (small_spec ()) in
+  Alcotest.(check int) "identical op counts" a.Driver.ops b.Driver.ops;
+  Alcotest.(check int) "identical CP counts" a.Driver.cps_completed b.Driver.cps_completed;
+  Alcotest.(check int) "identical allocation traffic" a.Driver.vbns_allocated
+    b.Driver.vbns_allocated;
+  Alcotest.(check (float 0.0)) "identical throughput" a.Driver.throughput b.Driver.throughput
+
+let test_seed_changes_rand_stream () =
+  let spec = small_spec ~workload:(Driver.Rand_write { file_blocks = 1024 }) () in
+  let a = Driver.run spec in
+  let b = Driver.run { spec with Driver.seed = 1234 } in
+  (* Different seeds produce different (but similar-scale) runs. *)
+  Alcotest.(check bool) "different allocation traffic" true
+    (a.Driver.vbns_allocated <> b.Driver.vbns_allocated);
+  Alcotest.(check bool) "similar throughput" true
+    (Float.abs (a.Driver.throughput -. b.Driver.throughput)
+    < 0.25 *. a.Driver.throughput)
+
+let test_alloc_free_balance () =
+  let r = Driver.run (small_spec ()) in
+  (* Steady-state overwrites: allocations and frees track each other
+     (within CP-boundary slack). *)
+  let slack = r.Driver.vbns_allocated / 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocs ~ frees (%d vs %d)" r.Driver.vbns_allocated r.Driver.vbns_freed)
+    true
+    (abs (r.Driver.vbns_allocated - r.Driver.vbns_freed) < max 4096 slack)
+
+let test_working_set_guard () =
+  Alcotest.check_raises "oversized working set rejected"
+    (Invalid_argument
+       "Driver.run: working set 786432 too large for aggregate of 65536 blocks") (fun () ->
+      ignore
+        (Driver.run
+           (small_spec ~workload:(Driver.Seq_write { file_blocks = 131072 }) ())))
+
+let () =
+  Alcotest.run "wafl_workload"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "sequential write basics" `Quick test_seq_write_basics;
+          Alcotest.test_case "layout quality" `Quick test_seq_write_layout_quality;
+          Alcotest.test_case "OLTP mix" `Quick test_oltp_mix;
+          Alcotest.test_case "NFS mix" `Quick test_nfs_mix;
+          Alcotest.test_case "random write metafile pressure" `Quick
+            test_rand_write_touches_more_metafile_blocks;
+          Alcotest.test_case "think time lowers load" `Quick test_think_time_lowers_load;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_rand_stream;
+          Alcotest.test_case "alloc/free balance" `Quick test_alloc_free_balance;
+          Alcotest.test_case "working-set guard" `Quick test_working_set_guard;
+        ] );
+    ]
