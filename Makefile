@@ -1,0 +1,23 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full gate: build everything, run the whole test suite, then a 5-seed
+# crash-harness smoke (random fault plans, crash, recover, fsck,
+# acknowledged-write verification).
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/wafl_sim.exe -- crash --seeds 5
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

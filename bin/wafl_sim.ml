@@ -138,6 +138,42 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
   Printf.printf "stripes        %d full, %d partial\n" r.Driver.full_stripes
     r.Driver.partial_stripes
 
+(* --- randomized crash-point harness --- *)
+
+let crash_run seeds first_seed ops fbn_space horizon verbose =
+  let outcomes =
+    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~first_seed ~count:seeds ()
+  in
+  if verbose then
+    List.iter
+      (fun (o : H.Crash.outcome) ->
+        Printf.printf
+          "seed %-5d crash %8.0fus %-14s cps %-3d acked %-5d torn %d degraded %b lost %d%s\n"
+          o.H.Crash.seed o.H.Crash.crash_time o.H.Crash.cp_phase o.H.Crash.cps_before_crash
+          o.H.Crash.acked o.H.Crash.torn o.H.Crash.disk_failure_active o.H.Crash.lost
+          (match o.H.Crash.fsck_failure with Some m -> " fsck:" ^ m | None -> ""))
+      outcomes;
+  print_string (H.Crash.summarize outcomes);
+  if List.for_all H.Crash.passed outcomes then `Ok ()
+  else `Error (false, "some seeds lost acknowledged writes or failed fsck")
+
+let crash_cmd =
+  let doc =
+    "Randomized crash-point testing: for each seed, run a write workload under a seeded \
+     fault plan (media errors, transient I/O failures, disk loss, torn NVRAM tail), crash \
+     at a plan-chosen virtual instant, recover and verify that fsck passes and no \
+     acknowledged write was lost."
+  in
+  let seeds = Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to run.") in
+  let first_seed = Arg.(value & opt int 1 & info [ "first-seed" ] ~docv:"N" ~doc:"First seed (seeds are consecutive).") in
+  let ops = Arg.(value & opt int 100_000 & info [ "ops" ] ~docv:"N" ~doc:"Cap on client operations per seed.") in
+  let fbn_space = Arg.(value & opt int 700 & info [ "fbn-space" ] ~docv:"N" ~doc:"Distinct file blocks written per file.") in
+  let horizon = Arg.(value & opt float 60_000.0 & info [ "horizon" ] ~docv:"US" ~doc:"Virtual-time horizon; the crash lands in its back 70%.") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print one line per seed.") in
+  Cmd.v (Cmd.info "crash" ~doc)
+    Term.(
+      ret (const crash_run $ seeds $ first_seed $ ops $ fbn_space $ horizon $ verbose))
+
 let run_cmd =
   let doc = "Run one ad-hoc configuration and print its measurements." in
   let workload =
@@ -176,4 +212,5 @@ let () =
             run_experiment "crossover" crossover;
             run_experiment "all" all;
             run_cmd;
+            crash_cmd;
           ]))

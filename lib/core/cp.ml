@@ -467,7 +467,107 @@ let serial_metafile_pass t =
     aggmap_assigned;
   (!written, !passes)
 
+(* --- repair of failed writes (fault injection) -------------------------- *)
+
+let meta_ref_of_payload = function
+  | Layout.Bmap { vol; file; index; _ } -> Some (Aggregate.Bmap_block { vol; file; index })
+  | Layout.Inode_chunk { vol; index; _ } -> Some (Aggregate.Inode_chunk { vol; index })
+  | Layout.Container { vol; index; _ } -> Some (Aggregate.Container_chunk { vol; index })
+  | Layout.Vol_map { vol; index; _ } -> Some (Aggregate.Vol_map_chunk { vol; index })
+  | Layout.Agg_map { index; _ } -> Some (Aggregate.Agg_map_chunk { index })
+  | Layout.Data _ -> None
+
+(* Free a pvbn whose write failed, unless something else already released
+   it (the mapping moved on within this CP). *)
+let repair_free t old_pvbn =
+  if old_pvbn >= 0 && Bitmap_file.mem (Aggregate.agg_map t.agg) old_pvbn then begin
+    Engine.consume t.cost.Cost.bitmap_bit_update;
+    Aggregate.commit_free_pvbn t.agg old_pvbn
+  end
+
+(* After the io-flush quiesce, writes the RAID layer failed permanently
+   (bad sector, transient retries exhausted) are re-allocated at fresh
+   pvbns and re-submitted before the superblock is published, so the
+   commit-point invariant — the superblock only references durable
+   blocks — holds under injected faults.  Frees from this CP are frozen
+   until publish, so each round draws genuinely fresh pvbns and a bad
+   sector is never retried in place; relocations re-dirty metafile
+   blocks, which another serial metafile pass flushes.  Iterates because
+   the re-submitted writes can fail too. *)
+let repair_failed_writes t =
+  let repaired = ref 0 in
+  let rounds = ref 0 in
+  let continue_rounds = ref true in
+  while !continue_rounds do
+    let failed =
+      Array.fold_left
+        (fun acc raid -> acc @ Wafl_storage.Raid.take_failed raid)
+        []
+        (Aggregate.raid_groups t.agg)
+    in
+    if failed = [] then continue_rounds := false
+    else begin
+      incr rounds;
+      if !rounds > 16 then failwith "Cp: write repair did not converge";
+      List.iter
+        (fun (old_pvbn, payload) ->
+          match payload with
+          | Layout.Data { vol; file; fbn; content = _ } -> (
+              (* Re-map the vvbn only if it still points at the failed
+                 location; otherwise just make sure the pvbn is not
+                 leaked. *)
+              match Aggregate.volume t.agg vol with
+              | None -> repair_free t old_pvbn
+              | Some v -> (
+                  match Volume.file v file with
+                  | None -> repair_free t old_pvbn
+                  | Some f ->
+                      let vvbn = File.vvbn_of_fbn f fbn in
+                      if vvbn >= 0 && Volume.pvbn_of_vvbn v vvbn = old_pvbn then begin
+                        let pvbn = serial_alloc_pvbn t in
+                        ignore (Volume.map_vvbn v ~vvbn ~pvbn);
+                        serial_enqueue_write t pvbn payload;
+                        incr repaired
+                      end;
+                      repair_free t old_pvbn))
+          | meta -> (
+              match meta_ref_of_payload meta with
+              | Some ref_ when Aggregate.meta_location t.agg ref_ = old_pvbn ->
+                  let pvbn = serial_alloc_pvbn t in
+                  ignore (Aggregate.meta_set_location t.agg ref_ pvbn);
+                  repair_free t old_pvbn;
+                  (* Serialize after the location change so the payload
+                     embeds the new location (bmap moves re-dirty the
+                     inode chunk; the metafile pass below rewrites it). *)
+                  serial_enqueue_write t pvbn (Aggregate.meta_payload t.agg ref_);
+                  incr repaired
+              | _ -> repair_free t old_pvbn))
+        failed;
+      (* Flush re-dirtied metafile blocks (activemap bits, relocated bmap
+         locations) and push everything to disk before re-checking. *)
+      ignore (serial_metafile_pass t);
+      serial_flush_io t;
+      Array.iter Wafl_storage.Raid.quiesce (Aggregate.raid_groups t.agg)
+    end
+  done;
+  if !repaired > 0 then
+    Counters.add (Aggregate.counters t.agg) "cp_repaired_writes" !repaired;
+  !repaired
+
 (* --- the CP itself ------------------------------------------------------ *)
+
+(* Test-only chaos hook: publish the superblock before the io-flush
+   quiesce and write repair, deliberately breaking the commit-point
+   ordering.  The crash harness must catch the resulting data loss when
+   a crash lands in the publish-to-quiesce window — proof that its
+   oracle has teeth. *)
+let chaos_publish_before_quiesce = ref false
+
+let publish_commit t =
+  Engine.consume t.cost.Cost.cp_fixed;
+  let sb = Aggregate.make_superblock t.agg in
+  Engine.sleep t.cost.Cost.device_base_latency;
+  Aggregate.publish_superblock t.agg sb
 
 let run_cp t =
   let started = Engine.now t.eng in
@@ -503,6 +603,7 @@ let run_cp t =
             serial_metafile_pass t)
       in
       Engine.set_label t.eng "cp";
+      if !chaos_publish_before_quiesce then publish_commit t;
       t.phase <- "io-flush";
       serial_flush_io t;
       Array.iter Wafl_storage.Raid.quiesce (Aggregate.raid_groups t.agg);
@@ -536,6 +637,7 @@ let run_cp t =
       Engine.set_label t.eng "cp";
       t.phase <- "quiesce-commits-2";
       Infra.quiesce_commits t.infra;
+      if !chaos_publish_before_quiesce then publish_commit t;
       (* Phase 4: push out all remaining buffered blocks and wait for
          durability. *)
       t.phase <- "io-flush";
@@ -544,11 +646,13 @@ let run_cp t =
       result
     end
   in
+  (* Phase 4.5: re-allocate writes the RAID layer failed permanently, so
+     the superblock published next only references durable blocks. *)
+  t.phase <- "repair";
+  ignore (repair_failed_writes t);
   (* Phase 5: the atomic commit. *)
-  Engine.consume t.cost.Cost.cp_fixed;
-  let sb = Aggregate.make_superblock t.agg in
-  Engine.sleep t.cost.Cost.device_base_latency;
-  Aggregate.publish_superblock t.agg sb;
+  if not !chaos_publish_before_quiesce then publish_commit t;
+  Aggregate.refresh_fault_counters t.agg;
   t.n_cps <- t.n_cps + 1;
   t.last_duration <- Engine.now t.eng -. started;
   t.last_buffers <- !buffers_total;

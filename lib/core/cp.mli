@@ -40,6 +40,14 @@ val run_now : t -> unit
 (** Fiber context: request a CP and park until one full CP (snapshotting
     state at least as new as now) has committed. *)
 
+val chaos_publish_before_quiesce : bool ref
+(** Test-only chaos hook: when set, the CP publishes the superblock
+    {e before} the io-flush quiesce and failed-write repair — a
+    deliberately broken commit ordering.  A crash landing in the
+    publish-to-quiesce window then loses acknowledged writes, which the
+    randomized crash harness must detect (negative control proving the
+    harness oracle works).  Never set outside tests. *)
+
 val running : t -> bool
 
 val phase : t -> string

@@ -148,6 +148,32 @@ let write t ~vol ~file ~fbn ~content =
 
 let buffer_cache t = t.cache
 
+(* All on-disk reads funnel through the RAID read path so that latent
+   media errors and degraded groups are handled (reconstruction from the
+   parity model) instead of silently returning the stored payload. *)
+let read_pvbn t pvbn =
+  let loc = Geometry.locate t.geom pvbn in
+  match Raid.read t.raids.(loc.Geometry.rg) pvbn with
+  | `Ok p -> Some p
+  | `Degraded p -> Some p
+  | `Absent -> None
+  | `Lost ->
+      raise
+        (Corruption
+           (Printf.sprintf "pvbn %d unrecoverable: media error in a degraded RAID group" pvbn))
+
+(* Mirror the fault-plan counters into the global counter table so
+   operators and tests read them through Counters / Report. *)
+let refresh_fault_counters t =
+  match Disk.fault t.pers.p_disk with
+  | None -> ()
+  | Some f ->
+      Counters.set t.counters "media_errors" (Fault.media_errors_seen f);
+      Counters.set t.counters "degraded_reads" (Fault.degraded_reads f);
+      Counters.set t.counters "transient_retries" (Fault.transient_retries f);
+      Counters.set t.counters "rebuild_blocks" (Fault.rebuild_blocks f);
+      Counters.set t.counters "unrecoverable_reads" (Fault.unrecoverable_reads f)
+
 (* Like [read] but reports whether the on-disk path hit the buffer cache;
    the caller charges the miss cost.  [`Buffered] means the block was
    served from a dirty buffer and never reached the disk path. *)
@@ -168,7 +194,7 @@ let read_cached_status t ~vol ~file ~fbn =
                       vol file fbn vvbn))
           | pvbn -> (
               let status = if Buffer_cache.probe t.cache pvbn then `Hit else `Miss in
-              match Disk.read (disk t) pvbn with
+              match read_pvbn t pvbn with
               | Some (Layout.Data d) when d.vol = vol && d.file = file && d.fbn = fbn ->
                   (Some d.content, status)
               | Some _ ->
@@ -320,6 +346,28 @@ let meta_payload t = function
   | Agg_map_chunk { index } ->
       Layout.Agg_map { index; words = Bitmap_file.words_of_block t.agg_map index }
 
+(* Current on-disk location of a metafile block, or -1 when the owning
+   volume/file no longer exists (e.g. deleted between enqueue and a CP
+   repair round) or the block was never placed. *)
+let meta_location t ref_ =
+  match ref_ with
+  | Bmap_block { vol; file; index } -> (
+      match volume t vol with
+      | None -> -1
+      | Some v -> (
+          match Volume.file v file with
+          | None -> -1
+          | Some f -> File.bmap_location f index))
+  | Inode_chunk { vol; index } -> (
+      match volume t vol with None -> -1 | Some v -> Volume.inode_location v index)
+  | Container_chunk { vol; index } -> (
+      match volume t vol with None -> -1 | Some v -> Volume.container_location v index)
+  | Vol_map_chunk { vol; index } -> (
+      match volume t vol with
+      | None -> -1
+      | Some v -> Bitmap_file.location (Volume.vol_map v) index)
+  | Agg_map_chunk { index } -> Bitmap_file.location t.agg_map index
+
 let meta_set_location t ref_ pvbn =
   match ref_ with
   | Bmap_block { vol; file; index } ->
@@ -427,8 +475,11 @@ let delete_snapshot t snap =
 let persist t = t.pers
 let crash t = t.pers
 
-let read_meta_block disk pvbn describe =
-  match Disk.read disk pvbn with
+(* Recovery reads go through the fault-aware RAID path too: a latent
+   media error under a metafile block must be reconstructed, not treated
+   as corruption. *)
+let read_meta_block t pvbn describe =
+  match read_pvbn t pvbn with
   | Some payload -> payload
   | None -> raise (Corruption (Printf.sprintf "recovery: %s at pvbn %d missing" describe pvbn))
 
@@ -511,7 +562,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
       (* Aggregate activemap. *)
       Array.iter
         (fun (idx, pvbn) ->
-          (match read_meta_block pers.p_disk pvbn "aggmap chunk" with
+          (match read_meta_block t pvbn "aggmap chunk" with
           | Layout.Agg_map { index; words } when index = idx ->
               Bitmap_file.load_block t.agg_map idx words
           | _ -> raise (Corruption "recovery: aggmap chunk has wrong payload"));
@@ -525,7 +576,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
           register_volume t v;
           Array.iter
             (fun (idx, pvbn) ->
-              match read_meta_block pers.p_disk pvbn "volmap chunk" with
+              match read_meta_block t pvbn "volmap chunk" with
               | Layout.Vol_map { vol; index; words } when vol = vr.Layout.vol_id && index = idx
                 ->
                   Bitmap_file.load_block (Volume.vol_map v) idx words
@@ -534,7 +585,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
           Bitmap_file.clear_dirty (Volume.vol_map v);
           Array.iter
             (fun (idx, pvbn) ->
-              match read_meta_block pers.p_disk pvbn "container chunk" with
+              match read_meta_block t pvbn "container chunk" with
               | Layout.Container { vol; index; entries }
                 when vol = vr.Layout.vol_id && index = idx ->
                   Volume.load_container_chunk v ~index:idx ~entries
@@ -543,7 +594,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
           Volume.clear_dirty_containers v;
           Array.iter
             (fun (idx, pvbn) ->
-              match read_meta_block pers.p_disk pvbn "inode chunk" with
+              match read_meta_block t pvbn "inode chunk" with
               | Layout.Inode_chunk { vol; index; inodes }
                 when vol = vr.Layout.vol_id && index = idx ->
                   Volume.load_inode_chunk v inodes
@@ -556,7 +607,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
               let rec_ = File.inode_rec f in
               Array.iter
                 (fun (idx, pvbn) ->
-                  match read_meta_block pers.p_disk pvbn "bmap block" with
+                  match read_meta_block t pvbn "bmap block" with
                   | Layout.Bmap { vol; file; index; entries }
                     when vol = vr.Layout.vol_id && file = File.id f && index = idx ->
                       File.load_bmap_block f ~index:idx ~entries
@@ -575,7 +626,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
           let snap_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geom) in
           Array.iter
             (fun (idx, pvbn) ->
-              match read_meta_block pers.p_disk pvbn "snapshot aggmap chunk" with
+              match read_meta_block t pvbn "snapshot aggmap chunk" with
               | Layout.Agg_map { index; words } when index = idx ->
                   Bitmap_file.load_block snap_map idx words
               | _ -> raise (Corruption "recovery: snapshot aggmap chunk has wrong payload"))

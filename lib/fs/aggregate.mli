@@ -76,6 +76,17 @@ val read_cached_status :
 
 val buffer_cache : t -> Buffer_cache.t
 
+val read_pvbn : t -> int -> Layout.block option
+(** Fault-aware physical read: goes through {!Raid.read} so latent media
+    errors and degraded groups are reconstructed from the parity model.
+    Raises {!Corruption} on a double failure ([`Lost]). *)
+
+val refresh_fault_counters : t -> unit
+(** Mirror the attached fault plan's counters ([media_errors],
+    [degraded_reads], [transient_retries], [rebuild_blocks],
+    [unrecoverable_reads]) into {!counters}.  No-op without a fault
+    plan. *)
+
 val wait_for_log_space : t -> unit
 (** Parks while the NVRAM filling half is full and a CP is still running
     (client throttling); returns immediately otherwise. *)
@@ -116,6 +127,12 @@ val take_dirty_meta : t -> meta_ref list
 val meta_payload : t -> meta_ref -> Layout.block
 (** Serialize a metafile block for writing.  Must be called after all
     location assignments of the current pass ({!meta_set_location}). *)
+
+val meta_location : t -> meta_ref -> int
+(** Current on-disk pvbn of a metafile block, or -1 when it was never
+    placed or its owning volume/file no longer exists.  The CP repair
+    phase uses this to check that a failed metafile write is still the
+    current location before re-allocating it. *)
 
 val meta_set_location : t -> meta_ref -> int -> int
 (** Record a metafile block's new pvbn; returns the previous one (-1 if

@@ -10,11 +10,12 @@ type t = {
   mutable filling_len : int;
   mutable cp_half : op list; (* newest first; [] when no CP active *)
   mutable cp_active : bool;
+  mutable torn : int; (* newest filling records torn by a crash *)
 }
 
 let create ?(half_capacity = 16384) () =
   if half_capacity <= 0 then invalid_arg "Nvlog.create: bad capacity";
-  { half_capacity; filling = []; filling_len = 0; cp_half = []; cp_active = false }
+  { half_capacity; filling = []; filling_len = 0; cp_half = []; cp_active = false; torn = 0 }
 
 let append t op =
   if t.filling_len >= 2 * t.half_capacity then
@@ -43,10 +44,35 @@ let cp_commit t =
   t.cp_half <- [];
   t.cp_active <- false
 
-let replay_ops t = List.rev t.cp_half @ List.rev t.filling
+(* Tear the newest [records] of the filling half, as a crash would tear
+   records whose NVRAM DMA was still in flight (their acknowledgements
+   never left the box).  Returns the torn operations, oldest first, so
+   the crash harness can retract those acknowledgements from its oracle. *)
+let tear t ~records =
+  if records < 0 then invalid_arg "Nvlog.tear: negative record count";
+  let k = min records (t.filling_len - t.torn) in
+  let rec take k acc = function
+    | rest when k = 0 -> (acc, rest)
+    | [] -> (acc, [])
+    | op :: rest -> take (k - 1) (op :: acc) rest
+  in
+  let torn_ops, _ = take k [] t.filling in
+  t.torn <- t.torn + k;
+  torn_ops
+
+let torn t = t.torn
+
+let drop_torn t =
+  let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  drop t.torn t.filling
+
+(* Replay stops cleanly at the first torn record: torn records are the
+   newest ones, so the replayable prefix is everything before them. *)
+let replay_ops t = List.rev t.cp_half @ List.rev (drop_torn t)
 
 let recover_reset t =
-  t.filling <- t.filling @ t.cp_half;
+  t.filling <- drop_torn t @ t.cp_half;
   t.filling_len <- List.length t.filling;
+  t.torn <- 0;
   t.cp_half <- [];
   t.cp_active <- false

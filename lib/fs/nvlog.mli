@@ -50,9 +50,21 @@ val cp_begin : t -> unit
 val cp_commit : t -> unit
 (** Discard the CP half after the superblock is durable. *)
 
+val tear : t -> records:int -> op list
+(** Simulate a torn NVRAM tail at crash: the newest [records] operations
+    of the filling half (whose DMA was still in flight — their replies
+    never left the box) become unreadable.  Clamped to the filling half's
+    live length; returns the torn operations oldest-first so the crash
+    harness can retract those acknowledgements from its oracle.
+    {!replay_ops} then stops cleanly at the first torn record instead of
+    replaying garbage, and {!recover_reset} discards them. *)
+
+val torn : t -> int
+(** Records currently torn (0 except between {!tear} and recovery). *)
+
 val replay_ops : t -> op list
-(** All surviving operations in order (CP half first, then filling half);
-    used by crash recovery. *)
+(** All surviving operations in order (CP half first, then the filling
+    half up to the first torn record); used by crash recovery. *)
 
 val recover_reset : t -> unit
 (** After a crash: merge any CP half back into the filling half (that CP

@@ -74,3 +74,25 @@ let allocation_areas agg =
          (List.nth frees (n - 1)))
   done;
   Buffer.contents buf
+
+let faults agg =
+  Aggregate.refresh_fault_counters agg;
+  let buf = Buffer.create 128 in
+  (match Disk.fault (Aggregate.disk agg) with
+  | None -> Buffer.add_string buf "faults: no fault plan attached\n"
+  | Some _ ->
+      let c name = Counters.read (Aggregate.counters agg) name in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "faults: %d media errors, %d transient retries, %d degraded reads, %d rebuilt \
+            blocks, %d unrecoverable\n"
+           (c "media_errors") (c "transient_retries") (c "degraded_reads") (c "rebuild_blocks")
+           (c "unrecoverable_reads"));
+      Array.iter
+        (fun raid ->
+          if Raid.degraded raid then
+            Buffer.add_string buf
+              (Printf.sprintf "  raid group %d: DEGRADED, rebuild %d blocks done\n"
+                 (Raid.rg raid) (Raid.rebuild_blocks raid)))
+        (Aggregate.raid_groups agg));
+  Buffer.contents buf

@@ -13,3 +13,8 @@ val allocation_areas : Aggregate.t -> string
 (** Per-RAID-group occupancy of Allocation Areas (free blocks in the
     emptiest / median / fullest AA) — the state the §IV-D selection
     policy operates on. *)
+
+val faults : Aggregate.t -> string
+(** Fault-injection counters (media errors, transient retries, degraded
+    reads, rebuild progress) and any RAID group currently degraded;
+    refreshes the counters first.  One line when no plan is attached. *)

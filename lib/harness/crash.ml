@@ -1,0 +1,189 @@
+open Wafl_sim
+open Wafl_fs
+module Geometry = Wafl_storage.Geometry
+module Disk = Wafl_storage.Disk
+module Raid = Wafl_storage.Raid
+module Fault = Wafl_storage.Fault
+
+type outcome = {
+  seed : int;
+  crash_time : float;
+  mid_cp : bool;
+  cp_phase : string;
+  cps_before_crash : int;
+  acked : int;
+  torn : int;
+  lost : int;
+  fsck_failure : string option;
+  disk_failure_active : bool;
+  media_errors : int;
+  transient_retries : int;
+  degraded_reads : int;
+  rebuild_blocks : int;
+}
+
+(* Same shape as the integration tests: 2 groups x 3 data drives, small
+   drives so a rebuild completes within a verification run. *)
+let raid_groups = [ (3, 1); (3, 1) ]
+let drive_blocks = 8192
+let geometry () = Geometry.create ~drive_blocks ~aa_stripes:512 ~raid_groups ()
+
+(* Replay the surviving (acknowledged, not torn) operation mirror into
+   the expected state: (vol, file, fbn) -> content. *)
+let expected_state surviving =
+  let expected = Hashtbl.create 4096 in
+  let live = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Nvlog.Create_vol _ -> ()
+      | Nvlog.Create_file { vol; file } -> Hashtbl.replace live (vol, file) ()
+      | Nvlog.Write { vol; file; fbn; content } ->
+          if Hashtbl.mem live (vol, file) then Hashtbl.replace expected (vol, file, fbn) content
+      | Nvlog.Delete_file { vol; file } ->
+          Hashtbl.remove live (vol, file);
+          Hashtbl.filter_map_inplace
+            (fun (v, f, _) c -> if v = vol && f = file then None else Some c)
+            expected)
+    surviving;
+  expected
+
+let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ~seed () =
+  let geom = geometry () in
+  let plan =
+    Fault.random ~seed ~total_vbns:(Geometry.total_data_blocks geom) ~raid_groups ~drive_blocks
+      ~horizon
+  in
+  let eng = Engine.create ~cores:8 () in
+  let agg = Aggregate.create eng ~cost:Cost.default ~geometry:geom ~nvlog_half:2048 () in
+  Disk.set_fault (Aggregate.disk agg) plan;
+  let cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 6_000.0 } in
+  let walloc = Wafl_core.Walloc.create agg cfg in
+  let r = Wafl_util.Rng.create ~seed:(seed lxor 0x2545f491) in
+  (* Ordered mirror of every operation this harness acknowledged (newest
+     first).  The harness is the only nvlog client, so the mirror's tail
+     is exactly the nvlog's tail: the torn records at crash are the
+     newest [torn] entries here. *)
+  let oplog = ref [] in
+  ignore
+    (Engine.spawn eng ~label:"client" (fun () ->
+         let vol = Aggregate.create_volume agg ~vvbn_space:65536 in
+         let vid = Wafl_fs.Volume.id vol in
+         oplog := Nvlog.Create_vol { vol = vid; vvbn_space = 65536 } :: !oplog;
+         Wafl_core.Walloc.register_volume walloc vol;
+         let files =
+           Array.init 4 (fun _ ->
+               let f = Aggregate.create_file agg ~vol:vid in
+               oplog := Nvlog.Create_file { vol = vid; file = File.id f } :: !oplog;
+               File.id f)
+         in
+         let i = ref 0 in
+         while !i < ops && Engine.now eng < horizon do
+           incr i;
+           Aggregate.wait_for_log_space agg;
+           let file = files.(Wafl_util.Rng.int r (Array.length files)) in
+           let fbn = Wafl_util.Rng.int r fbn_space in
+           let content = Int64.of_int ((!i * 131) + (seed * 7) + fbn) in
+           (match Aggregate.write agg ~vol:vid ~file ~fbn ~content with
+           | `Ok -> ()
+           | `Log_half_full -> Wafl_core.Cp.request (Wafl_core.Walloc.cp walloc));
+           (* The reply leaves the box here; the write is acknowledged. *)
+           oplog := Nvlog.Write { vol = vid; file; fbn; content } :: !oplog;
+           Engine.consume 3.0
+         done));
+  let crash_time = Fault.crash_at plan in
+  Engine.run ~until:crash_time eng;
+  let cp = Wafl_core.Walloc.cp walloc in
+  let mid_cp = Wafl_core.Cp.running cp in
+  let cp_phase = Wafl_core.Cp.phase cp in
+  let cps_before_crash = Wafl_core.Cp.cps_completed cp in
+  let disk_failure_active = Array.exists Raid.degraded (Aggregate.raid_groups agg) in
+  (* The crash tears the scheduled NVRAM tail: those records' DMA was in
+     flight, so their acknowledgements never left the box — retract them
+     from the oracle. *)
+  let torn_ops = Nvlog.tear (Aggregate.nvlog agg) ~records:(Fault.torn_tail plan) in
+  let torn = List.length torn_ops in
+  let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  let surviving = List.rev (drop torn !oplog) in
+  let expected = expected_state surviving in
+  let pers = Aggregate.crash agg in
+  let lost = ref 0 in
+  let fsck_failure = ref None in
+  (match
+     try `Ok (Aggregate.recover (Engine.create ~cores:8 ()) ~cost:Cost.default pers)
+     with Aggregate.Corruption m -> `Corrupt m
+   with
+  | `Corrupt m ->
+      fsck_failure := Some m;
+      lost := Hashtbl.length expected
+  | `Ok agg2 ->
+      let eng2 = Aggregate.engine agg2 in
+      let walloc2 = Wafl_core.Walloc.create agg2 Wafl_core.Walloc.default_config in
+      ignore
+        (Engine.spawn eng2 ~label:"verify" (fun () ->
+             (* A post-recovery CP flushes the replayed state through the
+                still-degraded substrate, exercising the repair path. *)
+             Wafl_core.Cp.run_now (Wafl_core.Walloc.cp walloc2);
+             Hashtbl.iter
+               (fun (vol, file, fbn) content ->
+                 match
+                   try Aggregate.read agg2 ~vol ~file ~fbn
+                   with Aggregate.Corruption _ -> None
+                 with
+                 | Some c when c = content -> ()
+                 | _ -> incr lost)
+               expected));
+      Engine.run eng2;
+      (try Aggregate.fsck agg2 with Failure m -> fsck_failure := Some m);
+      Aggregate.refresh_fault_counters agg2);
+  {
+    seed;
+    crash_time;
+    mid_cp;
+    cp_phase;
+    cps_before_crash;
+    acked = Hashtbl.length expected;
+    torn;
+    lost = !lost;
+    fsck_failure = !fsck_failure;
+    disk_failure_active;
+    media_errors = Fault.media_errors_seen plan;
+    transient_retries = Fault.transient_retries plan;
+    degraded_reads = Fault.degraded_reads plan;
+    rebuild_blocks = Fault.rebuild_blocks plan;
+  }
+
+let passed o = o.lost = 0 && o.fsck_failure = None
+
+let run_seeds ?ops ?fbn_space ?horizon ~first_seed ~count () =
+  List.init count (fun i -> run_one ?ops ?fbn_space ?horizon ~seed:(first_seed + i) ())
+
+let summarize outcomes =
+  let n = List.length outcomes in
+  let failed = List.filter (fun o -> not (passed o)) outcomes in
+  let count f = List.length (List.filter f outcomes) in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "crash harness: %d/%d seeds passed\n" (n - List.length failed) n);
+  Buffer.add_string b
+    (Printf.sprintf "  crashed mid-CP: %d   degraded at crash: %d   with torn tail: %d\n"
+       (count (fun o -> o.mid_cp))
+       (count (fun o -> o.disk_failure_active))
+       (count (fun o -> o.torn > 0)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  faults seen: %d media errors, %d transient retries, %d degraded reads, %d rebuilt \
+        blocks\n"
+       (sum (fun o -> o.media_errors))
+       (sum (fun o -> o.transient_retries))
+       (sum (fun o -> o.degraded_reads))
+       (sum (fun o -> o.rebuild_blocks)));
+  List.iter
+    (fun o ->
+      Buffer.add_string b
+        (Printf.sprintf "  FAILED seed %d: lost %d/%d acked blocks%s (crash %.0fus, phase %s)\n"
+           o.seed o.lost o.acked
+           (match o.fsck_failure with Some m -> ", fsck: " ^ m | None -> "")
+           o.crash_time o.cp_phase))
+    failed;
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Randomized crash-point harness (robustness counterpart of the
+    performance experiments).
+
+    For each seed: derive a {!Wafl_storage.Fault.random} plan, run a
+    random write workload against a full stack (Waffinity, cleaners, CP
+    engine) with the plan attached to the disk, crash at the
+    plan-chosen virtual instant — possibly mid-CP — tearing the
+    scheduled NVRAM tail, then recover on a fresh engine and check the
+    two durability invariants:
+
+    - every write acknowledged before the crash (minus the torn-tail
+      records, whose replies never left the box) reads back with the
+      exact content written;
+    - {!Wafl_fs.Aggregate.fsck} passes on the recovered image after a
+      post-recovery CP (which exercises the failed-write repair path
+      against the still-degraded substrate).
+
+    The workload, fault schedule and crash point are all derived from
+    the seed, so any failure is replayable. *)
+
+type outcome = {
+  seed : int;
+  crash_time : float;  (** virtual µs at which the crash was taken *)
+  mid_cp : bool;  (** a CP was running when the crash hit *)
+  cp_phase : string;  (** CP engine phase at the crash instant *)
+  cps_before_crash : int;
+  acked : int;  (** distinct acknowledged blocks the oracle checked *)
+  torn : int;  (** NVRAM records torn off at the crash *)
+  lost : int;  (** acked blocks missing or wrong after recovery *)
+  fsck_failure : string option;
+  disk_failure_active : bool;  (** a RAID group was degraded at crash *)
+  media_errors : int;
+  transient_retries : int;
+  degraded_reads : int;
+  rebuild_blocks : int;
+}
+
+val run_one : ?ops:int -> ?fbn_space:int -> ?horizon:float -> seed:int -> unit -> outcome
+(** One crash-recover-verify cycle.  [ops] (default 100_000) caps the
+    workload; the client keeps writing until the horizon so the crash
+    lands mid-activity.  [horizon] (default 60_000 µs) bounds the
+    virtual run; the plan crashes in its back 70%. *)
+
+val passed : outcome -> bool
+(** No acknowledged write lost and fsck clean. *)
+
+val run_seeds :
+  ?ops:int -> ?fbn_space:int -> ?horizon:float -> first_seed:int -> count:int -> unit ->
+  outcome list
+
+val summarize : outcome list -> string
+(** Multi-line human-readable summary: pass/fail count, how many seeds
+    crashed mid-CP, how many ran degraded, aggregate fault counters. *)

@@ -20,6 +20,8 @@ type t = {
   device_write_per_block : float;
   device_base_latency : float;
   parity_read_penalty : float;
+  transient_retry_backoff : float;
+  rebuild_block : float;
   cp_fixed : float;
 }
 
@@ -52,6 +54,8 @@ let default =
     device_write_per_block = 0.35;
     device_base_latency = 25.0;
     parity_read_penalty = 90.0;
+    transient_retry_backoff = 400.0;
+    rebuild_block = 4.0;
     cp_fixed = 50.0;
   }
 
@@ -78,5 +82,7 @@ let free =
     device_write_per_block = 0.0;
     device_base_latency = 0.0;
     parity_read_penalty = 0.0;
+    transient_retry_backoff = 0.0;
+    rebuild_block = 0.0;
     cp_fixed = 0.0;
   }

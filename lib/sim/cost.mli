@@ -37,6 +37,12 @@ type t = {
   device_write_per_block : float;  (** device service time per block written *)
   device_base_latency : float;  (** fixed device latency per I/O *)
   parity_read_penalty : float;  (** extra service time when a stripe write is partial *)
+  transient_retry_backoff : float;
+      (** base backoff before retrying a transiently failed I/O; doubles per
+          attempt, so retry latency shows up in CP duration *)
+  rebuild_block : float;
+      (** device service time to reconstruct + write one block during a
+          RAID rebuild (reads the surviving drives of the stripe) *)
   (* consistency points *)
   cp_fixed : float;  (** fixed work to start / finalize a CP *)
 }

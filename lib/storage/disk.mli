@@ -14,11 +14,24 @@ type 'b t
 val create : Geometry.t -> 'b t
 val geometry : 'b t -> Geometry.t
 
+val set_fault : 'b t -> Fault.t -> unit
+(** Attach a fault plan.  The plan travels with the disk image, so latent
+    media errors and a failed drive survive a simulated crash. *)
+
+val fault : 'b t -> Fault.t option
+
 val write : 'b t -> Geometry.vbn -> 'b -> unit
-(** Store a payload.  Raises [Invalid_argument] on an out-of-range VBN. *)
+(** Store a payload.  Raises [Invalid_argument] on an out-of-range VBN.
+    Writing a sector with a latent media error remaps (clears) it. *)
 
 val read : 'b t -> Geometry.vbn -> 'b option
-(** [None] if the block was never written. *)
+(** Raw store read, bypassing the fault plan: [None] if the block was
+    never written.  Fault-aware callers use {!read_checked} or
+    {!Raid.read}. *)
+
+val read_checked : 'b t -> Geometry.vbn -> [ `Ok of 'b | `Absent | `Media_error ]
+(** Like {!read} but surfaces latent media errors from the fault plan;
+    {!Raid.read} reconstructs such blocks from the parity model. *)
 
 val read_exn : 'b t -> Geometry.vbn -> 'b
 

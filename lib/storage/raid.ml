@@ -5,6 +5,7 @@ type 'b request =
   | Stop
 
 type 'b t = {
+  eng : Engine.t;
   cost : Cost.t;
   disk : 'b Disk.t;
   rg : int;
@@ -18,6 +19,13 @@ type 'b t = {
   mutable full : int;
   mutable partial : int;
   mutable busy : float;
+  (* fault surface *)
+  mutable degraded : bool;
+  mutable rebuild_spawned : bool;
+  mutable failed_writes : (Geometry.vbn * 'b) list; (* newest first *)
+  mutable retries : int;
+  mutable degraded_reads_served : int;
+  mutable rebuilt : int;
 }
 
 (* Count full vs partial stripes in one I/O: a stripe (distinct dbn) is
@@ -35,11 +43,67 @@ let stripe_mix t writes =
     (fun _ n (full, partial) -> if n >= t.data_width then (full + 1, partial) else (full, partial + 1))
     per_dbn (0, 0)
 
+(* Reconstruct the lost drive onto a spare, one stripe block at a time.
+   Progress lives in the fault plan (it survives a crash; a re-created
+   group resumes where the old fiber stopped), and the device-busy cost
+   is charged to this group. *)
+let rebuild_fiber t fault (failure : Fault.disk_failure) () =
+  let nblocks = Geometry.drive_blocks (Disk.geometry t.disk) in
+  while failure.Fault.rebuilt_to < nblocks do
+    Engine.sleep t.cost.Cost.rebuild_block;
+    t.busy <- t.busy +. t.cost.Cost.rebuild_block;
+    failure.Fault.rebuilt_to <- failure.Fault.rebuilt_to + 1;
+    t.rebuilt <- t.rebuilt + 1;
+    Fault.note_rebuild_block fault
+  done;
+  failure.Fault.rebuild_done <- true;
+  t.degraded <- false
+
+let active_failure t =
+  match Disk.fault t.disk with
+  | None -> None
+  | Some f -> Fault.failure_for f ~rg:t.rg ~now:(Engine.now t.eng)
+
+(* Notice a scheduled disk failure: flip into degraded mode and start the
+   background rebuild (resuming a pre-crash rebuild when recovering). *)
+let check_failure t =
+  if not (t.degraded && t.rebuild_spawned) then
+    match active_failure t with
+    | None -> ()
+    | Some failure ->
+        t.degraded <- true;
+        if not t.rebuild_spawned then begin
+          t.rebuild_spawned <- true;
+          let fault = Option.get (Disk.fault t.disk) in
+          ignore (Engine.spawn t.eng ~label:"rebuild" (rebuild_fiber t fault failure))
+        end
+
 let service_fiber t () =
   let rec loop () =
     match Sync.Channel.recv t.queue with
     | Stop -> ()
     | Io { writes; on_complete } ->
+        check_failure t;
+        let fault = Disk.fault t.disk in
+        (* Transient failures: bounded exponential backoff in virtual
+           time, so retry latency shows up in CP duration. *)
+        let outcome =
+          match fault with
+          | None -> `Proceed
+          | Some f ->
+              let rec attempt n backoff =
+                if not (Fault.transient_now f) then `Proceed
+                else if n >= Fault.max_retries f then `Give_up
+                else begin
+                  Fault.note_transient_retry f;
+                  t.retries <- t.retries + 1;
+                  Engine.sleep backoff;
+                  t.busy <- t.busy +. backoff;
+                  attempt (n + 1) (backoff *. 2.0)
+                end
+              in
+              attempt 0 t.cost.Cost.transient_retry_backoff
+        in
         let full, partial = stripe_mix t writes in
         let nblocks = List.length writes in
         let service =
@@ -48,7 +112,20 @@ let service_fiber t () =
           +. (float_of_int partial *. t.cost.Cost.parity_read_penalty)
         in
         Engine.sleep service;
-        List.iter (fun (vbn, payload) -> Disk.write t.disk vbn payload) writes;
+        let failed =
+          match outcome with
+          | `Give_up -> writes (* retries exhausted: nothing became durable *)
+          | `Proceed ->
+              List.filter
+                (fun (vbn, payload) ->
+                  match fault with
+                  | Some f when Fault.write_fails f vbn -> true
+                  | _ ->
+                      Disk.write t.disk vbn payload;
+                      false)
+                writes
+        in
+        if failed <> [] then t.failed_writes <- List.rev_append failed t.failed_writes;
         t.ios <- t.ios + 1;
         t.blocks <- t.blocks + nblocks;
         t.full <- t.full + full;
@@ -65,6 +142,7 @@ let create ?(queue_depth = 4) eng ~cost ~disk ~rg =
   if queue_depth <= 0 then invalid_arg "Raid.create: queue_depth must be positive";
   let t =
     {
+      eng;
       cost;
       disk;
       rg;
@@ -78,14 +156,89 @@ let create ?(queue_depth = 4) eng ~cost ~disk ~rg =
       full = 0;
       partial = 0;
       busy = 0.0;
+      degraded = false;
+      rebuild_spawned = false;
+      failed_writes = [];
+      retries = 0;
+      degraded_reads_served = 0;
+      rebuilt = 0;
     }
   in
   for _ = 1 to queue_depth do
     ignore (Engine.spawn eng ~label:"io" (service_fiber t))
   done;
+  (* A drive lost before a crash is still lost after recovery: resume the
+     degraded mode and rebuild immediately. *)
+  check_failure t;
   t
 
 let rg t = t.rg
+
+let read t vbn =
+  let geom = Disk.geometry t.disk in
+  let loc = Geometry.locate geom vbn in
+  if loc.Geometry.rg <> t.rg then invalid_arg "Raid.read: vbn not in this group";
+  check_failure t;
+  match Disk.fault t.disk with
+  | None -> ( match Disk.read t.disk vbn with Some p -> `Ok p | None -> `Absent)
+  | Some fault -> (
+      let failure =
+        if t.degraded then Fault.failure_for fault ~rg:t.rg ~now:(Engine.now t.eng) else None
+      in
+      let on_failed_drive =
+        match failure with
+        | Some f ->
+            f.Fault.fail_drive = loc.Geometry.drive && loc.Geometry.dbn >= f.Fault.rebuilt_to
+        | None -> false
+      in
+      if on_failed_drive then begin
+        (* Reconstruct from the surviving drives of the stripe; a latent
+           media error on any of them makes the stripe unrecoverable. *)
+        let peers_clean =
+          List.for_all
+            (fun (drive, _) ->
+              drive = loc.Geometry.drive
+              || not
+                   (Fault.media_error fault
+                      (Geometry.vbn_of geom ~rg:t.rg ~drive ~dbn:loc.Geometry.dbn)))
+            (Geometry.drives_of_rg geom ~rg:t.rg)
+        in
+        if not peers_clean then begin
+          Fault.note_unrecoverable fault;
+          `Lost
+        end
+        else begin
+          Fault.note_degraded_read fault;
+          t.degraded_reads_served <- t.degraded_reads_served + 1;
+          match Disk.read t.disk vbn with Some p -> `Degraded p | None -> `Absent
+        end
+      end
+      else
+        match Disk.read_checked t.disk vbn with
+        | `Ok p -> `Ok p
+        | `Absent -> `Absent
+        | `Media_error ->
+            (* Reconstruction needs every other drive of the stripe — in
+               degraded mode the failed drive's copy is gone too. *)
+            let failed_peer_needed =
+              match failure with
+              | Some f ->
+                  f.Fault.fail_drive <> loc.Geometry.drive
+                  && loc.Geometry.dbn >= f.Fault.rebuilt_to
+              | None -> false
+            in
+            if failed_peer_needed then begin
+              Fault.note_unrecoverable fault;
+              `Lost
+            end
+            else begin
+              Fault.note_media_error fault;
+              Fault.note_degraded_read fault;
+              t.degraded_reads_served <- t.degraded_reads_served + 1;
+              (* The reconstructed block is rewritten, repairing the sector. *)
+              Fault.clear_media_error fault vbn;
+              match Disk.read t.disk vbn with Some p -> `Degraded p | None -> `Absent
+            end)
 
 let submit t ~writes ~on_complete =
   if writes = [] then on_complete ()
@@ -107,8 +260,17 @@ let shutdown t =
     Sync.Channel.send t.queue Stop
   done
 
+let take_failed t =
+  let failed = t.failed_writes in
+  t.failed_writes <- [];
+  List.rev failed
+
+let degraded t = t.degraded
 let ios_completed t = t.ios
 let blocks_written t = t.blocks
 let full_stripes t = t.full
 let partial_stripes t = t.partial
 let device_busy t = t.busy
+let transient_retries t = t.retries
+let degraded_reads t = t.degraded_reads_served
+let rebuild_blocks t = t.rebuilt

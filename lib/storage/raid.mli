@@ -8,7 +8,16 @@
     the {!Disk} — at I/O completion.
 
     Statistics exposed here (full vs partial stripe counts) back the
-    allocation-quality ablation benchmarks. *)
+    allocation-quality ablation benchmarks.
+
+    Failure surface: when a {!Fault} plan is attached to the disk, I/Os
+    can fail transiently (retried with bounded exponential backoff in
+    virtual time) or permanently ({!take_failed} hands the affected
+    writes to the CP engine for re-allocation); a scheduled whole-disk
+    loss flips the group into degraded mode, where {!read} reconstructs
+    lost blocks from the parity model while a background rebuild fiber
+    (label ["rebuild"]) recreates the drive, its progress and device-busy
+    cost observable through {!rebuild_blocks} and {!device_busy}. *)
 
 type 'b t
 
@@ -22,6 +31,15 @@ val create :
 (** Spawns [queue_depth] (default 4) service fibers labelled ["io"]. *)
 
 val rg : 'b t -> int
+
+val read : 'b t -> Geometry.vbn -> [ `Ok of 'b | `Degraded of 'b | `Absent | `Lost ]
+(** Fault-aware read path.  [`Degraded] means the payload was
+    reconstructed from the parity model (media error or failed drive) —
+    the content is intact but the read cost the group a reconstruction.
+    [`Lost] is a double failure (media error in a stripe that already
+    lost its drive): the data is unrecoverable.  Without a fault plan
+    this is exactly {!Disk.read}.  Usable outside fiber context (it
+    never charges CPU); every VBN must belong to this group. *)
 
 val submit : 'b t -> writes:(Geometry.vbn * 'b) list -> on_complete:(unit -> unit) -> unit
 (** Enqueue one tetris I/O.  Charges the submitting fiber the CPU dispatch
@@ -37,9 +55,23 @@ val shutdown : 'b t -> unit
 (** Stop the service fibers once the queue drains; used by tests that
     assert no fiber is left parked. *)
 
+val take_failed : 'b t -> (Geometry.vbn * 'b) list
+(** Writes that failed permanently (bad sector, or transient retries
+    exhausted), in submission order, clearing the list.  The CP engine
+    calls this after quiescing and re-allocates the affected blocks
+    before publishing the superblock. *)
+
+val degraded : 'b t -> bool
+(** A drive of this group is lost and not yet fully rebuilt. *)
+
 val ios_completed : 'b t -> int
 val blocks_written : 'b t -> int
 val full_stripes : 'b t -> int
 val partial_stripes : 'b t -> int
 val device_busy : 'b t -> float
-(** Total device service time consumed, in virtual µs. *)
+(** Total device service time consumed, in virtual µs (includes retry
+    backoff and rebuild work). *)
+
+val transient_retries : 'b t -> int
+val degraded_reads : 'b t -> int
+val rebuild_blocks : 'b t -> int

@@ -276,6 +276,52 @@ let test_nvlog_recover_reset () =
   Nvlog.cp_begin log;
   Alcotest.(check int) "all covered" 2 (Nvlog.in_cp log)
 
+let fbns_of ops = List.map (function Nvlog.Write { fbn; _ } -> fbn | _ -> -1) ops
+
+let test_nvlog_tear_clamps () =
+  let log = Nvlog.create ~half_capacity:10 () in
+  for i = 0 to 2 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  let torn_ops = Nvlog.tear log ~records:10 in
+  Alcotest.(check (list int)) "clamped to live length, oldest first" [ 0; 1; 2 ] (fbns_of torn_ops);
+  Alcotest.(check int) "all three torn" 3 (Nvlog.torn log);
+  Alcotest.(check (list int)) "second tear finds nothing" [] (fbns_of (Nvlog.tear log ~records:1))
+
+let test_nvlog_replay_stops_at_torn () =
+  let log = Nvlog.create ~half_capacity:10 () in
+  for i = 0 to 3 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  Nvlog.cp_begin log;
+  for i = 4 to 8 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  let torn_ops = Nvlog.tear log ~records:2 in
+  Alcotest.(check (list int)) "newest two torn, oldest first" [ 7; 8 ] (fbns_of torn_ops);
+  Alcotest.(check (list int)) "cp half, then filling up to first torn" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (fbns_of (Nvlog.replay_ops log))
+
+let test_nvlog_recover_reset_discards_torn () =
+  let log = Nvlog.create ~half_capacity:10 () in
+  for i = 0 to 2 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  (* The CP covering ops 0-2 never commits before the crash, so those
+     operations are live again after recovery. *)
+  Nvlog.cp_begin log;
+  for i = 3 to 6 do
+    ignore (Nvlog.append log (wop i))
+  done;
+  ignore (Nvlog.tear log ~records:1);
+  Nvlog.recover_reset log;
+  Alcotest.(check int) "torn record discarded" 0 (Nvlog.torn log);
+  Alcotest.(check int) "cp half merged, torn dropped" 6 (Nvlog.pending log);
+  Alcotest.(check int) "no cp half" 0 (Nvlog.in_cp log);
+  Nvlog.cp_begin log;
+  Alcotest.(check (list int)) "surviving order preserved" [ 0; 1; 2; 3; 4; 5 ]
+    (fbns_of (Nvlog.replay_ops log))
+
 (* --- Counters --- *)
 
 let test_counters_loose_accounting () =
@@ -436,6 +482,10 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_nvlog_exhaustion;
           Alcotest.test_case "replay order" `Quick test_nvlog_replay_order;
           Alcotest.test_case "recover reset" `Quick test_nvlog_recover_reset;
+          Alcotest.test_case "tear clamps" `Quick test_nvlog_tear_clamps;
+          Alcotest.test_case "replay stops at torn" `Quick test_nvlog_replay_stops_at_torn;
+          Alcotest.test_case "recover reset discards torn" `Quick
+            test_nvlog_recover_reset_discards_torn;
         ] );
       ( "counters",
         [

@@ -449,6 +449,44 @@ let prop_crash_anywhere_loses_nothing =
             journal);
       !ok)
 
+(* --- randomized crash-point harness --- *)
+
+module Crash = Wafl_harness.Crash
+
+(* 50 seeds of the full fault-injection harness: seeded fault plan
+   (media errors, transient failures, disk loss, torn NVRAM tail),
+   crash at a plan-chosen virtual instant, recover, fsck, and verify
+   every acknowledged write.  Also asserts the seed range exercises the
+   interesting regimes: some crashes land mid-CP and some with a disk
+   failure active. *)
+let test_crash_harness_50_seeds () =
+  let outcomes = Crash.run_seeds ~first_seed:1 ~count:50 () in
+  List.iter
+    (fun (o : Crash.outcome) ->
+      if not (Crash.passed o) then
+        Alcotest.failf "seed %d: lost %d acked blocks%s (crash %.0fus, phase %s)" o.Crash.seed
+          o.Crash.lost
+          (match o.Crash.fsck_failure with Some m -> ", fsck: " ^ m | None -> "")
+          o.Crash.crash_time o.Crash.cp_phase)
+    outcomes;
+  Alcotest.(check bool) "some seeds crash mid-CP" true
+    (List.exists (fun o -> o.Crash.mid_cp) outcomes);
+  Alcotest.(check bool) "some seeds crash with a disk failure active" true
+    (List.exists (fun o -> o.Crash.disk_failure_active) outcomes)
+
+(* Negative control: deliberately publish the superblock before the
+   tetris flush has quiesced (a broken commit ordering, enabled through
+   a test-only chaos hook).  The harness must catch it — otherwise its
+   oracle proves nothing. *)
+let test_chaos_broken_commit_ordering_caught () =
+  Fun.protect
+    ~finally:(fun () -> Wafl_core.Cp.chaos_publish_before_quiesce := false)
+    (fun () ->
+      Wafl_core.Cp.chaos_publish_before_quiesce := true;
+      let outcomes = Crash.run_seeds ~first_seed:1 ~count:6 () in
+      Alcotest.(check bool) "harness catches publish-before-quiesce" true
+        (List.exists (fun o -> not (Crash.passed o)) outcomes))
+
 let () =
   Alcotest.run "integration"
     [
@@ -479,5 +517,12 @@ let () =
           Alcotest.test_case "serial mode crash recovery" `Quick
             test_serial_mode_crash_recovery;
           QCheck_alcotest.to_alcotest ~verbose:false prop_crash_anywhere_loses_nothing;
+        ] );
+      ( "crash-harness",
+        [
+          Alcotest.test_case "50 random fault plans lose nothing" `Slow
+            test_crash_harness_50_seeds;
+          Alcotest.test_case "broken commit ordering caught" `Slow
+            test_chaos_broken_commit_ordering_caught;
         ] );
     ]

@@ -192,6 +192,177 @@ let test_raid_many_ios_in_order_counts () =
       Alcotest.(check int) "all IOs done" 10 (Raid.ios_completed raid);
       Raid.shutdown raid)
 
+(* --- Fault injection --- *)
+
+let test_media_error_reconstructed_and_repaired () =
+  let g = geom () in
+  let d = Disk.create g in
+  let plan = Fault.create ~seed:1 () in
+  Disk.set_fault d plan;
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      let vbn = Geometry.vbn_of g ~rg:0 ~drive:1 ~dbn:5 in
+      Raid.submit raid ~writes:[ (vbn, 41) ] ~on_complete:(fun () -> ());
+      Raid.quiesce raid;
+      Fault.add_media_error plan vbn;
+      (match Raid.read raid vbn with
+      | `Degraded v -> Alcotest.(check int) "reconstructed from parity" 41 v
+      | _ -> Alcotest.fail "expected a degraded read");
+      (* Reconstruction rewrites the block, repairing the sector. *)
+      (match Raid.read raid vbn with
+      | `Ok v -> Alcotest.(check int) "sector repaired" 41 v
+      | _ -> Alcotest.fail "expected a clean read after repair");
+      Alcotest.(check int) "degraded read counted" 1 (Raid.degraded_reads raid);
+      Alcotest.(check int) "media error counted" 1 (Fault.media_errors_seen plan);
+      Raid.shutdown raid)
+
+let test_transient_failures_retried_in_virtual_time () =
+  let g = geom () in
+  let run transient_p =
+    let d = Disk.create g in
+    let plan = Fault.create ~transient_p ~seed:7 () in
+    Disk.set_fault d plan;
+    with_engine (fun eng ->
+        let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+        for i = 0 to 19 do
+          Raid.submit raid
+            ~writes:[ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:i, i) ]
+            ~on_complete:(fun () -> ())
+        done;
+        Raid.quiesce raid;
+        for i = 0 to 19 do
+          Alcotest.(check (option int)) "durable despite transients" (Some i)
+            (Disk.read d (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:i))
+        done;
+        let retries = Raid.transient_retries raid and busy = Raid.device_busy raid in
+        Raid.shutdown raid;
+        (retries, busy))
+  in
+  let retries_faulty, busy_faulty = run 0.4 in
+  let retries_clean, busy_clean = run 0.0 in
+  Alcotest.(check int) "no retries without faults" 0 retries_clean;
+  Alcotest.(check bool) "retries happened" true (retries_faulty > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff visible in device time (%.0f vs %.0f)" busy_faulty busy_clean)
+    true
+    (busy_faulty > busy_clean)
+
+let test_disk_failure_degraded_then_rebuilt () =
+  let g = geom () in
+  let d = Disk.create g in
+  let plan = Fault.create ~seed:3 () in
+  Disk.set_fault d plan;
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      let vbn = Geometry.vbn_of g ~rg:0 ~drive:2 ~dbn:100 in
+      Raid.submit raid ~writes:[ (vbn, 5) ] ~on_complete:(fun () -> ());
+      Raid.quiesce raid;
+      Fault.fail_disk plan ~rg:0 ~drive:2 ~at:(Engine.now eng);
+      (match Raid.read raid vbn with
+      | `Degraded v -> Alcotest.(check int) "served by reconstruction" 5 v
+      | _ -> Alcotest.fail "expected a degraded read");
+      Alcotest.(check bool) "group degraded" true (Raid.degraded raid);
+      (* The background rebuild fiber recreates the drive. *)
+      while Raid.degraded raid do
+        Engine.sleep 1_000.0
+      done;
+      Alcotest.(check int) "whole drive rebuilt" 4096 (Raid.rebuild_blocks raid);
+      (match Raid.read raid vbn with
+      | `Ok v -> Alcotest.(check int) "clean read after rebuild" 5 v
+      | _ -> Alcotest.fail "expected a clean read after rebuild");
+      Raid.shutdown raid)
+
+let test_double_failure_is_lost () =
+  let g = geom () in
+  let d = Disk.create g in
+  let plan = Fault.create ~seed:5 () in
+  Disk.set_fault d plan;
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      let on_failed = Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:9 in
+      let peer = Geometry.vbn_of g ~rg:0 ~drive:1 ~dbn:9 in
+      Raid.submit raid ~writes:[ (on_failed, 1); (peer, 2) ] ~on_complete:(fun () -> ());
+      Raid.quiesce raid;
+      Fault.fail_disk plan ~rg:0 ~drive:0 ~at:(Engine.now eng);
+      Fault.add_media_error plan peer;
+      (* Reconstructing the failed drive's block needs every peer of the
+         stripe; the media error makes it a double failure. *)
+      (match Raid.read raid on_failed with
+      | `Lost -> ()
+      | _ -> Alcotest.fail "expected the block to be unrecoverable");
+      Alcotest.(check bool) "counted" true (Fault.unrecoverable_reads plan > 0);
+      Raid.shutdown raid)
+
+let test_write_error_lands_in_take_failed () =
+  let g = geom () in
+  let d = Disk.create g in
+  let plan = Fault.create ~seed:9 () in
+  Disk.set_fault d plan;
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+      let good = Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:0 in
+      let bad = Geometry.vbn_of g ~rg:0 ~drive:1 ~dbn:0 in
+      Fault.add_write_error plan bad;
+      Raid.submit raid ~writes:[ (good, 1); (bad, 2) ] ~on_complete:(fun () -> ());
+      Raid.quiesce raid;
+      Alcotest.(check (option int)) "good write durable" (Some 1) (Disk.read d good);
+      Alcotest.(check (option int)) "bad write not durable" None (Disk.read d bad);
+      Alcotest.(check (list (pair int int))) "failed write reported" [ (bad, 2) ]
+        (Raid.take_failed raid);
+      Alcotest.(check (list (pair int int))) "list cleared" [] (Raid.take_failed raid);
+      Raid.shutdown raid)
+
+let test_shutdown_drains_queued_ios () =
+  (* Stop requests queue behind pending I/Os, so a shutdown issued while
+     the queue is deep must drain it, not drop it. *)
+  let g = geom () in
+  let d = Disk.create g in
+  with_engine (fun eng ->
+      let raid = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 ~queue_depth:1 in
+      for i = 0 to 11 do
+        Raid.submit raid
+          ~writes:[ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:i, i) ]
+          ~on_complete:(fun () -> ())
+      done;
+      Raid.shutdown raid;
+      Raid.quiesce raid;
+      Alcotest.(check int) "all queued IOs completed" 12 (Raid.ios_completed raid);
+      for i = 0 to 11 do
+        Alcotest.(check (option int)) "payload durable" (Some i)
+          (Disk.read d (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:i))
+      done)
+
+let test_quiesce_races_concurrent_submit () =
+  (* One fiber quiesces while another keeps submitting: device service
+     takes ~25 virtual µs, so the io2/io3 submissions land while the
+     quiescer is parked on io1.  Quiesce must cover them too — it
+     returns only when the group is truly idle. *)
+  let g = geom () in
+  let d = Disk.create g in
+  let eng = Engine.create ~cores:4 () in
+  let raid = ref None in
+  let ios_at_quiesce = ref (-1) in
+  ignore
+    (Engine.spawn eng ~label:"submitter" (fun () ->
+         let r = Raid.create eng ~cost:Cost.default ~disk:d ~rg:0 in
+         raid := Some r;
+         Raid.submit r ~writes:[ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:0, 0) ]
+           ~on_complete:(fun () -> ());
+         Engine.sleep 5.0;
+         Raid.submit r ~writes:[ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:1, 1) ]
+           ~on_complete:(fun () -> ());
+         Raid.submit r ~writes:[ (Geometry.vbn_of g ~rg:0 ~drive:0 ~dbn:2, 2) ]
+           ~on_complete:(fun () -> ())));
+  ignore
+    (Engine.spawn eng ~label:"quiescer" (fun () ->
+         Engine.sleep 10.0;
+         let r = Option.get !raid in
+         Raid.quiesce r;
+         ios_at_quiesce := Raid.ios_completed r;
+         Raid.shutdown r));
+  Engine.run eng;
+  Alcotest.(check int) "quiesce covered the racing submits" 3 !ios_at_quiesce
+
 let () =
   Alcotest.run "wafl_storage"
     [
@@ -217,5 +388,20 @@ let () =
           Alcotest.test_case "foreign vbn rejected" `Quick test_raid_rejects_foreign_vbn;
           Alcotest.test_case "empty submit" `Quick test_raid_empty_submit_completes_inline;
           Alcotest.test_case "many IOs" `Quick test_raid_many_ios_in_order_counts;
+          Alcotest.test_case "shutdown drains queued IOs" `Quick test_shutdown_drains_queued_ios;
+          Alcotest.test_case "quiesce races concurrent submit" `Quick
+            test_quiesce_races_concurrent_submit;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "media error reconstructed + repaired" `Quick
+            test_media_error_reconstructed_and_repaired;
+          Alcotest.test_case "transient failures retried" `Quick
+            test_transient_failures_retried_in_virtual_time;
+          Alcotest.test_case "disk failure: degraded then rebuilt" `Quick
+            test_disk_failure_degraded_then_rebuilt;
+          Alcotest.test_case "double failure is lost" `Quick test_double_failure_is_lost;
+          Alcotest.test_case "write error lands in take_failed" `Quick
+            test_write_error_lands_in_take_failed;
         ] );
     ]
