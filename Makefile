@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test lint sanitize check bench clean
 
 all: build
 
@@ -8,12 +8,40 @@ build:
 test:
 	dune runtest
 
-# Full gate: build everything, run the whole test suite, then a 5-seed
-# crash-harness smoke (random fault plans, crash, recover, fsck,
+LINT = ./_build/default/tools/wafl_lint/main.exe
+
+# Determinism lint: AST walk over lib/ and bin/ flagging stray RNG use,
+# wall-clock reads, hash-order iteration and partition-state mutation
+# outside the owning modules.  The second invocation is a self-check:
+# the negative fixture must be flagged (exit non-zero), otherwise the
+# lint has gone blind.
+lint:
+	dune build tools/wafl_lint/main.exe
+	$(LINT) lib bin
+	@if $(LINT) test/fixtures/lint_negative.ml >/dev/null 2>&1; then \
+	  echo "lint self-check FAILED: negative fixture produced no findings"; \
+	  exit 1; \
+	else \
+	  echo "lint self-check OK: negative fixture flagged"; \
+	fi
+
+# Sanitized smoke: an ad-hoc run plus the 5-seed crash harness under the
+# race detector and affinity-isolation checker.  Any race report or
+# isolation violation fails the target.
+sanitize:
+	dune build bin/wafl_sim.exe
+	dune exec bin/wafl_sim.exe -- run --measure 0.5 --sanitize
+	dune exec bin/wafl_sim.exe -- crash --seeds 5 --sanitize
+
+# Full gate: build everything (lib/ with warnings as errors), run the
+# whole test suite, the determinism lint, the sanitized smoke, then a
+# 5-seed crash-harness smoke (random fault plans, crash, recover, fsck,
 # acknowledged-write verification).
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) lint
+	$(MAKE) sanitize
 	dune exec bin/wafl_sim.exe -- crash --seeds 5
 
 bench:

@@ -9,14 +9,22 @@ let scale_arg =
   let doc = "Scale factor for measurement windows and working sets (1.0 = paper scale)." in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
 
+let sanitize_arg =
+  let doc =
+    "Run under the race detector and affinity-isolation checker. Any report aborts with a \
+     diagnostic; results are bit-identical to an unsanitized run."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
 let run_experiment name runner =
   let doc = Printf.sprintf "Reproduce %s." name in
-  let action scale =
+  let action scale sanitize =
+    H.Exp.sanitize := sanitize;
     let shapes = runner scale in
     H.Exp.print_shapes shapes;
     if List.for_all snd shapes then `Ok () else `Error (false, "some shape checks missed")
   in
-  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ scale_arg))
+  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ scale_arg $ sanitize_arg))
 
 let fig4 scale =
   let rows = H.Fig4.run ~scale () in
@@ -93,7 +101,8 @@ let workload_conv =
   in
   Arg.conv (parse, print)
 
-let custom_run workload cleaners serial_infra dynamic clients cores measure_s think seed =
+let custom_run workload cleaners serial_infra dynamic clients cores measure_s think seed
+    sanitize =
   let wl =
     match workload with
     | `Seq -> Driver.Seq_write { file_blocks = 16384 }
@@ -116,6 +125,7 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
       think_time = think;
       measure = measure_s *. 1_000_000.0;
       seed;
+      sanitize;
     }
   in
   let r = Driver.run spec in
@@ -136,13 +146,14 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
   Printf.printf "allocation     %d VBNs allocated, %d freed, %d metafile blocks touched\n"
     r.Driver.vbns_allocated r.Driver.vbns_freed r.Driver.metafile_blocks_touched;
   Printf.printf "stripes        %d full, %d partial\n" r.Driver.full_stripes
-    r.Driver.partial_stripes
+    r.Driver.partial_stripes;
+  if sanitize then Printf.printf "sanitizer      %d race reports\n" r.Driver.races
 
 (* --- randomized crash-point harness --- *)
 
-let crash_run seeds first_seed ops fbn_space horizon verbose =
+let crash_run seeds first_seed ops fbn_space horizon verbose sanitize =
   let outcomes =
-    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~first_seed ~count:seeds ()
+    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~first_seed ~count:seeds ()
   in
   if verbose then
     List.iter
@@ -154,8 +165,12 @@ let crash_run seeds first_seed ops fbn_space horizon verbose =
           (match o.H.Crash.fsck_failure with Some m -> " fsck:" ^ m | None -> ""))
       outcomes;
   print_string (H.Crash.summarize outcomes);
-  if List.for_all H.Crash.passed outcomes then `Ok ()
-  else `Error (false, "some seeds lost acknowledged writes or failed fsck")
+  let races = List.fold_left (fun acc o -> acc + o.H.Crash.races) 0 outcomes in
+  if sanitize then Printf.printf "  sanitizer: %d race reports\n" races;
+  if not (List.for_all H.Crash.passed outcomes) then
+    `Error (false, "some seeds lost acknowledged writes or failed fsck")
+  else if races > 0 then `Error (false, "race detector reported under --sanitize")
+  else `Ok ()
 
 let crash_cmd =
   let doc =
@@ -172,7 +187,9 @@ let crash_cmd =
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print one line per seed.") in
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(
-      ret (const crash_run $ seeds $ first_seed $ ops $ fbn_space $ horizon $ verbose))
+      ret
+        (const crash_run $ seeds $ first_seed $ ops $ fbn_space $ horizon $ verbose
+       $ sanitize_arg))
 
 let run_cmd =
   let doc = "Run one ad-hoc configuration and print its measurements." in
@@ -190,7 +207,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const custom_run $ workload $ cleaners $ serial_infra $ dynamic $ clients $ cores
-      $ measure $ think $ seed)
+      $ measure $ think $ seed $ sanitize_arg)
 
 let () =
   let doc = "WAFL White Alligator write-allocation reproduction" in

@@ -94,13 +94,25 @@ let rec take_phys ?(spin = 0) t c ~payload =
 
 (* --- free staging ------------------------------------------------------- *)
 
+(* Stages are private to their cleaner thread — the probe is pure teeth:
+   any touch from another fiber is a bug the detector must report. *)
+let stage_probe t c =
+  if Engine.sanitizing t.eng then
+    Engine.probe t.eng ~shared:(Printf.sprintf "cleaner/%d.stage" c.idx) Race.Write
+
+let token_stage t c counter n =
+  if Engine.sanitizing t.eng then
+    Engine.probe_atomic t.eng ~shared:(Printf.sprintf "cleaner/%d.token" c.idx);
+  Counters.stage c.token counter n
+
 let stage_phys t c pvbn =
   charge t t.cost.Cost.stage_free;
+  stage_probe t c;
   match Stage.add c.phys_stage pvbn with
   | `Ok -> ()
   | `Full ->
-      Infra.commit_frees t.infra ~target:Stage.Phys ~vbns:(Stage.drain c.phys_stage)
-        ~token:c.token
+      Infra.commit_frees ~owner:c.idx t.infra ~target:Stage.Phys
+        ~vbns:(Stage.drain c.phys_stage) ~token:c.token
 
 let virt_stage t c vol =
   let vid = Volume.id vol in
@@ -117,11 +129,12 @@ let virt_stage t c vol =
 
 let stage_virt t c vol vvbn =
   charge t t.cost.Cost.stage_free;
+  stage_probe t c;
   let s = virt_stage t c vol in
   match Stage.add s vvbn with
   | `Ok -> ()
   | `Full ->
-      Infra.commit_frees t.infra
+      Infra.commit_frees ~owner:c.idx t.infra
         ~target:(Stage.Virt { vol = Volume.id vol })
         ~vbns:(Stage.drain s) ~token:c.token
 
@@ -154,10 +167,10 @@ let clean_segment t c seg =
                old_vvbn (Volume.id vol));
         stage_virt t c vol old_vvbn;
         stage_phys t c old_pvbn;
-        Counters.stage c.token "cleaner_blocks_freed" 1
+        token_stage t c "cleaner_blocks_freed" 1
       end;
       charge t t.cost.Cost.clean_buffer;
-      Counters.stage c.token "cleaner_buffers_cleaned" 1;
+      token_stage t c "cleaner_buffers_cleaned" 1;
       t.n_buffers <- t.n_buffers + 1;
       incr count;
       if !count mod 64 = 0 then Engine.yield ())
@@ -175,16 +188,18 @@ let flush_cleaner t c =
       Api.put t.infra b;
       c.virt <- None
   | None -> ());
+  stage_probe t c;
   if not (Stage.is_empty c.phys_stage) then
-    Infra.commit_frees t.infra ~target:Stage.Phys ~vbns:(Stage.drain c.phys_stage)
-      ~token:c.token;
-  Hashtbl.iter
-    (fun vid s ->
-      if not (Stage.is_empty s) then
-        Infra.commit_frees t.infra ~target:(Stage.Virt { vol = vid }) ~vbns:(Stage.drain s)
-          ~token:c.token)
-    c.virt_stages;
-  Infra.flush_token t.infra c.token
+    Infra.commit_frees ~owner:c.idx t.infra ~target:Stage.Phys
+      ~vbns:(Stage.drain c.phys_stage) ~token:c.token;
+  (* lint-ok: sorted before use. *)
+  Hashtbl.fold (fun vid s acc -> (vid, s) :: acc) c.virt_stages []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (vid, s) ->
+         if not (Stage.is_empty s) then
+           Infra.commit_frees ~owner:c.idx t.infra ~target:(Stage.Virt { vol = vid })
+             ~vbns:(Stage.drain s) ~token:c.token);
+  Infra.flush_token ~owner:c.idx t.infra c.token
 
 (* "Once the cleaner thread has either consumed all free VBNs in a bucket
    or run out of dirty buffers to clean, it returns the bucket" (§IV-A).
@@ -213,6 +228,10 @@ let cleaner_loop t c () =
         List.iter (clean_segment t c) segments;
         if Sync.Channel.length c.chan = 0 then release_buckets t c;
         t.n_messages <- t.n_messages + 1;
+        (* Queue-depth bookkeeping is shared with submitters (an atomic
+           in a real kernel); the probe also publishes this message's
+           cleaning history to wait_idle. *)
+        Engine.probe_atomic t.eng ~shared:"cleaner_pool.state";
         c.queued <- c.queued - 1;
         t.pending_msgs <- t.pending_msgs - 1;
         if t.pending_msgs = 0 then ignore (Sync.Waitq.wake_all t.idle);
@@ -292,6 +311,7 @@ let set_active t n =
   t.n_active <- n
 
 let submit t work =
+  Engine.probe_atomic t.eng ~shared:"cleaner_pool.state";
   let best = ref t.cleaners.(0) in
   for i = 1 to t.n_active - 1 do
     if t.cleaners.(i).queued < !best.queued then best := t.cleaners.(i)
@@ -303,7 +323,10 @@ let submit t work =
 let wait_idle t =
   while t.pending_msgs > 0 do
     Sync.Waitq.wait t.idle
-  done
+  done;
+  (* Acquire every finished cleaner message's history before the caller
+     inspects what the cleaning produced. *)
+  Engine.probe_atomic t.eng ~shared:"cleaner_pool.state"
 
 let flush_and_wait t =
   let remaining = ref (Array.length t.cleaners) in
@@ -313,9 +336,12 @@ let flush_and_wait t =
       Sync.Channel.send c.chan
         (Flushreq
            (fun () ->
+             (* Per-cleaner acks decrement a shared countdown. *)
+             Engine.probe_atomic t.eng ~shared:"cleaner_pool.flush_remaining";
              decr remaining;
              if !remaining = 0 then Engine.wake t.eng me)))
     t.cleaners;
+  Engine.probe_atomic t.eng ~shared:"cleaner_pool.flush_remaining";
   if !remaining > 0 then Engine.park t.eng
 
 let buffers_cleaned t = t.n_buffers

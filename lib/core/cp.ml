@@ -137,10 +137,13 @@ let build_work t snapshot =
    frees dirty many container and bitmap blocks. *)
 let metafile_pass t =
   let current = ref None in
-  let tetrises = Hashtbl.create 8 in
+  (* Insertion-ordered set of tetrises (physical identity): hashing a
+     tetris record would make the final submit order depend on structural
+     hash internals. *)
+  let tetrises = ref [] in
   let note_tetris bucket =
     match Bucket.tetris bucket with
-    | Some tetris -> Hashtbl.replace tetrises tetris ()
+    | Some tetris -> if not (List.memq tetris !tetrises) then tetrises := tetris :: !tetrises
     | None -> ()
   in
   let put_current () =
@@ -196,19 +199,26 @@ let metafile_pass t =
     if not !progressed then continue_passes := false
   done;
   put_current ();
-  (* Phase B: parallel serialization + enqueue, batched per affinity. *)
+  (* Phase B: parallel serialization + enqueue, batched per affinity.
+     Batches are posted in first-appearance order of their affinity so
+     the message sequence is independent of hash internals. *)
   let batches = Hashtbl.create 16 in
+  let batch_order = ref [] in
   List.iter
     (fun ref_ ->
       let affinity = Infra.meta_affinity t.infra ref_ in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt batches affinity) in
-      Hashtbl.replace batches affinity (ref_ :: cur))
+      (match Hashtbl.find_opt batches affinity with
+      | None ->
+          batch_order := affinity :: !batch_order;
+          Hashtbl.add batches affinity [ ref_ ]
+      | Some cur -> Hashtbl.replace batches affinity (ref_ :: cur)))
     (List.rev !order);
   let outstanding = ref 0 in
   let me = Engine.self t.eng in
   let batch_size = 32 in
-  Hashtbl.iter
-    (fun affinity refs ->
+  List.iter
+    (fun affinity ->
+      let refs = Hashtbl.find batches affinity in
       let rec chunks = function
         | [] -> ()
         | refs ->
@@ -217,6 +227,9 @@ let metafile_pass t =
               else match rest with [] -> (acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
             in
             let batch, rest = take batch_size [] refs in
+            (* The fan-out countdown is shared with every phase-B message
+               (an atomic in a real kernel). *)
+            Engine.probe_atomic t.eng ~shared:"cp.meta_outstanding";
             incr outstanding;
             Infra.post_meta t.infra ~affinity (fun () ->
                 List.iter
@@ -226,16 +239,18 @@ let metafile_pass t =
                     Engine.consume t.cost.Cost.metafile_block_touch;
                     Api.enqueue_deferred bucket ~vbn:pvbn ~payload)
                   batch;
+                Engine.probe_atomic t.eng ~shared:"cp.meta_outstanding";
                 decr outstanding;
                 if !outstanding = 0 then Engine.wake t.eng me);
             chunks rest
       in
       chunks refs)
-    batches;
+    (List.rev !batch_order);
   if !outstanding > 0 then Engine.park t.eng;
+  Engine.probe_atomic t.eng ~shared:"cp.meta_outstanding";
   (* Force out the tetrises that received metafile blocks: their buckets
      may already have been returned and their cycles retired. *)
-  Hashtbl.iter (fun tetris () -> Tetris.submit_now tetris) tetrises;
+  List.iter Tetris.submit_now (List.rev !tetrises);
   (Hashtbl.length assigned, !passes)
 
 (* --- deferred file deletion ---------------------------------------------- *)
@@ -423,6 +438,7 @@ let serial_metafile_pass t =
   let written = ref 0 in
   let passes = ref 0 in
   let aggmap_assigned : (Aggregate.meta_ref, int) Hashtbl.t = Hashtbl.create 64 in
+  let aggmap_order = ref [] in
   let continue_passes = ref true in
   while !continue_passes do
     incr passes;
@@ -441,7 +457,8 @@ let serial_metafile_pass t =
                 Engine.consume t.cost.Cost.bitmap_bit_update;
                 Aggregate.commit_free_pvbn t.agg old
               end;
-              Hashtbl.add aggmap_assigned ref_ pvbn
+              Hashtbl.add aggmap_assigned ref_ pvbn;
+              aggmap_order := ref_ :: !aggmap_order
             end
         | _ ->
             progressed := true;
@@ -458,13 +475,16 @@ let serial_metafile_pass t =
       refs;
     if not !progressed then continue_passes := false
   done;
-  Hashtbl.iter
-    (fun ref_ pvbn ->
+  (* Write the settled activemap chunks in assignment order — iterating
+     the table would tie the I/O sequence to hash internals. *)
+  List.iter
+    (fun ref_ ->
+      let pvbn = Hashtbl.find aggmap_assigned ref_ in
       let payload = Aggregate.meta_payload t.agg ref_ in
       Engine.consume t.cost.Cost.metafile_block_touch;
       serial_enqueue_write t pvbn payload;
       incr written)
-    aggmap_assigned;
+    (List.rev !aggmap_order);
   (!written, !passes)
 
 (* --- repair of failed writes (fault injection) -------------------------- *)

@@ -2,6 +2,7 @@ open Wafl_sim
 open Wafl_fs
 module Sched = Wafl_waffinity.Scheduler
 module Aff = Wafl_waffinity.Affinity
+module Isolation = Wafl_waffinity.Isolation
 module Geometry = Wafl_storage.Geometry
 
 type config = {
@@ -79,18 +80,25 @@ let post t ~affinity body =
   Sched.post t.sched ~affinity ~label:"infra" body
 
 (* Commit-type messages are tracked so a CP can wait for every pending
-   allocation/free to reach the metafiles before serializing them. *)
+   allocation/free to reach the metafiles before serializing them.  The
+   pending counter is an atomic in a real kernel; the paired probes also
+   carry the release/acquire edges a quiescer relies on. *)
 let post_commit t ~affinity body =
+  if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"infra.pending_commits";
   t.pending_commits <- t.pending_commits + 1;
   post t ~affinity (fun () ->
       body ();
       t.pending_commits <- t.pending_commits - 1;
+      if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"infra.pending_commits";
       if t.pending_commits = 0 then ignore (Sync.Waitq.wake_all t.commit_idle))
 
 let quiesce_commits t =
   while t.pending_commits > 0 do
     Sync.Waitq.wait t.commit_idle
-  done
+  done;
+  (* Acquire every committed message's history before the caller reads
+     the metafiles those messages wrote. *)
+  if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"infra.pending_commits"
 
 (* --- cost helpers ------------------------------------------------------ *)
 
@@ -148,11 +156,20 @@ let refill_drive t st ~drive ~base ~lo_dbn =
   let lo = base + lo_dbn in
   let hi = base + lo_dbn + t.cfg.chunk - 1 in
   Engine.consume (t.cost.Cost.bucket_fixed +. t.cost.Cost.summary_update);
+  if Engine.sanitizing t.eng then
+    for b = lo / Layout.bits_per_map_block to hi / Layout.bits_per_map_block do
+      Engine.probe_locked t.eng ~shared:(Aggregate.agg_map_domain ~index:b) Race.Read
+    done;
   let vbns =
     scan_range t (Aggregate.agg_map t.agg) ~lo ~hi ~allocatable:(fun v ->
         Aggregate.pvbn_allocatable t.agg v)
   in
   t.n_filled <- t.n_filled + 1;
+  (* Per-cycle bookkeeping is shared across the group's Range affinities;
+     its mutations are chained (last commit -> refills -> commits), which
+     the paired probes express as release/acquire edges. *)
+  if Engine.sanitizing t.eng then
+    Engine.probe_atomic t.eng ~shared:(Printf.sprintf "infra.rg%d.cycle" st.rg);
   st.filled <- (drive, Array.of_list vbns) :: st.filled;
   st.refills_left <- st.refills_left - 1;
   if st.refills_left = 0 then begin
@@ -175,6 +192,8 @@ let refill_drive t st ~drive ~base ~lo_dbn =
   end
 
 let start_rg_cycle t st =
+  if Engine.sanitizing t.eng then
+    Engine.probe_atomic t.eng ~shared:(Printf.sprintf "infra.rg%d.cycle" st.rg);
   advance_rg_cursor t st;
   let lo_dbn = st.next_dbn in
   st.next_dbn <- st.next_dbn + t.cfg.chunk;
@@ -197,6 +216,8 @@ let commit_phys_bucket t st bucket =
   end
   else t.n_allocated <- t.n_allocated + List.length (Bucket.consumed bucket);
   t.n_committed <- t.n_committed + 1;
+  if Engine.sanitizing t.eng then
+    Engine.probe_atomic t.eng ~shared:(Printf.sprintf "infra.rg%d.cycle" st.rg);
   st.returned <- st.returned + 1;
   if st.returned = List.length st.drives then start_rg_cycle t st
 
@@ -220,12 +241,14 @@ let advance_vol_cursor t vs =
 (* Virtual buckets refill independently: volumes need no per-drive
    fairness, and independent refills keep the per-volume cache non-empty
    even while some buckets are parked with cleaner threads. *)
-let refill_virt t vs =
-  advance_vol_cursor t vs;
-  let lo = vs.next_bit in
-  let hi = min (Volume.vvbn_space vs.vol - 1) (lo + t.cfg.chunk - 1) in
-  vs.next_bit <- vs.next_bit + t.cfg.chunk;
+let scan_virt_chunk t vs ~lo ~hi =
   Engine.consume (t.cost.Cost.bucket_fixed +. t.cost.Cost.summary_update);
+  if Engine.sanitizing t.eng then begin
+    let vol = Volume.id vs.vol in
+    for b = lo / Layout.bits_per_map_block to hi / Layout.bits_per_map_block do
+      Engine.probe_locked t.eng ~shared:(Aggregate.vol_map_domain ~vol ~index:b) Race.Read
+    done
+  end;
   let vbns =
     scan_range t (Volume.vol_map vs.vol) ~lo ~hi ~allocatable:(fun v ->
         Aggregate.vvbn_allocatable t.agg ~vol:vs.vol v)
@@ -234,7 +257,25 @@ let refill_virt t vs =
   Sync.Channel.send vs.cache
     (Bucket.make ~target:(Bucket.Virt { vol = Volume.id vs.vol }) ~vbns:(Array.of_list vbns) ())
 
-let commit_virt_bucket t vs bucket =
+(* The cursor is cheap shared state (an atomic word in a real kernel),
+   but the map scan it steers must run under the Range affinity that owns
+   the map block being read.  [under] is the affinity the calling message
+   was posted to: when the cursor stays inside that Range's block — the
+   common case — the scan runs inline; when a region jump or chunk
+   boundary moves it into another Range, the scan is reposted under the
+   owning affinity instead of being run from the wrong one. *)
+let refill_virt t vs ~under =
+  if Engine.sanitizing t.eng then
+    Engine.probe_atomic t.eng ~shared:(Printf.sprintf "vol/%d.cursor" (Volume.id vs.vol));
+  advance_vol_cursor t vs;
+  let lo = vs.next_bit in
+  let hi = min (Volume.vvbn_space vs.vol - 1) (lo + t.cfg.chunk - 1) in
+  vs.next_bit <- vs.next_bit + t.cfg.chunk;
+  let want = virt_affinity t ~vol:(Volume.id vs.vol) ~sample_vvbn:lo in
+  if want = under then scan_virt_chunk t vs ~lo ~hi
+  else post t ~affinity:want (fun () -> scan_virt_chunk t vs ~lo ~hi)
+
+let commit_virt_bucket t vs ~under bucket =
   Engine.consume (t.cost.Cost.bucket_fixed +. t.cost.Cost.summary_update);
   if not (Bucket.is_committed bucket) then begin
     let used = Bucket.consumed bucket in
@@ -244,7 +285,7 @@ let commit_virt_bucket t vs bucket =
   end
   else t.n_allocated <- t.n_allocated + List.length (Bucket.consumed bucket);
   t.n_committed <- t.n_committed + 1;
-  refill_virt t vs
+  refill_virt t vs ~under
 
 (* --- public operations -------------------------------------------------- *)
 
@@ -275,8 +316,8 @@ let put t bucket =
         | None -> invalid_arg "Infra.put: unknown volume"
       in
       let sample = match Bucket.consumed bucket with v :: _ -> v | [] -> 0 in
-      post_commit t ~affinity:(virt_affinity t ~vol ~sample_vvbn:sample) (fun () ->
-          commit_virt_bucket t vs bucket)
+      let affinity = virt_affinity t ~vol ~sample_vvbn:sample in
+      post_commit t ~affinity (fun () -> commit_virt_bucket t vs ~under:affinity bucket)
 
 (* Split a free batch by Range affinity so independent ranges commit in
    parallel; within one message, charge per distinct metafile block. *)
@@ -288,12 +329,24 @@ let group_by_range t vbns =
       let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
       Hashtbl.replace tbl r (v :: cur))
     vbns;
+  (* lint-ok: sorted before use. *)
   Hashtbl.fold (fun r vs acc -> (r, List.rev vs) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let commit_frees t ~target ~vbns ~token =
+(* A loose-accounting token is staged by its owning cleaner while commit
+   messages flush it — concurrent by design, with atomic deltas in a real
+   kernel.  Probing it as atomic both documents that and gives the
+   detector the edge from the cleaner's staged history into the flush. *)
+let token_probe t ~owner =
+  match owner with
+  | Some idx when Engine.sanitizing t.eng ->
+      Engine.probe_atomic t.eng ~shared:(Printf.sprintf "cleaner/%d.token" idx)
+  | _ -> ()
+
+let commit_frees ?owner t ~target ~vbns ~token =
   if vbns <> [] then begin
     let flush_token () =
+      token_probe t ~owner;
       let updates = Counters.flush (Aggregate.counters t.agg) token in
       Engine.consume (float_of_int updates *. t.cost.Cost.lock_acquire)
     in
@@ -342,8 +395,9 @@ let meta_affinity t (ref_ : Aggregate.meta_ref) =
 
 let post_meta t ~affinity body = post t ~affinity body
 
-let flush_token t token =
+let flush_token ?owner t token =
   post_commit t ~affinity:(phys_affinity t ~sample_vbn:0) (fun () ->
+      token_probe t ~owner;
       let updates = Counters.flush (Aggregate.counters t.agg) token in
       Engine.consume (float_of_int updates *. t.cost.Cost.lock_acquire))
 
@@ -367,10 +421,24 @@ let register_vol_state t vol =
     in
     vs.next_bit <- vs.region * Aggregate.vvbn_region_bits;
     Hashtbl.add t.vols (Volume.id vol) vs;
+    (match Sched.isolation t.sched with
+    | Some iso ->
+        let vid = Volume.id vol in
+        let nblocks =
+          (Volume.vvbn_space vol + Layout.bits_per_map_block - 1) / Layout.bits_per_map_block
+        in
+        for b = 0 to nblocks - 1 do
+          (* The owner mirrors [virt_affinity]: in serialized mode the
+             whole infrastructure runs under Aggregate_vbn, so that is
+             the affinity that guards the block. *)
+          Isolation.register_owner iso
+            ~shared:(Aggregate.vol_map_domain ~vol:vid ~index:b)
+            (virt_affinity t ~vol:vid ~sample_vvbn:(b * Layout.bits_per_map_block))
+        done
+    | None -> ());
     for _ = 1 to t.cfg.vol_buckets_per_cycle do
-      post t
-        ~affinity:(virt_affinity t ~vol:(Volume.id vol) ~sample_vvbn:vs.next_bit)
-        (fun () -> refill_virt t vs)
+      let affinity = virt_affinity t ~vol:(Volume.id vol) ~sample_vvbn:vs.next_bit in
+      post t ~affinity (fun () -> refill_virt t vs ~under:affinity)
     done
   end
 
@@ -417,6 +485,18 @@ let create sched agg cfg =
       commit_idle = Sync.Waitq.create eng;
     }
   in
+  (match Sched.isolation sched with
+  | Some iso ->
+      let nblocks =
+        (Wafl_storage.Geometry.total_data_blocks geom + Layout.bits_per_map_block - 1)
+        / Layout.bits_per_map_block
+      in
+      for b = 0 to nblocks - 1 do
+        Isolation.register_owner iso
+          ~shared:(Aggregate.agg_map_domain ~index:b)
+          (phys_affinity t ~sample_vbn:(b * Layout.bits_per_map_block))
+      done
+  | None -> ());
   Array.iter
     (fun st ->
       (match Aggregate.select_aa agg ~rg:st.rg ~exclude:[] with
@@ -437,11 +517,12 @@ let dump t out =
       Printf.fprintf out "  rg %d: aa=%d next_dbn=%d returned=%d/%d refills_left=%d\n%!"
         st.rg st.aa st.next_dbn st.returned (List.length st.drives) st.refills_left)
     t.rgs;
-  Hashtbl.iter
-    (fun vid vs ->
-      Printf.fprintf out "  vol %d: cache=%d region=%d next_bit=%d\n%!" vid
-        (Sync.Channel.length vs.cache) vs.region vs.next_bit)
-    t.vols;
+  (* lint-ok: sorted before printing. *)
+  Hashtbl.fold (fun vid vs acc -> (vid, vs) :: acc) t.vols []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (vid, vs) ->
+         Printf.fprintf out "  vol %d: cache=%d region=%d next_bit=%d\n%!" vid
+           (Sync.Channel.length vs.cache) vs.region vs.next_bit);
   Printf.fprintf out "  infra: physcache=%d pending_commits=%d messages=%d\n%!"
     (Sync.Channel.length t.phys_cache) t.pending_commits t.n_messages
 

@@ -47,10 +47,13 @@ val put : t -> Bucket.t -> unit
 (** Enqueue a returned bucket for commit + refill (posts an
     infrastructure message; does not block). *)
 
-val commit_frees : t -> target:Stage.target -> vbns:int list -> token:Wafl_fs.Counters.token -> unit
+val commit_frees :
+  ?owner:int -> t -> target:Stage.target -> vbns:int list -> token:Wafl_fs.Counters.token -> unit
 (** Post messages committing staged frees to the allocation metafiles,
     split by metafile block range so they parallelize across Range
-    affinities.  Also applies the cleaner's loose-accounting token. *)
+    affinities.  Also applies the cleaner's loose-accounting token.
+    [owner] is the staging cleaner's index; when sanitizing, the token
+    flush probes that cleaner's token domain (see DESIGN.md §4.7). *)
 
 val meta_affinity : t -> Wafl_fs.Aggregate.meta_ref -> Wafl_waffinity.Affinity.t
 (** Range affinity under which a metafile block's CP write-out runs
@@ -59,9 +62,10 @@ val meta_affinity : t -> Wafl_fs.Aggregate.meta_ref -> Wafl_waffinity.Affinity.t
 val post_meta : t -> affinity:Wafl_waffinity.Affinity.t -> (unit -> unit) -> unit
 (** Post a metafile write-out message (CP phase B fan-out). *)
 
-val flush_token : t -> Wafl_fs.Counters.token -> unit
+val flush_token : ?owner:int -> t -> Wafl_fs.Counters.token -> unit
 (** Post a message applying a cleaner's loose-accounting token even when
-    no frees are staged (end-of-CP flush). *)
+    no frees are staged (end-of-CP flush).  [owner] as in
+    {!commit_frees}. *)
 
 val phys_cache_length : t -> int
 val virt_cache_length : t -> Wafl_fs.Volume.t -> int

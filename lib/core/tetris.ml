@@ -23,13 +23,23 @@ let create eng ~cost ~raid ~expected_buckets =
     blocks = 0;
   }
 
+(* The tetris dispatch structure is lock-protected in real WAFL (the I/O
+   dispatch lock, whose cost the write path amortizes); writers from any
+   affinity or cleaner may enqueue, so model it as atomic. *)
+let dispatch_probe t =
+  if Engine.sanitizing t.eng then
+    Engine.probe_atomic t.eng
+      ~shared:(Printf.sprintf "tetris.rg%d" (Wafl_storage.Raid.rg t.raid))
+
 let enqueue t ~vbn ~payload =
+  dispatch_probe t;
   t.pending <- (vbn, payload) :: t.pending;
   t.pending_count <- t.pending_count + 1
 
 let pending_blocks t = t.pending_count
 
 let submit_now t =
+  dispatch_probe t;
   if t.pending_count > 0 then begin
     let writes = List.rev t.pending in
     t.pending <- [];
@@ -40,6 +50,7 @@ let submit_now t =
   end
 
 let bucket_done t =
+  dispatch_probe t;
   t.outstanding <- t.outstanding - 1;
   if t.outstanding <= 0 then submit_now t
 

@@ -52,9 +52,21 @@ type t = {
 
 let create agg cfg =
   let eng = Wafl_fs.Aggregate.engine agg in
+  (* Sanitizing engines get the affinity-isolation checker: the scheduler
+     registers each message's affinity, the engine's access hook validates
+     every probe against it, and Infra registers the map-block owners. *)
+  let isolation =
+    if Wafl_sim.Engine.sanitizing eng then begin
+      let iso = Wafl_waffinity.Isolation.create () in
+      Wafl_sim.Engine.set_access_hook eng (fun fid shared _mode ->
+          Wafl_waffinity.Isolation.check iso ~fid ~shared);
+      Some iso
+    end
+    else None
+  in
   let sched =
-    Wafl_waffinity.Scheduler.create ?workers:cfg.workers eng ~cost:(Wafl_fs.Aggregate.cost agg)
-      ()
+    Wafl_waffinity.Scheduler.create ?workers:cfg.workers ?isolation eng
+      ~cost:(Wafl_fs.Aggregate.cost agg) ()
   in
   let infra =
     Infra.create sched agg

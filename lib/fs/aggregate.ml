@@ -19,6 +19,17 @@ exception Corruption of string
 
 let vvbn_region_bits = Layout.bits_per_map_block
 
+(* --- sanitizer data-domain names (DESIGN.md §4.7) ---
+
+   One domain per metafile map block: the partition-private unit the
+   affinity rules protect.  The same names are used by the allocation
+   probes here, the scan probes in Infra, and the Isolation owner map. *)
+
+let agg_map_domain ~index = Printf.sprintf "agg.map/%d" index
+let vol_map_domain ~vol ~index = Printf.sprintf "vol/%d.map/%d" vol index
+let pvbn_domain pvbn = agg_map_domain ~index:(pvbn / Layout.bits_per_map_block)
+let vvbn_domain ~vol vvbn = vol_map_domain ~vol ~index:(vvbn / Layout.bits_per_map_block)
+
 type t = {
   eng : Engine.t;
   cost : Cost.t;
@@ -92,6 +103,13 @@ let agg_map t = t.agg_map
 
 (* --- volumes and files --- *)
 
+(* The NVRAM log is an append-only device with its own internal ordering
+   (a lock in real WAFL whose cost the write path amortizes); appends
+   from different affinities are legal, so model it as atomic. *)
+let log_append t entry =
+  if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.nvlog";
+  Nvlog.append (nvlog t) entry
+
 let volume t vid = List.assoc_opt vid t.vols
 
 let volume_exn t vid =
@@ -120,7 +138,7 @@ let create_volume t ~vvbn_space =
   let vid = t.next_vol_id in
   let vol = Volume.create ~id:vid ~vvbn_space in
   register_volume t vol;
-  ignore (Nvlog.append (nvlog t) (Nvlog.Create_vol { vol = vid; vvbn_space }));
+  ignore (log_append t (Nvlog.Create_vol { vol = vid; vvbn_space }));
   vol
 
 let create_file t ~vol =
@@ -128,21 +146,21 @@ let create_file t ~vol =
   let fid = Volume.fresh_file_id v in
   let f = File.create ~vol ~id:fid in
   Volume.add_file v f;
-  ignore (Nvlog.append (nvlog t) (Nvlog.Create_file { vol; file = fid }));
+  ignore (log_append t (Nvlog.Create_file { vol; file = fid }));
   f
 
 let delete_file t ~vol ~file =
   let v = volume_exn t vol in
   let f = Volume.file_exn v file in
   Volume.mark_deleted v f;
-  ignore (Nvlog.append (nvlog t) (Nvlog.Delete_file { vol; file }))
+  ignore (log_append t (Nvlog.Delete_file { vol; file }))
 
 let write t ~vol ~file ~fbn ~content =
   let v = volume_exn t vol in
   let f = Volume.file_exn v file in
   File.write f ~fbn ~content;
   Volume.note_dirty v f;
-  match Nvlog.append (nvlog t) (Nvlog.Write { vol; file; fbn; content }) with
+  match log_append t (Nvlog.Write { vol; file; fbn; content }) with
   | `Ok -> `Ok
   | `Half_full -> `Log_half_full
 
@@ -193,6 +211,7 @@ let read_cached_status t ~vol ~file ~fbn =
                    (Printf.sprintf "vol %d file %d fbn %d: vvbn %d has no container entry"
                       vol file fbn vvbn))
           | pvbn -> (
+              if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.buffer_cache";
               let status = if Buffer_cache.probe t.cache pvbn then `Hit else `Miss in
               match read_pvbn t pvbn with
               | Some (Layout.Data d) when d.vol = vol && d.file = file && d.fbn = fbn ->
@@ -223,6 +242,7 @@ let aa_of_pvbn t pvbn =
   (loc.Geometry.rg, Geometry.aa_of_dbn t.geom loc.Geometry.dbn)
 
 let commit_alloc_pvbn t pvbn =
+  if Engine.sanitizing t.eng then Engine.probe_locked t.eng ~shared:(pvbn_domain pvbn) Race.Write;
   Bitmap_file.set t.agg_map pvbn;
   let rg, aa = aa_of_pvbn t pvbn in
   t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) - 1;
@@ -231,6 +251,10 @@ let commit_alloc_pvbn t pvbn =
 let snapshot_held t pvbn = List.exists (fun s -> Snapshot.holds s pvbn) t.snaps
 
 let commit_free_pvbn t pvbn =
+  if Engine.sanitizing t.eng then begin
+    Engine.probe_locked t.eng ~shared:(pvbn_domain pvbn) Race.Write;
+    Engine.probe_atomic t.eng ~shared:"fs.buffer_cache"
+  end;
   Bitmap_file.clear t.agg_map pvbn;
   (* The block's content is dead; a future occupant must read from disk. *)
   Buffer_cache.invalidate t.cache pvbn;
@@ -256,6 +280,8 @@ let region_free t vol =
   | None -> invalid_arg "Aggregate: unregistered volume"
 
 let commit_alloc_vvbn t ~vol vvbn =
+  if Engine.sanitizing t.eng then
+    Engine.probe_locked t.eng ~shared:(vvbn_domain ~vol:(Volume.id vol) vvbn) Race.Write;
   Bitmap_file.set (Volume.vol_map vol) vvbn;
   let regions = region_free t vol in
   let r = vvbn / vvbn_region_bits in
@@ -263,6 +289,8 @@ let commit_alloc_vvbn t ~vol vvbn =
   Counters.add t.counters (vol_free_counter (Volume.id vol)) (-1)
 
 let commit_free_vvbn t ~vol vvbn =
+  if Engine.sanitizing t.eng then
+    Engine.probe_locked t.eng ~shared:(vvbn_domain ~vol:(Volume.id vol) vvbn) Race.Write;
   Bitmap_file.clear (Volume.vol_map vol) vvbn;
   let regions = region_free t vol in
   let r = vvbn / vvbn_region_bits in
@@ -295,6 +323,7 @@ let vvbn_region_free t ~vol ~region = (region_free t vol).(region)
 let cp_snapshot t =
   if t.cp_in_progress then invalid_arg "Aggregate.cp_snapshot: CP already running";
   t.cp_in_progress <- true;
+  if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.nvlog";
   Nvlog.cp_begin (nvlog t);
   List.map (fun (_, v) -> (v, Volume.cp_snapshot v)) t.vols
 
@@ -341,9 +370,12 @@ let meta_payload t = function
       Layout.Container
         { vol; index; entries = Volume.container_entries (volume_exn t vol) index }
   | Vol_map_chunk { vol; index } ->
+      if Engine.sanitizing t.eng then
+        Engine.probe_locked t.eng ~shared:(vol_map_domain ~vol ~index) Race.Read;
       Layout.Vol_map
         { vol; index; words = Bitmap_file.words_of_block (Volume.vol_map (volume_exn t vol)) index }
   | Agg_map_chunk { index } ->
+      if Engine.sanitizing t.eng then Engine.probe_locked t.eng ~shared:(agg_map_domain ~index) Race.Read;
       Layout.Agg_map { index; words = Bitmap_file.words_of_block t.agg_map index }
 
 (* Current on-disk location of a metafile block, or -1 when the owning
@@ -407,6 +439,7 @@ let publish_superblock t sb =
   t.pers.p_sb <- Some sb;
   t.generation <- sb.Layout.generation;
   t.cp_count <- sb.Layout.cp_count;
+  if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.nvlog";
   Nvlog.cp_commit (nvlog t);
   Hashtbl.reset t.recently_freed;
   List.iter

@@ -112,6 +112,22 @@ val select_vvbn_region : t -> vol:Volume.t -> exclude:int list -> int option
 val vvbn_region_free : t -> vol:Volume.t -> region:int -> int
 val vvbn_region_bits : int
 
+(** {1 Sanitizer data domains}
+
+    Canonical shared-state ids for [Engine.probe] and the
+    {!Wafl_waffinity.Isolation} owner map: one domain per metafile map
+    block, the partition-private unit the affinity rules protect
+    (DESIGN.md §4.7). *)
+
+val agg_map_domain : index:int -> string
+val vol_map_domain : vol:int -> index:int -> string
+
+val pvbn_domain : int -> string
+(** Domain of the aggregate-map block covering this pvbn. *)
+
+val vvbn_domain : vol:int -> int -> string
+(** Domain of the volume-map block covering this vvbn. *)
+
 (** {1 Consistency-point support} *)
 
 val cp_snapshot : t -> (Volume.t * File.t list) list

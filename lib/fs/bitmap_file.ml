@@ -109,7 +109,7 @@ let count_free_in t ~lo ~hi =
 let words_scanned t = t.scanned
 
 let dirty_blocks t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] |> List.sort compare
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] |> List.sort compare (* lint-ok: sorted *)
 
 let dirty_count t = Hashtbl.length t.dirty
 let mark_dirty t i = Hashtbl.replace t.dirty i ()

@@ -57,7 +57,7 @@ let cp_snapshot t =
   t.cp_outstanding <- true
 
 let cp_buffers t =
-  Hashtbl.fold (fun fbn content acc -> (fbn, content) :: acc) t.cp []
+  Hashtbl.fold (fun fbn content acc -> (fbn, content) :: acc) t.cp [] (* lint-ok: sorted *)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let cp_buffer_count t = Hashtbl.length t.cp
@@ -67,7 +67,7 @@ let cp_done t =
   t.cp_outstanding <- false
 
 let dirty_bmap_blocks t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_bmap [] |> List.sort compare
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_bmap [] |> List.sort compare (* lint-ok *)
 
 let bmap_entries t index =
   let base = index * Layout.entries_per_bmap_block in

@@ -66,7 +66,11 @@ let file_exn t fid =
   | Some f -> f
   | None -> invalid_arg (Printf.sprintf "Volume %d: no file %d" t.id fid)
 
-let files t = Hashtbl.fold (fun _ f acc -> f :: acc) t.files []
+(* Sorted by file id: recovery and fsck walk this list, so its order must
+   not depend on hash internals. *)
+let files t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.files [] (* lint-ok: sorted below *)
+  |> List.sort (fun a b -> compare (File.id a) (File.id b))
 let file_count t = Hashtbl.length t.files
 
 let mark_deleted t file = t.zombies <- file :: t.zombies
@@ -123,7 +127,7 @@ let note_freed_vvbn t vvbn = Hashtbl.replace t.recent_frees vvbn ()
 let vvbn_reusable t vvbn = not (Hashtbl.mem t.recent_frees vvbn)
 let clear_recent_frees t = Hashtbl.reset t.recent_frees
 
-let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare (* lint-ok *)
 
 let dirty_container_chunks t = sorted_keys t.dirty_containers
 

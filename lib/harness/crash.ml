@@ -20,6 +20,7 @@ type outcome = {
   transient_retries : int;
   degraded_reads : int;
   rebuild_blocks : int;
+  races : int;
 }
 
 (* Same shape as the integration tests: 2 groups x 3 data drives, small
@@ -47,13 +48,14 @@ let expected_state surviving =
     surviving;
   expected
 
-let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ~seed () =
+let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize = false) ~seed
+    () =
   let geom = geometry () in
   let plan =
     Fault.random ~seed ~total_vbns:(Geometry.total_data_blocks geom) ~raid_groups ~drive_blocks
       ~horizon
   in
-  let eng = Engine.create ~cores:8 () in
+  let eng = Engine.create ~cores:8 ~sanitize () in
   let agg = Aggregate.create eng ~cost:Cost.default ~geometry:geom ~nvlog_half:2048 () in
   Disk.set_fault (Aggregate.disk agg) plan;
   let cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 6_000.0 } in
@@ -108,8 +110,9 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ~seed () =
   let pers = Aggregate.crash agg in
   let lost = ref 0 in
   let fsck_failure = ref None in
+  let races = ref (Engine.race_report_count eng) in
   (match
-     try `Ok (Aggregate.recover (Engine.create ~cores:8 ()) ~cost:Cost.default pers)
+     try `Ok (Aggregate.recover (Engine.create ~cores:8 ~sanitize ()) ~cost:Cost.default pers)
      with Aggregate.Corruption m -> `Corrupt m
    with
   | `Corrupt m ->
@@ -118,21 +121,27 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ~seed () =
   | `Ok agg2 ->
       let eng2 = Aggregate.engine agg2 in
       let walloc2 = Wafl_core.Walloc.create agg2 Wafl_core.Walloc.default_config in
+      (* Sorted oracle walk: the reads consume virtual time, so hash-order
+         iteration would make the verification run seed-dependent. *)
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) expected [] in (* lint-ok: sorted below *)
+      let keys = List.sort compare keys in
       ignore
         (Engine.spawn eng2 ~label:"verify" (fun () ->
              (* A post-recovery CP flushes the replayed state through the
                 still-degraded substrate, exercising the repair path. *)
              Wafl_core.Cp.run_now (Wafl_core.Walloc.cp walloc2);
-             Hashtbl.iter
-               (fun (vol, file, fbn) content ->
+             List.iter
+               (fun ((vol, file, fbn) as k) ->
+                 let content = Hashtbl.find expected k in
                  match
                    try Aggregate.read agg2 ~vol ~file ~fbn
                    with Aggregate.Corruption _ -> None
                  with
                  | Some c when c = content -> ()
                  | _ -> incr lost)
-               expected));
+               keys));
       Engine.run eng2;
+      races := !races + Engine.race_report_count eng2;
       (try Aggregate.fsck agg2 with Failure m -> fsck_failure := Some m);
       Aggregate.refresh_fault_counters agg2);
   {
@@ -150,12 +159,13 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ~seed () =
     transient_retries = Fault.transient_retries plan;
     degraded_reads = Fault.degraded_reads plan;
     rebuild_blocks = Fault.rebuild_blocks plan;
+    races = !races;
   }
 
 let passed o = o.lost = 0 && o.fsck_failure = None
 
-let run_seeds ?ops ?fbn_space ?horizon ~first_seed ~count () =
-  List.init count (fun i -> run_one ?ops ?fbn_space ?horizon ~seed:(first_seed + i) ())
+let run_seeds ?ops ?fbn_space ?horizon ?sanitize ~first_seed ~count () =
+  List.init count (fun i -> run_one ?ops ?fbn_space ?horizon ?sanitize ~seed:(first_seed + i) ())
 
 let summarize outcomes =
   let n = List.length outcomes in

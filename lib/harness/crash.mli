@@ -33,20 +33,24 @@ type outcome = {
   transient_retries : int;
   degraded_reads : int;
   rebuild_blocks : int;
+  races : int;  (** race-detector reports across crash run + recovery (0 unless sanitizing) *)
 }
 
-val run_one : ?ops:int -> ?fbn_space:int -> ?horizon:float -> seed:int -> unit -> outcome
+val run_one :
+  ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> seed:int -> unit -> outcome
 (** One crash-recover-verify cycle.  [ops] (default 100_000) caps the
     workload; the client keeps writing until the horizon so the crash
     lands mid-activity.  [horizon] (default 60_000 µs) bounds the
-    virtual run; the plan crashes in its back 70%. *)
+    virtual run; the plan crashes in its back 70%.  [sanitize] (default
+    false) runs both the crash run and the recovery engine under the
+    race detector and isolation checker. *)
 
 val passed : outcome -> bool
 (** No acknowledged write lost and fsck clean. *)
 
 val run_seeds :
-  ?ops:int -> ?fbn_space:int -> ?horizon:float -> first_seed:int -> count:int -> unit ->
-  outcome list
+  ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> first_seed:int ->
+  count:int -> unit -> outcome list
 
 val summarize : outcome list -> string
 (** Multi-line human-readable summary: pass/fail count, how many seeds

@@ -5,6 +5,10 @@ let of_env () =
   | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 1.0)
   | None -> ( match Sys.getenv_opt "WAFL_QUICK" with Some ("1" | "true") -> 0.25 | _ -> 1.0)
 
+(* When set (the --sanitize flag), every experiment spec derived from
+   [spec_base] runs under the race detector and isolation checker. *)
+let sanitize = ref false
+
 let spec_base ~scale =
   let d = Driver.default_spec in
   {
@@ -13,6 +17,7 @@ let spec_base ~scale =
     measure = Float.max 200_000.0 (d.Driver.measure *. scale);
     workload =
       Driver.Seq_write { file_blocks = max 2048 (int_of_float (16384.0 *. scale)) };
+    sanitize = !sanitize;
   }
 
 let wa_config ?(cleaners = 4) ?max_cleaners ?(parallel_infra = true) ?(dynamic = false)

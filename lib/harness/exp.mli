@@ -8,6 +8,11 @@
 val of_env : unit -> float
 (** Scale factor from the environment; 1.0 by default. *)
 
+val sanitize : bool ref
+(** When set (the CLI's --sanitize flag), every spec derived from
+    [spec_base] runs under the race detector and isolation checker.
+    Results are bit-identical either way; any report is a bug. *)
+
 val spec_base : scale:float -> Wafl_workload.Driver.spec
 (** The common 20-core paper-platform spec: SSD aggregate of 2 RAID
     groups x (10 + 2) drives, 40 Fibre-Channel-style clients, 2 volumes,

@@ -38,6 +38,8 @@ and t = {
   mutable window_start : float;
   mutable switches : int;
   mutable all_fibers : fiber list; (* for stalled-fiber diagnosis *)
+  race : Race.t option; (* Some iff created with ~sanitize:true *)
+  mutable access_hook : (int -> string -> Race.mode -> unit) option;
 }
 
 (* --- binary min-heap on (time, seq) --- *)
@@ -97,7 +99,7 @@ let heap_peek t = if t.heap_len = 0 then None else Some t.heap.(0)
 
 (* --- engine --- *)
 
-let create ?(quantum = 100.0) ~cores () =
+let create ?(quantum = 100.0) ?(sanitize = false) ~cores () =
   if cores <= 0 then invalid_arg "Engine.create: cores must be positive";
   {
     n_cores = cores;
@@ -115,10 +117,60 @@ let create ?(quantum = 100.0) ~cores () =
     window_start = 0.0;
     switches = 0;
     all_fibers = [];
+    race = (if sanitize then Some (Race.create ()) else None);
+    access_hook = None;
   }
 
 let cores t = t.n_cores
 let now t = t.clock
+
+(* --- sanitizer plumbing --- *)
+
+let sanitizing t = t.race <> None
+let race t = t.race
+let current_fid t = match t.current with Some f -> f.fid | None -> Race.main_fid
+let current_label t = match t.current with Some f -> f.label | None -> "main"
+
+let probe t ~shared mode =
+  match t.race with
+  | None -> ()
+  | Some r ->
+      let fid = current_fid t in
+      Race.access r ~fid ~label:(current_label t) ~now:t.clock ~shared mode;
+      (match t.access_hook with Some h -> h fid shared mode | None -> ())
+
+(* Models an operation on an atomically/lock-protected structure whose
+   lock the simulation does not charge: a paired acquire+release on a
+   per-id sync clock.  Never reports; orders this fiber after every
+   earlier probe_atomic on the same id. *)
+let probe_atomic t ~shared =
+  match t.race with
+  | None -> ()
+  | Some r ->
+      let fid = current_fid t in
+      let sync = Race.sync_id r shared in
+      Race.acquire r ~fid ~sync;
+      Race.release r ~fid ~sync
+
+(* An access under a per-id lock the simulation does not charge (e.g. a
+   buffer lock): the access is recorded — so the isolation checker still
+   validates it against the running affinity — but it happens inside an
+   acquire/release pair on the id's sync clock, so same-id accesses are
+   totally ordered and never reported as races. *)
+let probe_locked t ~shared mode =
+  match t.race with
+  | None -> ()
+  | Some r ->
+      let fid = current_fid t in
+      let sync = Race.sync_id r shared in
+      Race.acquire r ~fid ~sync;
+      Race.access r ~fid ~label:(current_label t) ~now:t.clock ~shared mode;
+      (match t.access_hook with Some h -> h fid shared mode | None -> ());
+      Race.release r ~fid ~sync
+
+let set_access_hook t h = t.access_hook <- Some h
+let race_reports t = match t.race with None -> [] | Some r -> Race.reports r
+let race_report_count t = match t.race with None -> 0 | Some r -> Race.n_reports r
 
 let schedule t time action =
   let ev = { time; seq = t.next_seq; action } in
@@ -140,6 +192,11 @@ let finish_fiber t f =
   f.state <- Done;
   t.live <- t.live - 1;
   release_core t;
+  (match t.race with
+  | Some r ->
+      List.iter (fun w -> Race.edge r ~from_:f.fid ~to_:w.fid) f.join_waiters;
+      Race.finish_fiber r ~fid:f.fid
+  | None -> ());
   List.iter (fun w -> enqueue_runnable t w) f.join_waiters;
   f.join_waiters <- []
 
@@ -228,6 +285,9 @@ let spawn t ?(label = "other") ?at body =
   t.next_fid <- t.next_fid + 1;
   t.live <- t.live + 1;
   t.all_fibers <- f :: t.all_fibers;
+  (match t.race with
+  | Some r -> Race.add_fiber r ~parent:(current_fid t) ~fid:f.fid
+  | None -> ());
   (match at with
   | None -> enqueue_runnable t f
   | Some time ->
@@ -265,10 +325,13 @@ let run ?until t =
   done;
   (* If we stopped because of [until] there may still be runnable fibers;
      leave them queued for the next call. *)
-  match until with
+  (match until with
   | Some limit when t.clock < limit && t.heap_len = 0 && Queue.is_empty t.runnable ->
       t.clock <- limit
-  | _ -> ()
+  | _ -> ());
+  (* The host context now observes everything that ran (cooperative,
+     single-threaded), so its clock must dominate all of it. *)
+  match t.race with Some r -> Race.absorb_all r | None -> ()
 
 let stalled_fibers t =
   if t.heap_len > 0 || not (Queue.is_empty t.runnable) then []
@@ -301,7 +364,11 @@ let park t =
 
 let wake t f =
   match f.state with
-  | Parked -> enqueue_runnable t f
+  | Parked ->
+      (match t.race with
+      | Some r -> Race.edge r ~from_:(current_fid t) ~to_:f.fid
+      | None -> ());
+      enqueue_runnable t f
   | _ -> invalid_arg "Engine.wake: fiber is not parked"
 
 let join t f =
@@ -310,6 +377,11 @@ let join t f =
     f.join_waiters <- me :: f.join_waiters;
     Effect.perform Park
   end
+  else
+    (* Already finished: the waiter still inherits the fiber's history. *)
+    match t.race with
+    | Some r -> Race.edge r ~from_:f.fid ~to_:(self t).fid
+    | None -> ()
 
 (* --- accounting --- *)
 
@@ -320,6 +392,7 @@ let reset_accounting t =
 let busy t label = match Hashtbl.find_opt t.busy_tbl label with Some r -> !r | None -> 0.0
 
 let busy_labels t =
+  (* lint-ok: sorted before use. *)
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.busy_tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -333,7 +406,9 @@ let utilization t =
   let w = window t in
   if w <= 0.0 then 0.0
   else
-    let total = Hashtbl.fold (fun _ r acc -> acc +. !r) t.busy_tbl 0.0 in
+    (* Sum in sorted label order: float addition is not associative, so a
+       hash-order sum would depend on table internals. *)
+    let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (busy_labels t) in
     total /. (w *. float_of_int t.n_cores)
 
 let context_switches t = t.switches

@@ -25,11 +25,18 @@ type t
 type fiber
 (** Handle to a simulated thread. *)
 
-val create : ?quantum:float -> cores:int -> unit -> t
+val create : ?quantum:float -> ?sanitize:bool -> cores:int -> unit -> t
 (** [create ~cores ()] makes an engine with [cores] virtual cores and an
     empty event queue at virtual time 0.  [quantum] (default [100.0]
     virtual microseconds, [0.0] disables) bounds how long a fiber may hold
-    a core across consume boundaries while other work is runnable. *)
+    a core across consume boundaries while other work is runnable.
+
+    [sanitize] (default [false]) attaches a {!Race} happens-before
+    detector: the engine feeds it every scheduling edge, {!Sync}
+    primitives add release/acquire edges, and {!probe} calls become
+    live.  Probes never consume virtual time or schedule anything, so
+    a sanitized run produces bit-identical results to an unsanitized
+    one; with [sanitize:false] every probe is a single branch. *)
 
 val cores : t -> int
 val now : t -> float
@@ -116,3 +123,44 @@ val utilization : t -> float
 
 val context_switches : t -> int
 (** Dispatches of a fiber onto a core since engine creation. *)
+
+(** {1 Sanitizer support}
+
+    See DESIGN.md §4.7.  All of these are no-ops (or return the empty
+    value) unless the engine was created with [~sanitize:true]. *)
+
+val sanitizing : t -> bool
+val race : t -> Race.t option
+
+val current_fid : t -> int
+(** The running fiber's id, or {!Race.main_fid} outside fiber context.
+    Unlike {!self} this never raises. *)
+
+val probe : t -> shared:string -> Race.mode -> unit
+(** Declare an access to the shared mutable state named [shared] from
+    the current context; the race detector checks it against every
+    concurrent access to the same id, and the access hook (the
+    affinity-isolation checker, when wired) validates it against the
+    running message's affinity. *)
+
+val probe_atomic : t -> shared:string -> unit
+(** Declare an operation on a structure that the real system protects
+    with a lock or atomic whose cost this simulation does not model
+    (buffer cache, nvlog, tetris dispatch, message queues): a paired
+    release/acquire on a per-[shared] sync clock.  Never reports. *)
+
+val probe_locked : t -> shared:string -> Race.mode -> unit
+(** {!probe}, but performed inside an acquire/release pair on [shared]'s
+    own sync clock: models data a per-item lock protects (a metafile
+    buffer lock), where affinity rules prevent lock {e contention} rather
+    than providing the only exclusion.  The access hook still validates
+    the touch against the running affinity, but same-id accesses are
+    serialized by the lock and never reported as races. *)
+
+val set_access_hook : t -> (int -> string -> Race.mode -> unit) -> unit
+(** Install the isolation checker's callback, invoked on every {!probe}
+    with the running fiber id, shared id and mode.  It may raise to
+    abort the run with a diagnostic. *)
+
+val race_reports : t -> Race.report list
+val race_report_count : t -> int

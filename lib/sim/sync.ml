@@ -29,10 +29,11 @@ module Mutex = struct
     eng : Engine.t;
     mutex_name : string;
     acquire_cost : float;
-    mutable owner : int option; (* fiber id *)
+    mutable owner : Engine.fiber option;
     waiters : Engine.fiber Queue.t;
     mutable n_acquires : int;
     mutable n_contended : int;
+    race_sync : int option; (* release/acquire clock when sanitizing *)
   }
 
   let create ?(name = "mutex") ?acquire_cost eng =
@@ -47,32 +48,52 @@ module Mutex = struct
       waiters = Queue.create ();
       n_acquires = 0;
       n_contended = 0;
+      race_sync = (match Engine.race eng with Some r -> Some (Race.new_sync r) | None -> None);
     }
+
+  let race_acquire t =
+    match (Engine.race t.eng, t.race_sync) with
+    | Some r, Some sync -> Race.acquire r ~fid:(Engine.current_fid t.eng) ~sync
+    | _ -> ()
+
+  let race_release t =
+    match (Engine.race t.eng, t.race_sync) with
+    | Some r, Some sync -> Race.release r ~fid:(Engine.current_fid t.eng) ~sync
+    | _ -> ()
+
+  let fiber_desc f = Printf.sprintf "%s#%d" (Engine.fiber_label f) (Engine.fiber_id f)
+  let holder_desc t = match t.owner with Some f -> fiber_desc f | None -> "nobody"
 
   let lock t =
     let me = Engine.self t.eng in
     Engine.consume t.acquire_cost;
     t.n_acquires <- t.n_acquires + 1;
-    match t.owner with
-    | None -> t.owner <- Some (Engine.fiber_id me)
-    | Some owner_id ->
-        if owner_id = Engine.fiber_id me then
-          invalid_arg (Printf.sprintf "Mutex %s: recursive lock" t.mutex_name);
+    (match t.owner with
+    | None -> t.owner <- Some me
+    | Some owner ->
+        if Engine.fiber_id owner = Engine.fiber_id me then
+          invalid_arg
+            (Printf.sprintf "Mutex %s: recursive lock by %s" t.mutex_name (fiber_desc me));
         t.n_contended <- t.n_contended + 1;
         Queue.push me t.waiters;
         Engine.park t.eng
         (* Ownership is transferred by [unlock]; when we resume we already
-           hold the mutex. *)
+           hold the mutex. *));
+    race_acquire t
 
   let unlock t =
     let me = Engine.self t.eng in
     (match t.owner with
-    | Some owner_id when owner_id = Engine.fiber_id me -> ()
-    | _ -> invalid_arg (Printf.sprintf "Mutex %s: unlock by non-owner" t.mutex_name));
+    | Some owner when Engine.fiber_id owner = Engine.fiber_id me -> ()
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Mutex %s: unlock by %s but held by %s" t.mutex_name (fiber_desc me)
+             (holder_desc t)));
+    race_release t;
     match Queue.take_opt t.waiters with
     | None -> t.owner <- None
     | Some next ->
-        t.owner <- Some (Engine.fiber_id next);
+        t.owner <- Some next;
         Engine.wake t.eng next
 
   let with_lock t f =
@@ -99,7 +120,14 @@ module Condition = struct
      park" cannot lose a wakeup: no other fiber runs between the unlock and
      the park effect. *)
   let wait t m =
-    Queue.push (Engine.self t.eng) t.waiters;
+    let me = Engine.self t.eng in
+    (match m.Mutex.owner with
+    | Some owner when Engine.fiber_id owner = Engine.fiber_id me -> ()
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Condition.wait: mutex %s not held by %s but by %s"
+             (Mutex.name m) (Mutex.fiber_desc me) (Mutex.holder_desc m)));
+    Queue.push me t.waiters;
     Mutex.unlock m;
     Engine.park t.eng;
     Mutex.lock m
@@ -120,6 +148,7 @@ module Channel = struct
     items : 'a Queue.t;
     senders : Engine.fiber Queue.t;
     receivers : Engine.fiber Queue.t;
+    race_sync : int option;
   }
 
   let create ?capacity eng =
@@ -132,7 +161,20 @@ module Channel = struct
       items = Queue.create ();
       senders = Queue.create ();
       receivers = Queue.create ();
+      race_sync = (match Engine.race eng with Some r -> Some (Race.new_sync r) | None -> None);
     }
+
+  (* A send is a release and a successful receive an acquire on the
+     channel's clock: a receiver is ordered after every prior sender. *)
+  let race_release t =
+    match (Engine.race t.eng, t.race_sync) with
+    | Some r, Some sync -> Race.release r ~fid:(Engine.current_fid t.eng) ~sync
+    | _ -> ()
+
+  let race_acquire t =
+    match (Engine.race t.eng, t.race_sync) with
+    | Some r, Some sync -> Race.acquire r ~fid:(Engine.current_fid t.eng) ~sync
+    | _ -> ()
 
   let is_full t =
     match t.capacity with None -> false | Some c -> Queue.length t.items >= c
@@ -143,6 +185,7 @@ module Channel = struct
       Engine.park t.eng
     done;
     Queue.push v t.items;
+    race_release t;
     match Queue.take_opt t.receivers with
     | None -> ()
     | Some f -> Engine.wake t.eng f
@@ -150,6 +193,7 @@ module Channel = struct
   let rec recv t =
     match Queue.take_opt t.items with
     | Some v ->
+        race_acquire t;
         (match Queue.take_opt t.senders with
         | None -> ()
         | Some f -> Engine.wake t.eng f);
@@ -162,6 +206,7 @@ module Channel = struct
   let try_recv t =
     match Queue.take_opt t.items with
     | Some v ->
+        race_acquire t;
         (match Queue.take_opt t.senders with
         | None -> ()
         | Some f -> Engine.wake t.eng f);

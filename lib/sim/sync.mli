@@ -36,7 +36,8 @@ module Mutex : sig
 
   val lock : t -> unit
   val unlock : t -> unit
-  (** Raises [Invalid_argument] if the calling fiber does not hold [t]. *)
+  (** Raises [Invalid_argument] — naming the mutex, the calling fiber
+      and the actual holder — if the calling fiber does not hold [t]. *)
 
   val with_lock : t -> (unit -> 'a) -> 'a
   val name : t -> string
@@ -52,7 +53,9 @@ module Condition : sig
   val create : Engine.t -> t
   val wait : t -> Mutex.t -> unit
   (** Atomically release the mutex and park; the mutex is re-acquired
-      before returning. *)
+      before returning.  Raises [Invalid_argument] — naming the mutex,
+      the caller and the actual holder — if the caller does not hold
+      it. *)
 
   val signal : t -> unit
   val broadcast : t -> unit

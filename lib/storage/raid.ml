@@ -39,6 +39,7 @@ let stripe_mix t writes =
       let cur = Option.value ~default:0 (Hashtbl.find_opt per_dbn loc.Geometry.dbn) in
       Hashtbl.replace per_dbn loc.Geometry.dbn (cur + 1))
     writes;
+  (* Counting full/partial stripes commutes over the visit order. lint-ok *)
   Hashtbl.fold
     (fun _ n (full, partial) -> if n >= t.data_width then (full + 1, partial) else (full, partial + 1))
     per_dbn (0, 0)

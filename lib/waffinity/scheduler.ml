@@ -21,9 +21,13 @@ type t = {
   by_kind : (string, int ref) Hashtbl.t;
   mutable wait_time : float;
   idle : Sync.Waitq.t;
+  isolation : Isolation.t option;
+  mutable chaos_misattribute : Affinity.t option;
+      (* test-only: the next posted message is mislabelled with this
+         affinity, as if a grant guard were dropped *)
 }
 
-let create ?workers eng ~cost () =
+let create ?workers ?isolation eng ~cost () =
   let workers = match workers with Some w -> w | None -> Engine.cores eng in
   if workers <= 0 then invalid_arg "Scheduler.create: workers must be positive";
   {
@@ -38,7 +42,12 @@ let create ?workers eng ~cost () =
     by_kind = Hashtbl.create 16;
     wait_time = 0.0;
     idle = Sync.Waitq.create eng;
+    isolation;
+    chaos_misattribute = None;
   }
+
+let isolation t = t.isolation
+let set_chaos_misattribute t aff = t.chaos_misattribute <- aff
 
 let rec node t aff =
   match Hashtbl.find_opt t.nodes aff with
@@ -106,13 +115,27 @@ and start t m =
   activate m.node;
   t.executing <- t.executing + 1;
   t.wait_time <- t.wait_time +. (Engine.now t.eng -. m.posted_at);
+  (* The queue hand-off orders the poster before the message body even
+     when the granting dispatch runs in an unrelated fiber. *)
+  Engine.probe_atomic t.eng ~shared:"sched.queue";
   ignore
     (Engine.spawn t.eng ~label:m.label (fun () ->
          Engine.consume t.cost.Cost.msg_dispatch;
+         (match t.isolation with
+         | Some iso ->
+             Isolation.enter iso ~fid:(Engine.current_fid t.eng) ~affinity:m.node.aff
+               ~label:m.label
+         | None -> ());
          (try m.body ()
           with exn ->
+            (match t.isolation with
+            | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
+            | None -> ());
             release m.node;
             raise exn);
+         (match t.isolation with
+         | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
+         | None -> ());
          release m.node;
          t.executing <- t.executing - 1;
          t.executed <- t.executed + 1;
@@ -121,9 +144,17 @@ and start t m =
          dispatch t))
 
 let post t ~affinity ~label body =
+  let affinity =
+    match t.chaos_misattribute with
+    | Some chaos ->
+        t.chaos_misattribute <- None;
+        chaos
+    | None -> affinity
+  in
   let m = { node = node t affinity; label; body; posted_at = Engine.now t.eng } in
   t.pending <- t.pending @ [ m ];
   t.pending_count <- t.pending_count + 1;
+  Engine.probe_atomic t.eng ~shared:"sched.queue";
   dispatch t
 
 let post_wait t ~affinity ~label body =
@@ -147,6 +178,7 @@ let executing t = t.executing
 let executed_total t = t.executed
 
 let executed_by_kind t =
+  (* lint-ok: sorted before use. *)
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 

@@ -17,8 +17,20 @@
 type t
 
 val create :
-  ?workers:int -> Wafl_sim.Engine.t -> cost:Wafl_sim.Cost.t -> unit -> t
-(** [workers] defaults to the engine's core count. *)
+  ?workers:int -> ?isolation:Isolation.t -> Wafl_sim.Engine.t -> cost:Wafl_sim.Cost.t -> unit -> t
+(** [workers] defaults to the engine's core count.  When [isolation] is
+    given, every message fiber is registered with the checker for its
+    lifetime, so [Engine.probe] calls from message context are validated
+    against the message's affinity (see {!Isolation}). *)
+
+val isolation : t -> Isolation.t option
+
+val set_chaos_misattribute : t -> Affinity.t option -> unit
+(** Test-only chaos hook (compare [Cp.chaos_publish_before_quiesce]):
+    the next posted message is granted and checked under the given
+    affinity instead of its own — simulating a message posted to the
+    wrong affinity, i.e. a dropped isolation guard.  The sanitizers must
+    catch the resulting violation. *)
 
 val post : t -> affinity:Affinity.t -> label:string -> (unit -> unit) -> unit
 (** Fire-and-forget message.  [label] is the CPU accounting class the

@@ -25,6 +25,7 @@ type spec = {
   warmup : float;
   measure : float;
   seed : int;
+  sanitize : bool;
 }
 
 let paper_geometry () =
@@ -48,6 +49,7 @@ let default_spec =
     warmup = 300_000.0;
     measure = 1_000_000.0;
     seed = 42;
+    sanitize = false;
   }
 
 type result = {
@@ -77,6 +79,7 @@ type result = {
   full_stripes : int;
   partial_stripes : int;
   read_contiguity : float;
+  races : int;  (** race-detector reports (0 unless [sanitize]; must stay 0) *)
 }
 
 let cores_write_alloc r = r.cores_cleaner +. r.cores_infra
@@ -153,7 +156,7 @@ type recorder = {
 let stripe_of_fbn fbn = fbn / 1024 mod 16
 
 let run spec =
-  let eng = Engine.create ~cores:spec.cores () in
+  let eng = Engine.create ~cores:spec.cores ~sanitize:spec.sanitize () in
   let agg =
     Aggregate.create eng ~cost:spec.cost ~geometry:spec.geometry ~nvlog_half:spec.nvlog_half
       ~cache_blocks:spec.cache_blocks ()
@@ -394,6 +397,7 @@ let run spec =
                    cf.files)
            client_files;
          if !n = 0 then 0.0 else !total /. float_of_int !n);
+      races = Engine.race_report_count eng;
     }
   in
   stop := true;

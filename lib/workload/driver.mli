@@ -40,6 +40,7 @@ type spec = {
   warmup : float;  (** virtual µs *)
   measure : float;
   seed : int;
+  sanitize : bool;  (** run under the race detector and isolation checker *)
 }
 
 val default_spec : spec
@@ -76,6 +77,7 @@ type result = {
   read_contiguity : float;
       (** average physically-contiguous run length walking files in fbn
           order — the sequential-read quality of the final layout *)
+  races : int;  (** race-detector reports (0 unless [sanitize]; must stay 0) *)
 }
 
 val cores_write_alloc : result -> float

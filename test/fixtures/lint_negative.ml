@@ -1,0 +1,13 @@
+(* Negative fixture for wafl_lint: every construct below must be flagged.
+   This file has no dune stanza — it is never compiled, only parsed by
+   the lint self-check in `make lint`. *)
+
+let _bad_entropy () = Random.self_init ()
+let _bad_clock () = Unix.gettimeofday ()
+let _bad_cpu_clock () = Sys.time ()
+let _bad_order tbl = Hashtbl.iter (fun _ v -> print_int v) tbl
+let _bad_fold tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let _bad_mutation agg = Wafl_fs.Aggregate.commit_alloc_pvbn agg 42
+
+(* Suppressed: the fold result is sorted before use. lint-ok *)
+let _ok_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

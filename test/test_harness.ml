@@ -40,6 +40,7 @@ let synthetic ?(throughput = 100_000.0) ?(cores_cleaner = 1.0) ?(cores_infra = 0
     full_stripes = 1000;
     partial_stripes = 10;
     read_contiguity = 50.0;
+    races = 0;
   }
 
 let all_ok shapes = List.for_all snd shapes

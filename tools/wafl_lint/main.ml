@@ -1,0 +1,134 @@
+(* Determinism lint for the simulator sources.
+
+   The whole repository leans on one property: a run is a pure function
+   of its spec.  The simulator gets that from cooperative scheduling and
+   virtual time, and loses it the moment somebody reads a wall clock,
+   pulls entropy from the global [Random] state, or iterates a [Hashtbl]
+   in hash order where the order feeds back into scheduling.  This tool
+   walks every .ml file's AST (via compiler-libs) and flags:
+
+   - any use of the [Random] module outside the seeded [Util.Rng]
+     wrapper (rng.ml itself is exempt);
+   - wall-clock reads: [Unix.gettimeofday], [Unix.time], [Sys.time];
+   - hash-order iteration: [Hashtbl.iter] / [Hashtbl.fold] (insertion
+     hashing makes the visit order an implementation detail);
+   - qualified calls to the aggregate's partition-state mutators
+     ([commit_alloc_pvbn] & friends) outside infra.ml / cp.ml — all
+     other code must go through the Scheduler.post affinity API.
+
+   A finding is suppressed when the token "lint-ok" appears on the
+   flagged line or the line directly above it (typically in a comment
+   explaining why the use is safe, e.g. a Hashtbl.fold whose result is
+   sorted before use). *)
+
+let findings = ref 0
+
+type source = { name : string; lines : string array }
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  (s, Array.of_list (String.split_on_char '\n' s))
+
+let contains_sub line sub =
+  let ls = String.length sub and ll = String.length line in
+  let rec go i = i + ls <= ll && (String.sub line i ls = sub || go (i + 1)) in
+  go 0
+
+let suppressed src lnum =
+  let check i = i >= 1 && i <= Array.length src.lines && contains_sub src.lines.(i - 1) "lint-ok" in
+  check lnum || check (lnum - 1)
+
+let report src (loc : Location.t) msg =
+  let lnum = loc.loc_start.pos_lnum in
+  if not (suppressed src lnum) then begin
+    incr findings;
+    Printf.printf "%s:%d: %s\n" src.name lnum msg
+  end
+
+let base name = Filename.basename name
+
+let partition_mutators =
+  [ "commit_alloc_pvbn"; "commit_free_pvbn"; "commit_alloc_vvbn"; "commit_free_vvbn" ]
+
+(* Files allowed to touch the bitmap partitions directly: the
+   infrastructure module that owns them and the CP engine's serial /
+   repair paths (which run with the aggregate quiesced). *)
+let mutator_whitelist = [ "infra.ml"; "cp.ml"; "aggregate.ml" ]
+
+let check_path src loc path =
+  match path with
+  | "Random" :: _ when base src.name <> "rng.ml" ->
+      report src loc
+        "use of the global Random module; draw from the seeded Util.Rng instead (determinism)"
+  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+      report src loc
+        (Printf.sprintf "wall-clock read %s; use the engine's virtual clock (Engine.now)"
+           (String.concat "." path))
+  | _ -> (
+      match List.rev path with
+      | field :: "Hashtbl" :: _ when field = "iter" || field = "fold" ->
+          report src loc
+            (Printf.sprintf
+               "Hashtbl.%s visits in hash order; iterate a sorted or insertion-ordered key \
+                list (or mark lint-ok if the result is order-insensitive)"
+               field)
+      | field :: _ :: _ when List.mem field partition_mutators ->
+          if not (List.mem (base src.name) mutator_whitelist) then
+            report src loc
+              (Printf.sprintf
+                 "%s mutates partitioned bitmap state; only Infra/Cp may call it — post a \
+                  message under the owning affinity instead"
+                 field)
+      | _ -> ())
+
+let iterator src =
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_path src loc (Longident.flatten txt)
+    | Pexp_open ({ popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ }, _) ->
+        (* [let open Random in ...] smuggles the module in unqualified. *)
+        check_path src loc (Longident.flatten txt)
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let open_description it (od : Parsetree.open_description) =
+    check_path src od.popen_expr.loc (Longident.flatten od.popen_expr.txt);
+    default_iterator.open_description it od
+  in
+  { default_iterator with expr; open_description }
+
+let lint_file path =
+  let text, lines = read_lines path in
+  let src = { name = path; lines } in
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast ->
+      let it = iterator src in
+      it.Ast_iterator.structure it ast
+  | exception _ ->
+      incr findings;
+      Printf.printf "%s:1: parse error (file skipped)\n" path
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry ->
+        let child = Filename.concat path entry in
+        if Sys.is_directory child || Filename.check_suffix entry ".ml" then walk child)
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then lint_file path
+
+let () =
+  let roots = match Array.to_list Sys.argv with _ :: [] -> [ "lib" ] | _ :: r -> r | [] -> [] in
+  List.iter walk roots;
+  if !findings > 0 then begin
+    Printf.printf "wafl_lint: %d finding(s)\n" !findings;
+    exit 1
+  end
