@@ -1,4 +1,4 @@
-.PHONY: all build test lint sanitize check bench clean
+.PHONY: all build test lint sanitize trace-smoke check bench bench-quick clean
 
 all: build
 
@@ -33,8 +33,18 @@ sanitize:
 	dune exec bin/wafl_sim.exe -- run --measure 0.5 --sanitize
 	dune exec bin/wafl_sim.exe -- crash --seeds 5 --sanitize
 
+# Observability smoke: a tiny traced run must export a trace file that
+# is valid Chrome trace-event JSON (the obs test suite checks the JSON
+# in depth; this just proves the CLI path end to end).
+trace-smoke:
+	dune build bin/wafl_sim.exe
+	dune exec bin/wafl_sim.exe -- trace --seed 1 --measure 0.05 --out _build/trace_smoke.json
+	@test -s _build/trace_smoke.json && echo "trace smoke OK: _build/trace_smoke.json"
+
 # Full gate: build everything (lib/ with warnings as errors), run the
-# whole test suite, the determinism lint, the sanitized smoke, then a
+# whole test suite (including the Wafl_obs suite: span nesting, trace
+# parse-back, byte-identical same-seed traces, off-vs-on bit-identity),
+# the determinism lint, the sanitized smoke, a traced-run smoke, then a
 # 5-seed crash-harness smoke (random fault plans, crash, recover, fsck,
 # acknowledged-write verification).
 check:
@@ -42,10 +52,15 @@ check:
 	dune runtest
 	$(MAKE) lint
 	$(MAKE) sanitize
+	$(MAKE) trace-smoke
 	dune exec bin/wafl_sim.exe -- crash --seeds 5
 
 bench:
 	dune exec bench/main.exe
+
+# Quarter-scale benchmark pass; still writes BENCH_paper.json.
+bench-quick:
+	WAFL_QUICK=1 dune exec bench/main.exe
 
 clean:
 	dune clean

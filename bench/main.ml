@@ -7,14 +7,79 @@
      WAFL_SCALE=0.5 ...                    # custom scale *)
 
 module H = Wafl_harness
+module J = Wafl_obs.Json
 
 let section name = Printf.printf "\n=== %s ===\n%!" name
 
+(* One record per figure, accumulated for BENCH_paper.json. *)
+type record = {
+  r_name : string;
+  r_wall_s : float;
+  r_virtual_us : float;  (** simulated virtual time across the figure's runs *)
+  r_shapes : (string * bool) list;
+}
+
+let records : record list ref = ref []
+
+let virtual_total () =
+  (* Driver.run accumulates each run's final virtual clock here. *)
+  Wafl_obs.Metrics.counter_value Wafl_obs.Metrics.default "virtual_time_us"
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
+  let v0 = virtual_total () in
   let shapes = f () in
-  Printf.printf "  [%s: %.1fs wall]\n%!" name (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  let virt = virtual_total () -. v0 in
+  Printf.printf "  [%s: %.1fs wall, %.2fs virtual]\n%!" name wall (virt /. 1e6);
+  records := { r_name = name; r_wall_s = wall; r_virtual_us = virt; r_shapes = shapes } :: !records;
   shapes
+
+(* BENCH_paper.json schema (all times in the named unit):
+     { "schema": "wafl-bench/1",
+       "scale": float,            -- WAFL_SCALE factor the harness ran at
+       "total_wall_s": float,
+       "total_virtual_us": float, -- summed simulated time of every run
+       "shapes_ok": int, "shapes_total": int,
+       "figures": [ { "name": str, "wall_s": float, "virtual_us": float,
+                      "shapes": [ { "name": str, "ok": bool } ] } ] }
+   Figures appear in execution order; "shapes" are the qualitative
+   paper-vs-measured assertions also printed in the shape summary. *)
+let write_json ~scale ~total_wall path =
+  let figs =
+    List.rev_map
+      (fun r ->
+        J.Obj
+          [
+            ("name", J.Str r.r_name);
+            ("wall_s", J.Num r.r_wall_s);
+            ("virtual_us", J.Num r.r_virtual_us);
+            ( "shapes",
+              J.Arr
+                (List.map
+                   (fun (n, ok) -> J.Obj [ ("name", J.Str n); ("ok", J.Bool ok) ])
+                   r.r_shapes) );
+          ])
+      !records
+  in
+  let shapes = List.concat_map (fun r -> r.r_shapes) !records in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "wafl-bench/1");
+        ("scale", J.Num scale);
+        ("total_wall_s", J.Num total_wall);
+        ("total_virtual_us", J.Num (virtual_total ()));
+        ("shapes_ok", J.Num (float_of_int (List.length (List.filter snd shapes))));
+        ("shapes_total", J.Num (float_of_int (List.length shapes)));
+        ("figures", J.Arr figs);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 let figures scale =
   let all = ref [] in
@@ -206,4 +271,6 @@ let () =
   let t0 = Unix.gettimeofday () in
   figures scale;
   micro ();
-  Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let total_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal wall time: %.1fs\n" total_wall;
+  write_json ~scale ~total_wall "BENCH_paper.json"

@@ -16,15 +16,37 @@ let sanitize_arg =
   in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Attach the virtual-time tracer to every run of the experiment and write the last \
+     run's Chrome trace-event JSON to $(docv). Tracing never changes results."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let run_experiment name runner =
   let doc = Printf.sprintf "Reproduce %s." name in
-  let action scale sanitize =
+  let action scale sanitize trace_out =
     H.Exp.sanitize := sanitize;
-    let shapes = runner scale in
+    let last = ref Wafl_obs.Trace.disabled in
+    if trace_out <> None then
+      H.Exp.trace :=
+        Some
+          (fun eng ->
+            let t = Wafl_obs.Trace.create eng in
+            last := t;
+            t);
+    let shapes = Fun.protect ~finally:(fun () -> H.Exp.trace := None) (fun () -> runner scale) in
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Wafl_obs.Trace.export_string !last);
+        close_out oc;
+        Printf.printf "wrote %s (the experiment's last run)\n" path);
     H.Exp.print_shapes shapes;
     if List.for_all snd shapes then `Ok () else `Error (false, "some shape checks missed")
   in
-  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ scale_arg $ sanitize_arg))
+  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ scale_arg $ sanitize_arg $ trace_arg))
 
 let fig4 scale =
   let rows = H.Fig4.run ~scale () in
@@ -149,6 +171,76 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
     r.Driver.partial_stripes;
   if sanitize then Printf.printf "sanitizer      %d race reports\n" r.Driver.races
 
+(* --- traced run --- *)
+
+let traced_run workload cleaners clients cores measure_s seed out sample_interval top =
+  let wl =
+    match workload with
+    | `Seq -> Driver.Seq_write { file_blocks = 16384 }
+    | `Rand -> Driver.Rand_write { file_blocks = 16384 }
+    | `Oltp -> Driver.Oltp { file_blocks = 16384; read_fraction = 0.67 }
+    | `Nfs -> Driver.Nfs_mix { files_per_client = 48; file_blocks = 64 }
+  in
+  let cfg = H.Exp.wa_config ~cleaners ~max_cleaners:(max cleaners 4) () in
+  let tracer = ref Wafl_obs.Trace.disabled in
+  let spec =
+    {
+      Driver.default_spec with
+      Driver.workload = wl;
+      cfg;
+      clients;
+      cores;
+      measure = measure_s *. 1_000_000.0;
+      seed;
+      obs =
+        (fun eng ->
+          let t = Wafl_obs.Trace.create ~sample_interval eng in
+          tracer := t;
+          t);
+    }
+  in
+  let r = Driver.run spec in
+  let t = !tracer in
+  let buf = Buffer.create 65536 in
+  Wafl_obs.Trace.export t buf;
+  let oc = open_out out in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s: %d events retained, %d dropped\n" out
+    (Wafl_obs.Trace.event_count t) (Wafl_obs.Trace.dropped t);
+  Printf.printf "run: %d ops, %.0f ops/s, %d CPs\n\n" r.Driver.ops r.Driver.throughput
+    r.Driver.cps_completed;
+  print_string (Wafl_obs.Trace.profile_table ~top t);
+  print_newline ();
+  let elapsed =
+    match Wafl_obs.Trace.engine t with Some eng -> Wafl_sim.Engine.now eng | None -> 0.0
+  in
+  print_string (Wafl_fs.Report.perf ~elapsed (Wafl_obs.Trace.metrics t))
+
+let trace_cmd =
+  let doc =
+    "Run one configuration with the tracer attached and export a Chrome trace-event JSON \
+     file (load it in Perfetto or chrome://tracing): CP phase spans, per-affinity message \
+     spans, RAID I/O spans, cleaner work spans and a counter/gauge timeseries — all in \
+     virtual time.  Also prints the virtual-CPU profile and an operator performance \
+     summary.  Deterministic: the same seed produces a byte-identical trace."
+  in
+  let workload =
+    Arg.(value & opt workload_conv `Seq & info [ "workload"; "w" ] ~docv:"KIND" ~doc:"Workload: seq, rand, oltp or nfs.")
+  in
+  let cleaners = Arg.(value & opt int 4 & info [ "cleaners" ] ~docv:"N" ~doc:"Cleaner threads.") in
+  let clients = Arg.(value & opt int 40 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.") in
+  let cores = Arg.(value & opt int 20 & info [ "cores" ] ~docv:"N" ~doc:"Simulated cores.") in
+  let measure = Arg.(value & opt float 0.5 & info [ "measure" ] ~docv:"SECONDS" ~doc:"Virtual measurement window.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let out = Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output file.") in
+  let sample_interval = Arg.(value & opt float 10_000.0 & info [ "sample-interval" ] ~docv:"US" ~doc:"Counter/gauge sampling period in virtual us (0 disables the timeseries).") in
+  let top = Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows in the virtual-CPU profile table.") in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const traced_run $ workload $ cleaners $ clients $ cores $ measure $ seed $ out
+      $ sample_interval $ top)
+
 (* --- randomized crash-point harness --- *)
 
 let crash_run seeds first_seed ops fbn_space horizon verbose sanitize =
@@ -229,5 +321,6 @@ let () =
             run_experiment "crossover" crossover;
             run_experiment "all" all;
             run_cmd;
+            trace_cmd;
             crash_cmd;
           ]))

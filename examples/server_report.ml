@@ -1,6 +1,7 @@
 (* Operator's view: run a mixed workload against the simulated controller
-   and print the df/snap-list style reports plus the per-CP history —
-   the observability a storage admin of the real system would expect.
+   and print the df/snap-list style reports plus the per-CP history and
+   the Wafl_obs performance summary — the observability a storage admin
+   of the real system would expect.
 
      dune exec examples/server_report.exe *)
 
@@ -9,12 +10,13 @@ open Wafl_fs
 
 let () =
   let eng = Engine.create ~cores:12 () in
+  let obs = Wafl_obs.Trace.create eng in
   let geometry =
     Wafl_storage.Geometry.create ~drive_blocks:32768 ~aa_stripes:1024
       ~raid_groups:[ (5, 1); (5, 1) ] ()
   in
-  let agg = Aggregate.create eng ~cost:Cost.default ~geometry ~nvlog_half:8192 () in
-  let walloc = Wafl_core.Walloc.create agg Wafl_core.Walloc.default_config in
+  let agg = Aggregate.create eng ~cost:Cost.default ~geometry ~nvlog_half:8192 ~obs () in
+  let walloc = Wafl_core.Walloc.create ~obs agg Wafl_core.Walloc.default_config in
   ignore
     (Engine.spawn eng ~label:"app" (fun () ->
          let vol_a = Aggregate.create_volume agg ~vvbn_space:131072 in
@@ -76,6 +78,9 @@ let () =
                cp.Wafl_core.Cp.buffers cp.Wafl_core.Cp.meta_blocks cp.Wafl_core.Cp.passes
                (cp.Wafl_core.Cp.duration /. 1000.0))
            (Wafl_core.Cp.history (Wafl_core.Walloc.cp walloc));
+         print_endline "\n== performance (Wafl_obs) ==";
+         print_string
+           (Report.perf ~elapsed:(Engine.now eng) (Wafl_obs.Trace.metrics obs));
          Aggregate.fsck agg;
          print_endline "\nfsck: clean"));
   Engine.run eng

@@ -27,6 +27,11 @@ type t = {
   eng : Engine.t;
   cost : Cost.t;
   infra : Infra.t;
+  obs : Wafl_obs.Trace.t;
+  m_busy : Wafl_obs.Metrics.counter;
+  m_work : Wafl_obs.Metrics.counter;
+  g_active : Wafl_obs.Metrics.gauge;
+  g_pending : Wafl_obs.Metrics.gauge;
   cleaners : cleaner array;
   mutable n_active : int;
   mutable pending_msgs : int;
@@ -42,6 +47,7 @@ type t = {
    cumulative busy figure that survives engine accounting resets. *)
 let charge t d =
   t.busy <- t.busy +. d;
+  Wafl_obs.Metrics.addf t.m_busy d;
   Engine.consume d
 
 (* --- bucket acquisition ------------------------------------------------- *)
@@ -225,7 +231,12 @@ let cleaner_loop t c () =
         (* Per-message cost: dispatch plus waking the thread — the
            overhead batched inode cleaning amortizes (SV-C). *)
         charge t (t.cost.Cost.msg_dispatch +. t.cost.Cost.thread_wake);
-        List.iter (clean_segment t c) segments;
+        if Wafl_obs.Trace.enabled t.obs then
+          Wafl_obs.Trace.with_span t.obs ~cat:"cleaner" ~name:"clean work"
+            ~args:[ ("segments", string_of_int (List.length segments)) ]
+            (fun () -> List.iter (clean_segment t c) segments)
+        else List.iter (clean_segment t c) segments;
+        Wafl_obs.Metrics.incr t.m_work;
         if Sync.Channel.length c.chan = 0 then release_buckets t c;
         t.n_messages <- t.n_messages + 1;
         (* Queue-depth bookkeeping is shared with submitters (an atomic
@@ -234,6 +245,7 @@ let cleaner_loop t c () =
         Engine.probe_atomic t.eng ~shared:"cleaner_pool.state";
         c.queued <- c.queued - 1;
         t.pending_msgs <- t.pending_msgs - 1;
+        Wafl_obs.Metrics.set t.g_pending (float_of_int t.pending_msgs);
         if t.pending_msgs = 0 then ignore (Sync.Waitq.wake_all t.idle);
         Engine.yield ();
         loop ()
@@ -246,17 +258,23 @@ let cleaner_loop t c () =
 
 (* --- pool management ---------------------------------------------------- *)
 
-let create infra ~max_threads ~initial_threads =
+let create ?(obs = Wafl_obs.Trace.disabled) infra ~max_threads ~initial_threads =
   if max_threads <= 0 then invalid_arg "Cleaner_pool.create: no threads";
   let initial = max 1 (min initial_threads max_threads) in
   let agg = Infra.aggregate infra in
   let eng = Aggregate.engine agg in
   let counters = Aggregate.counters agg in
+  let m = Wafl_obs.Trace.metrics obs in
   let t =
     {
       eng;
       cost = Aggregate.cost agg;
       infra;
+      obs;
+      m_busy = Wafl_obs.Metrics.counter m "cleaner.busy_us";
+      m_work = Wafl_obs.Metrics.counter m "cleaner.work_msgs";
+      g_active = Wafl_obs.Metrics.gauge m "cleaner.active";
+      g_pending = Wafl_obs.Metrics.gauge m "cleaner.pending_msgs";
       cleaners =
         Array.init max_threads (fun idx ->
             {
@@ -281,6 +299,7 @@ let create infra ~max_threads ~initial_threads =
       busy = 0.0;
     }
   in
+  Wafl_obs.Metrics.set t.g_active (float_of_int initial);
   Array.iter
     (fun c -> ignore (Engine.spawn eng ~label:"cleaner" (cleaner_loop t c)))
     t.cleaners;
@@ -308,7 +327,8 @@ let set_active t n =
   if n > t.n_active then
     (* Waking dormant threads has a cost (§V-B). *)
     Engine.consume (float_of_int (n - t.n_active) *. t.cost.Cost.thread_wake);
-  t.n_active <- n
+  t.n_active <- n;
+  Wafl_obs.Metrics.set t.g_active (float_of_int n)
 
 let submit t work =
   Engine.probe_atomic t.eng ~shared:"cleaner_pool.state";
@@ -318,6 +338,7 @@ let submit t work =
   done;
   !best.queued <- !best.queued + 1;
   t.pending_msgs <- t.pending_msgs + 1;
+  Wafl_obs.Metrics.set t.g_pending (float_of_int t.pending_msgs);
   Sync.Channel.send !best.chan (Work work)
 
 let wait_idle t =

@@ -23,7 +23,12 @@ type work = segment list
 
 type t
 
-val create : Infra.t -> max_threads:int -> initial_threads:int -> t
+val create : ?obs:Wafl_obs.Trace.t -> Infra.t -> max_threads:int -> initial_threads:int -> t
+(** [obs] (default disabled) wraps each cleaner work message in a
+    ["clean work"] span and records pool utilization under the
+    ["cleaner."] metric prefix (cumulative busy time, active-thread and
+    pending-message gauges). *)
+
 val engine : t -> Wafl_sim.Engine.t
 val max_threads : t -> int
 val active : t -> int

@@ -46,6 +46,10 @@ type t = {
   pool : Cleaner_pool.t;
   cfg : config;
   agg : Aggregate.t;
+  obs : Wafl_obs.Trace.t;
+  m_cps : Wafl_obs.Metrics.counter;
+  h_cp : Wafl_obs.Metrics.histo;
+  m_cp_buffers : Wafl_obs.Metrics.counter;
   serial : serial_state;
   mutable history : record list; (* newest first, bounded *)
   mutable requested : bool;
@@ -58,7 +62,23 @@ type t = {
   mutable last_meta : int;
   mutable last_passes : int;
   mutable phase : string;
+  mutable phase_start : float;
 }
+
+(* Phase transition: closes the previous phase's span (the CP timeline in
+   the exported trace) and records its duration in a per-phase histogram.
+   "idle" delimits CPs and is never emitted as a span. *)
+let set_phase t name =
+  (if t.phase <> "idle" then begin
+     let dur = Engine.now t.eng -. t.phase_start in
+     Wafl_obs.Metrics.observe
+       (Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) ("cp.phase_us." ^ t.phase))
+       dur;
+     if Wafl_obs.Trace.enabled t.obs then
+       Wafl_obs.Trace.complete t.obs ~cat:"cp" ~name:("cp " ^ t.phase) ~ts:t.phase_start ~dur ()
+   end);
+  t.phase <- name;
+  t.phase_start <- Engine.now t.eng
 
 (* --- work distribution (batching + segmentation, §V-C) ------------------ *)
 
@@ -592,10 +612,10 @@ let publish_commit t =
 let run_cp t =
   let started = Engine.now t.eng in
   t.is_running <- true;
-  t.phase <- "snapshot";
+  set_phase t "snapshot";
   Engine.consume t.cost.Cost.cp_fixed;
   let snapshot = Aggregate.cp_snapshot t.agg in
-  t.phase <- "zombies";
+  set_phase t "zombies";
   process_zombies t;
   (* Deleted files must not also be cleaned. *)
   let deleted (vol, _) file = Volume.file vol (File.id file) = None in
@@ -609,13 +629,13 @@ let run_cp t =
   let meta_blocks, passes =
     if t.cfg.serial_cleaning then begin
       (* Historical path: everything in the Serial affinity. *)
-      t.phase <- "cleaning";
+      set_phase t "cleaning";
       List.iter
         (fun (_, files) ->
           List.iter (fun f -> buffers_total := !buffers_total + File.cp_buffer_count f) files)
         snapshot;
       serial_clean t snapshot;
-      t.phase <- "metafiles";
+      set_phase t "metafiles";
       Engine.set_label t.eng "infra";
       let result =
         Wafl_waffinity.Scheduler.post_wait (Infra.scheduler t.infra)
@@ -624,7 +644,7 @@ let run_cp t =
       in
       Engine.set_label t.eng "cp";
       if !chaos_publish_before_quiesce then publish_commit t;
-      t.phase <- "io-flush";
+      set_phase t "io-flush";
       serial_flush_io t;
       Array.iter Wafl_storage.Raid.quiesce (Aggregate.raid_groups t.agg);
       result
@@ -640,27 +660,27 @@ let run_cp t =
                 (fun a (s : Cleaner_pool.segment) -> a + List.length s.buffers)
                 0 w)
           0 work;
-      t.phase <- "cleaning";
+      set_phase t "cleaning";
       List.iter (fun w -> Cleaner_pool.submit t.pool w) work;
       Cleaner_pool.wait_idle t.pool;
       (* Phase 2: return every bucket and stage, and let the infrastructure
          apply all outstanding commits. *)
-      t.phase <- "flush";
+      set_phase t "flush";
       Cleaner_pool.flush_and_wait t.pool;
-      t.phase <- "quiesce-commits";
+      set_phase t "quiesce-commits";
       Infra.quiesce_commits t.infra;
       (* Phase 3: relocate and write dirty metafile blocks.  This is
          metafile processing, so account it as infrastructure work. *)
-      t.phase <- "metafiles";
+      set_phase t "metafiles";
       Engine.set_label t.eng "infra";
       let result = metafile_pass t in
       Engine.set_label t.eng "cp";
-      t.phase <- "quiesce-commits-2";
+      set_phase t "quiesce-commits-2";
       Infra.quiesce_commits t.infra;
       if !chaos_publish_before_quiesce then publish_commit t;
       (* Phase 4: push out all remaining buffered blocks and wait for
          durability. *)
-      t.phase <- "io-flush";
+      set_phase t "io-flush";
       List.iter Tetris.submit_now (Infra.live_tetrises t.infra);
       Array.iter Wafl_storage.Raid.quiesce (Aggregate.raid_groups t.agg);
       result
@@ -668,7 +688,7 @@ let run_cp t =
   in
   (* Phase 4.5: re-allocate writes the RAID layer failed permanently, so
      the superblock published next only references durable blocks. *)
-  t.phase <- "repair";
+  set_phase t "repair";
   ignore (repair_failed_writes t);
   (* Phase 5: the atomic commit. *)
   if not !chaos_publish_before_quiesce then publish_commit t;
@@ -678,6 +698,19 @@ let run_cp t =
   t.last_buffers <- !buffers_total;
   t.last_meta <- meta_blocks;
   t.last_passes <- passes;
+  Wafl_obs.Metrics.incr t.m_cps;
+  Wafl_obs.Metrics.observe t.h_cp t.last_duration;
+  Wafl_obs.Metrics.add t.m_cp_buffers !buffers_total;
+  if Wafl_obs.Trace.enabled t.obs then
+    Wafl_obs.Trace.complete t.obs ~cat:"cp" ~name:"CP" ~ts:started ~dur:t.last_duration
+      ~num_args:
+        [
+          ("generation", float_of_int (Aggregate.generation t.agg));
+          ("buffers", float_of_int !buffers_total);
+          ("meta_blocks", float_of_int meta_blocks);
+          ("passes", float_of_int passes);
+        ]
+      ();
   t.history <-
     {
       generation = Aggregate.generation t.agg;
@@ -690,7 +723,7 @@ let run_cp t =
     :: (if List.length t.history >= 64 then List.filteri (fun i _ -> i < 63) t.history
         else t.history);
   t.is_running <- false;
-  t.phase <- "idle";
+  set_phase t "idle";
   ignore (Sync.Waitq.wake_all t.completion)
 
 let manager_loop t () =
@@ -718,9 +751,10 @@ let run_now t =
     Sync.Waitq.wait t.completion
   done
 
-let create infra pool cfg =
+let create ?(obs = Wafl_obs.Trace.disabled) infra pool cfg =
   let agg = Infra.aggregate infra in
   let eng = Aggregate.engine agg in
+  let m = Wafl_obs.Trace.metrics obs in
   let t =
     {
       eng;
@@ -729,6 +763,10 @@ let create infra pool cfg =
       pool;
       cfg;
       agg;
+      obs;
+      m_cps = Wafl_obs.Metrics.counter m "cp.count";
+      h_cp = Wafl_obs.Metrics.histogram m "cp.duration_us";
+      m_cp_buffers = Wafl_obs.Metrics.counter m "cp.buffers_cleaned";
       serial =
         {
           pvbn_cursor = 0;
@@ -755,6 +793,7 @@ let create infra pool cfg =
       last_meta = 0;
       last_passes = 0;
       phase = "idle";
+      phase_start = 0.0;
     }
   in
   ignore (Engine.spawn eng ~label:"cp" (manager_loop t));

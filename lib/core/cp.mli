@@ -27,9 +27,12 @@ val default_config : config
 
 type t
 
-val create : Infra.t -> Cleaner_pool.t -> config -> t
+val create : ?obs:Wafl_obs.Trace.t -> Infra.t -> Cleaner_pool.t -> config -> t
 (** Spawns the CP manager fiber (label ["cp"]) and, if configured, the
-    timer fiber. *)
+    timer fiber.  [obs] (default disabled) records the CP phase timeline:
+    one ["cp <phase>"] span per phase, a whole-["CP"] span with
+    buffer/metafile counts, per-phase duration histograms
+    (["cp.phase_us.<phase>"]) and CP count/duration metrics. *)
 
 val request : t -> unit
 (** Ask for a CP; no-op if one is already running (it will run again

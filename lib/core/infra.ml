@@ -40,6 +40,7 @@ type t = {
   sched : Sched.t;
   agg : Aggregate.t;
   cfg : config;
+  obs : Wafl_obs.Trace.t;
   agg_id : int;
   phys_cache : Bucket.t Sync.Channel.t;
   rgs : rg_state array;
@@ -174,7 +175,7 @@ let refill_drive t st ~drive ~base ~lo_dbn =
   st.refills_left <- st.refills_left - 1;
   if st.refills_left = 0 then begin
     let tetris =
-      Tetris.create t.eng ~cost:t.cost
+      Tetris.create ~obs:t.obs t.eng ~cost:t.cost
         ~raid:(Aggregate.raid t.agg ~rg:st.rg)
         ~expected_buckets:(List.length st.filled)
     in
@@ -444,7 +445,7 @@ let register_vol_state t vol =
 
 let register_volume t vol = register_vol_state t vol
 
-let create sched agg cfg =
+let create ?(obs = Wafl_obs.Trace.disabled) sched agg cfg =
   if cfg.chunk <= 0 || cfg.ranges <= 0 || cfg.vol_buckets_per_cycle <= 0 then
     invalid_arg "Infra.create: bad configuration";
   let eng = Aggregate.engine agg in
@@ -460,7 +461,7 @@ let create sched agg cfg =
           refills_left = 0;
           filled = [];
           tetris =
-            Tetris.create eng ~cost:(Aggregate.cost agg) ~raid:(Aggregate.raid agg ~rg)
+            Tetris.create ~obs eng ~cost:(Aggregate.cost agg) ~raid:(Aggregate.raid agg ~rg)
               ~expected_buckets:0;
         })
   in
@@ -471,6 +472,7 @@ let create sched agg cfg =
       sched;
       agg;
       cfg;
+      obs;
       agg_id = 0;
       phys_cache = Sync.Channel.create eng;
       rgs;

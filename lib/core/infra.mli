@@ -28,9 +28,11 @@ val default_config : config
 
 type t
 
-val create : Wafl_waffinity.Scheduler.t -> Wafl_fs.Aggregate.t -> config -> t
+val create :
+  ?obs:Wafl_obs.Trace.t -> Wafl_waffinity.Scheduler.t -> Wafl_fs.Aggregate.t -> config -> t
 (** Registers every existing volume and kicks off the initial refill
-    cycles (the bucket cache is being filled as this returns). *)
+    cycles (the bucket cache is being filled as this returns).  [obs]
+    (default disabled) is handed to each cycle's {!Tetris}. *)
 
 val register_volume : t -> Wafl_fs.Volume.t -> unit
 val config : t -> config

@@ -3,6 +3,7 @@ open Wafl_sim
 type t = {
   eng : Engine.t;
   raid : Wafl_fs.Layout.block Wafl_storage.Raid.t;
+  m_fill : Wafl_obs.Metrics.histo;
   mutable pending : (int * Wafl_fs.Layout.block) list; (* newest first *)
   mutable pending_count : int;
   mutable outstanding : int;
@@ -10,12 +11,13 @@ type t = {
   mutable blocks : int;
 }
 
-let create eng ~cost ~raid ~expected_buckets =
+let create ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~raid ~expected_buckets =
   ignore cost;
   if expected_buckets < 0 then invalid_arg "Tetris.create: negative bucket count";
   {
     eng;
     raid;
+    m_fill = Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics obs) "tetris.fill_blocks";
     pending = [];
     pending_count = 0;
     outstanding = expected_buckets;
@@ -41,6 +43,7 @@ let pending_blocks t = t.pending_count
 let submit_now t =
   dispatch_probe t;
   if t.pending_count > 0 then begin
+    Wafl_obs.Metrics.observe t.m_fill (float_of_int t.pending_count);
     let writes = List.rev t.pending in
     t.pending <- [];
     t.ios <- t.ios + 1;

@@ -12,11 +12,15 @@
 type t
 
 val create :
+  ?obs:Wafl_obs.Trace.t ->
   Wafl_sim.Engine.t ->
   cost:Wafl_sim.Cost.t ->
   raid:Wafl_fs.Layout.block Wafl_storage.Raid.t ->
   expected_buckets:int ->
   t
+(** [obs] (default disabled) records the tetris fill — blocks accumulated
+    per submitted I/O — in the ["tetris.fill_blocks"] histogram, the
+    quantity behind the full-vs-partial-stripe mix. *)
 
 val enqueue : t -> vbn:int -> payload:Wafl_fs.Layout.block -> unit
 val pending_blocks : t -> int

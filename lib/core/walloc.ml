@@ -50,7 +50,7 @@ type t = {
   tuner : Tuner.t option;
 }
 
-let create agg cfg =
+let create ?(obs = Wafl_obs.Trace.disabled) agg cfg =
   let eng = Wafl_fs.Aggregate.engine agg in
   (* Sanitizing engines get the affinity-isolation checker: the scheduler
      registers each message's affinity, the engine's access hook validates
@@ -65,11 +65,11 @@ let create agg cfg =
     else None
   in
   let sched =
-    Wafl_waffinity.Scheduler.create ?workers:cfg.workers ?isolation eng
+    Wafl_waffinity.Scheduler.create ?workers:cfg.workers ?isolation ~obs eng
       ~cost:(Wafl_fs.Aggregate.cost agg) ()
   in
   let infra =
-    Infra.create sched agg
+    Infra.create ~obs sched agg
       {
         Infra.parallel = cfg.parallel_infra;
         chunk = cfg.chunk;
@@ -83,11 +83,11 @@ let create agg cfg =
       }
   in
   let pool =
-    Cleaner_pool.create infra ~max_threads:cfg.max_cleaner_threads
+    Cleaner_pool.create ~obs infra ~max_threads:cfg.max_cleaner_threads
       ~initial_threads:cfg.cleaner_threads
   in
   let cp =
-    Cp.create infra pool
+    Cp.create ~obs infra pool
       {
         Cp.batching = cfg.batching;
         batch_max_inodes = cfg.batch_max_inodes;

@@ -43,7 +43,13 @@ val serialized_config : config
 
 type t
 
-val create : Wafl_fs.Aggregate.t -> config -> t
+val create : ?obs:Wafl_obs.Trace.t -> Wafl_fs.Aggregate.t -> config -> t
+(** [obs] (default disabled) threads one tracer through every component:
+    scheduler message spans and queue histograms, cleaner-pool work spans
+    and utilization, tetris fill, and the CP phase timeline.  Note the
+    RAID layer is instrumented separately — pass the same tracer to
+    [Aggregate.create]. *)
+
 val config : t -> config
 val aggregate : t -> Wafl_fs.Aggregate.t
 val scheduler : t -> Wafl_waffinity.Scheduler.t

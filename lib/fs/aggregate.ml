@@ -54,16 +54,16 @@ type t = {
 let free_counter = "agg_free_blocks"
 let vol_free_counter vid = Printf.sprintf "vol%d_free_vvbns" vid
 
-let make_raids eng cost disk geom queue_depth =
+let make_raids eng cost disk geom queue_depth obs =
   Array.init (Geometry.raid_group_count geom) (fun rg ->
-      Raid.create ?queue_depth eng ~cost ~disk ~rg)
+      Raid.create ?queue_depth ?obs eng ~cost ~disk ~rg)
 
 let init_aa_free geom =
   Array.init (Geometry.raid_group_count geom) (fun rg ->
       Array.make (Geometry.aa_count geom)
         (Geometry.aa_stripes geom * Geometry.data_drives geom ~rg))
 
-let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth eng ~cost ~geometry () =
+let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost ~geometry () =
   let disk = Disk.create geometry in
   let pers = { p_disk = disk; p_sb = None; p_nvlog = Nvlog.create ~half_capacity:nvlog_half () } in
   let t =
@@ -72,7 +72,7 @@ let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth eng ~cost 
       cost;
       geom = geometry;
       pers;
-      raids = make_raids eng cost disk geometry queue_depth;
+      raids = make_raids eng cost disk geometry queue_depth obs;
       agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geometry);
       aa_free_tbl = init_aa_free geometry;
       vols = [];
@@ -562,7 +562,7 @@ let recompute_vvbn_regions t vol =
       regions.(r) <- Bitmap_file.count_free_in vmap ~lo ~hi)
     regions
 
-let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
+let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
   let geom = Disk.geometry pers.p_disk in
   let t =
     {
@@ -570,7 +570,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth eng ~cost pers =
       cost;
       geom;
       pers;
-      raids = make_raids eng cost pers.p_disk geom queue_depth;
+      raids = make_raids eng cost pers.p_disk geom queue_depth obs;
       agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geom);
       aa_free_tbl = init_aa_free geom;
       vols = [];

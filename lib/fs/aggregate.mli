@@ -33,11 +33,14 @@ val create :
   ?nvlog_half:int ->
   ?cache_blocks:int ->
   ?queue_depth:int ->
+  ?obs:Wafl_obs.Trace.t ->
   Wafl_sim.Engine.t ->
   cost:Wafl_sim.Cost.t ->
   geometry:Wafl_storage.Geometry.t ->
   unit ->
   t
+(** [obs] (default disabled) is handed to each RAID group so device
+    service spans and I/O metrics are recorded. *)
 
 val engine : t -> Wafl_sim.Engine.t
 val cost : t -> Wafl_sim.Cost.t
@@ -185,7 +188,13 @@ val delete_snapshot : t -> Snapshot.t -> unit
 val persist : t -> persist
 val crash : t -> persist
 val recover :
-  ?cache_blocks:int -> ?queue_depth:int -> Wafl_sim.Engine.t -> cost:Wafl_sim.Cost.t -> persist -> t
+  ?cache_blocks:int ->
+  ?queue_depth:int ->
+  ?obs:Wafl_obs.Trace.t ->
+  Wafl_sim.Engine.t ->
+  cost:Wafl_sim.Cost.t ->
+  persist ->
+  t
 (** Mount from the persistent image: load the superblock tree, recompute
     allocation summaries and counters, then replay the NVRAM log. *)
 

@@ -75,6 +75,80 @@ let allocation_areas agg =
   done;
   Buffer.contents buf
 
+(* Render one histogram line: count, mean, p50, p99. *)
+let histo_line buf label h =
+  let module H = Wafl_util.Histogram in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-28s %8d  mean %10.1f  p50 %10.1f  p99 %10.1f\n" label (H.count h)
+       (H.mean h) (H.percentile h 50.0) (H.percentile h 99.0))
+
+let perf ?elapsed m =
+  let module M = Wafl_obs.Metrics in
+  let module H = Wafl_util.Histogram in
+  let buf = Buffer.create 512 in
+  let with_prefix prefix l =
+    List.filter_map
+      (fun (name, v) ->
+        let pl = String.length prefix in
+        if String.length name > pl && String.sub name 0 pl = prefix then
+          Some (String.sub name pl (String.length name - pl), v)
+        else None)
+      l
+  in
+  (* Checkpoints *)
+  let cps = M.counter_value m "cp.count" in
+  Buffer.add_string buf
+    (Printf.sprintf "checkpoints: %.0f completed, %.0f buffers cleaned\n" cps
+       (M.counter_value m "cp.buffers_cleaned"));
+  (match M.histo m "cp.duration_us" with
+  | Some h when H.count h > 0 -> histo_line buf "cp duration (us)" h
+  | _ -> ());
+  let phases = with_prefix "cp.phase_us." (M.histograms m) in
+  if phases <> [] then begin
+    Buffer.add_string buf "cp phase totals (virtual us):\n";
+    List.iter
+      (fun (phase, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-28s %10.0f  (%d intervals)\n" phase
+             (H.mean h *. float_of_int (H.count h))
+             (H.count h)))
+      phases
+  end;
+  (* Waffinity queues *)
+  let waits = with_prefix "sched.wait_us." (M.histograms m) in
+  if waits <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "message queues (%.0f messages dispatched):\n"
+         (M.counter_value m "sched.messages"));
+    List.iter (fun (kind, h) -> histo_line buf ("wait " ^ kind) h) waits;
+    List.iter
+      (fun (kind, h) -> histo_line buf ("service " ^ kind) h)
+      (with_prefix "sched.service_us." (M.histograms m))
+  end;
+  (* Cleaner pool *)
+  let busy = M.counter_value m "cleaner.busy_us" in
+  let work = M.counter_value m "cleaner.work_msgs" in
+  Buffer.add_string buf
+    (Printf.sprintf "cleaners: %.0f work messages, %.0f busy virtual us, %.0f active%s\n" work
+       busy
+       (M.gauge_value m "cleaner.active")
+       (match elapsed with
+       | Some e when e > 0.0 && M.gauge_value m "cleaner.active" > 0.0 ->
+           Printf.sprintf ", %.1f%% utilization"
+             (100.0 *. busy /. (e *. M.gauge_value m "cleaner.active"))
+       | _ -> ""));
+  (* RAID *)
+  Buffer.add_string buf
+    (Printf.sprintf "raid: %.0f ios, %.0f blocks written\n" (M.counter_value m "raid.ios")
+       (M.counter_value m "raid.blocks"));
+  (match M.histo m "raid.io_service_us" with
+  | Some h when H.count h > 0 -> histo_line buf "raid service (us)" h
+  | _ -> ());
+  (match M.histo m "tetris.fill_blocks" with
+  | Some h when H.count h > 0 -> histo_line buf "tetris fill (blocks)" h
+  | _ -> ());
+  Buffer.contents buf
+
 let faults agg =
   Aggregate.refresh_fault_counters agg;
   let buf = Buffer.create 128 in

@@ -14,6 +14,14 @@ val allocation_areas : Aggregate.t -> string
     emptiest / median / fullest AA) — the state the §IV-D selection
     policy operates on. *)
 
+val perf : ?elapsed:float -> Wafl_obs.Metrics.t -> string
+(** Operator performance summary from a tracer's metrics registry
+    ([Wafl_obs.Trace.metrics]): CP count and duration percentiles with
+    per-phase virtual-time totals, per-affinity-kind queue wait/service
+    p50/p99, cleaner-pool activity (utilization when [elapsed] — the
+    run's virtual duration — is given), RAID I/O service times and
+    tetris stripe fill.  Sections with no data are omitted. *)
+
 val faults : Aggregate.t -> string
 (** Fault-injection counters (media errors, transient retries, degraded
     reads, rebuild progress) and any RAID group currently degraded;

@@ -9,6 +9,10 @@ let of_env () =
    [spec_base] runs under the race detector and isolation checker. *)
 let sanitize = ref false
 
+(* When set (the trace CLI / test harness), every spec derived from
+   [spec_base] attaches a tracer built by this factory. *)
+let trace : (Wafl_sim.Engine.t -> Wafl_obs.Trace.t) option ref = ref None
+
 let spec_base ~scale =
   let d = Driver.default_spec in
   {
@@ -18,6 +22,7 @@ let spec_base ~scale =
     workload =
       Driver.Seq_write { file_blocks = max 2048 (int_of_float (16384.0 *. scale)) };
     sanitize = !sanitize;
+    obs = (match !trace with Some f -> f | None -> d.Driver.obs);
   }
 
 let wa_config ?(cleaners = 4) ?max_cleaners ?(parallel_infra = true) ?(dynamic = false)

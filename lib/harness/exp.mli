@@ -13,6 +13,12 @@ val sanitize : bool ref
     [spec_base] runs under the race detector and isolation checker.
     Results are bit-identical either way; any report is a bug. *)
 
+val trace : (Wafl_sim.Engine.t -> Wafl_obs.Trace.t) option ref
+(** When set (the CLI's trace subcommand), every spec derived from
+    [spec_base] attaches a tracer built by this factory; capture the
+    tracer via a [ref] inside the closure to export it after the run.
+    Tracing never changes results. *)
+
 val spec_base : scale:float -> Wafl_workload.Driver.spec
 (** The common 20-core paper-platform spec: SSD aggregate of 2 RAID
     groups x (10 + 2) drives, 40 Fibre-Channel-style clients, 2 volumes,

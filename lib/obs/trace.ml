@@ -1,0 +1,304 @@
+(* Span/event tracer in virtual time.
+
+   A [t] is either disabled — the shared [disabled] value, where every
+   operation is a single branch and the instrumented code path is
+   bit-identical to an uninstrumented build — or attached to an engine,
+   in which case spans, instants and metric samples are recorded into a
+   bounded ring sink ({!Sink}) and exported as Chrome trace-event JSON
+   (loadable in Perfetto / chrome://tracing).
+
+   All timestamps are the engine's virtual clock, and recording performs
+   no allocation of virtual time and no scheduling, so an enabled run
+   still produces results bit-identical to a disabled one; because every
+   input of the recording is deterministic, two runs with the same seed
+   export byte-identical traces.
+
+   The tracer also owns the virtual-CPU profile: an engine hook
+   attributes every [Engine.consume] charge to the charging fiber's
+   current span stack, yielding a top-N table of where simulated CPU
+   actually went. *)
+
+module Engine = Wafl_sim.Engine
+
+type frame = { f_cat : string; f_name : string; f_ts : float }
+type prof_cell = { mutable p_total : float; mutable p_count : int }
+
+type enabled = {
+  eng : Engine.t;
+  sink : Sink.t;
+  metrics : Metrics.t;
+  stacks : (int, frame list ref) Hashtbl.t; (* span stack per fiber id *)
+  names : (int, string) Hashtbl.t; (* last-seen accounting label per fiber *)
+  profile : (string, prof_cell) Hashtbl.t;
+  mutable profile_order : string list; (* first-appearance, newest first *)
+  sample_interval : float; (* 0.0 disables the metrics timeseries *)
+  mutable next_sample : float;
+}
+
+type t = { state : enabled option }
+
+let disabled = { state = None }
+let enabled t = t.state <> None
+
+(* Writes to this registry are lost by design: disabled instrumentation
+   that registers instruments anyway lands here. *)
+let null_metrics = Metrics.create ()
+let metrics t = match t.state with Some s -> s.metrics | None -> null_metrics
+let engine t = Option.map (fun s -> s.eng) t.state
+
+(* --- metric sampling ----------------------------------------------------- *)
+
+let sample s ~now =
+  let put (name, v) =
+    Sink.record s.sink
+      { ph = 'C'; cat = "metrics"; name; ts = now; dur = v; tid = 0; args = []; num_args = [] }
+  in
+  List.iter put (Metrics.counters s.metrics);
+  List.iter put (Metrics.gauges s.metrics)
+
+(* Piggybacks on trace-recording and engine-hook call sites rather than a
+   dedicated fiber: a sampler fiber would occupy cores and perturb FIFO
+   ordering, breaking the off-vs-on bit-identity guarantee. *)
+let maybe_sample s ~now =
+  if s.sample_interval > 0.0 && now >= s.next_sample then begin
+    sample s ~now;
+    s.next_sample <- now +. s.sample_interval
+  end
+
+(* --- span stacks and the CPU profile ------------------------------------- *)
+
+let stack_of s fid =
+  match Hashtbl.find_opt s.stacks fid with
+  | Some st -> st
+  | None ->
+      let st = ref [] in
+      Hashtbl.add s.stacks fid st;
+      st
+
+let profile_charge s ~fid ~label ~amount =
+  let key =
+    match Hashtbl.find_opt s.stacks fid with
+    | Some { contents = frames } when frames <> [] ->
+        String.concat "/" (List.rev_map (fun f -> f.f_name) frames)
+    | _ -> "fiber:" ^ label
+  in
+  match Hashtbl.find_opt s.profile key with
+  | Some cell ->
+      cell.p_total <- cell.p_total +. amount;
+      cell.p_count <- cell.p_count + 1
+  | None ->
+      Hashtbl.add s.profile key { p_total = amount; p_count = 1 };
+      s.profile_order <- key :: s.profile_order
+
+let create ?(ring_capacity = 262_144) ?(sample_interval = 10_000.0) eng =
+  let s =
+    {
+      eng;
+      sink = Sink.create ~capacity:ring_capacity;
+      metrics = Metrics.create ();
+      stacks = Hashtbl.create 64;
+      names = Hashtbl.create 64;
+      profile = Hashtbl.create 64;
+      profile_order = [];
+      sample_interval;
+      next_sample = Engine.now eng +. sample_interval;
+    }
+  in
+  Engine.set_obs_hooks eng
+    {
+      Engine.on_consume =
+        (fun ~fid ~label ~amount ~now ->
+          profile_charge s ~fid ~label ~amount;
+          maybe_sample s ~now);
+      on_switch =
+        (fun ~fid ~label ~now ->
+          Hashtbl.replace s.names fid label;
+          maybe_sample s ~now);
+    };
+  { state = Some s }
+
+(* --- recording ----------------------------------------------------------- *)
+
+let with_span t ~cat ~name ?(args = []) f =
+  match t.state with
+  | None -> f ()
+  | Some s ->
+      let fid = Engine.current_fid s.eng in
+      let ts = Engine.now s.eng in
+      let stack = stack_of s fid in
+      stack := { f_cat = cat; f_name = name; f_ts = ts } :: !stack;
+      let finish () =
+        (match !stack with [] -> () | _ :: rest -> stack := rest);
+        let now = Engine.now s.eng in
+        Sink.record s.sink
+          { ph = 'X'; cat; name; ts; dur = now -. ts; tid = fid; args; num_args = [] };
+        maybe_sample s ~now
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception exn ->
+          finish ();
+          raise exn)
+
+let instant t ~cat ~name ?(args = []) () =
+  match t.state with
+  | None -> ()
+  | Some s ->
+      let now = Engine.now s.eng in
+      Sink.record s.sink
+        {
+          ph = 'i';
+          cat;
+          name;
+          ts = now;
+          dur = 0.0;
+          tid = Engine.current_fid s.eng;
+          args;
+          num_args = [];
+        };
+      maybe_sample s ~now
+
+(* Non-lexical interval measured by the caller (e.g. RAID service time
+   spanning sleeps): recorded at completion with an explicit start. *)
+let complete t ~cat ~name ~ts ~dur ?(args = []) ?(num_args = []) () =
+  match t.state with
+  | None -> ()
+  | Some s ->
+      Sink.record s.sink
+        { ph = 'X'; cat; name; ts; dur; tid = Engine.current_fid s.eng; args; num_args };
+      maybe_sample s ~now:(Engine.now s.eng)
+
+let event_count t = match t.state with Some s -> Sink.length s.sink | None -> 0
+let dropped t = match t.state with Some s -> Sink.dropped s.sink | None -> 0
+
+(* --- Chrome trace-event export ------------------------------------------- *)
+
+let emit_event buf (ev : Sink.ev) =
+  Buffer.add_string buf "{\"name\":";
+  Json.str_into buf ev.name;
+  Buffer.add_string buf ",\"cat\":";
+  Json.str_into buf ev.cat;
+  Buffer.add_string buf ",\"ph\":\"";
+  Buffer.add_char buf ev.ph;
+  Buffer.add_string buf "\",\"ts\":";
+  Buffer.add_string buf (Json.num_str ev.ts);
+  if ev.ph = 'X' then begin
+    Buffer.add_string buf ",\"dur\":";
+    Buffer.add_string buf (Json.num_str ev.dur)
+  end;
+  if ev.ph = 'i' then Buffer.add_string buf ",\"s\":\"g\"";
+  Buffer.add_string buf ",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int ev.tid);
+  let has_args = ev.ph = 'C' || ev.args <> [] || ev.num_args <> [] in
+  if has_args then begin
+    Buffer.add_string buf ",\"args\":{";
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_char buf ','
+    in
+    if ev.ph = 'C' then begin
+      sep ();
+      Buffer.add_string buf "\"value\":";
+      Buffer.add_string buf (Json.num_str ev.dur)
+    end;
+    List.iter
+      (fun (k, v) ->
+        sep ();
+        Json.str_into buf k;
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (Json.num_str v))
+      ev.num_args;
+    List.iter
+      (fun (k, v) ->
+        sep ();
+        Json.str_into buf k;
+        Buffer.add_char buf ':';
+        Json.str_into buf v)
+      ev.args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}'
+
+let export t buf =
+  match t.state with
+  | None -> Buffer.add_string buf "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+  | Some s ->
+      (* Close the timeseries so the last window is visible. *)
+      if s.sample_interval > 0.0 then sample s ~now:(Engine.now s.eng);
+      Buffer.add_string buf "{\"traceEvents\":[";
+      let first = ref true in
+      let sep () = if !first then first := false else Buffer.add_char buf ',' in
+      (* Thread-name metadata first, sorted by fiber id, so Perfetto shows
+         accounting labels instead of bare tids.  Only fibers that appear
+         in a retained event get a record — long runs see one short-lived
+         message fiber per client op, and naming them all would dwarf the
+         bounded event ring. *)
+      let live = Hashtbl.create 256 in
+      Sink.iter s.sink (fun ev -> Hashtbl.replace live ev.tid ());
+      (* lint-ok: sorted before use. *)
+      Hashtbl.fold
+        (fun fid label acc -> if Hashtbl.mem live fid then (fid, label) :: acc else acc)
+        s.names []
+      |> List.sort compare
+      |> List.iter (fun (fid, label) ->
+             sep ();
+             Buffer.add_string buf
+               (Printf.sprintf
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":"
+                  fid);
+             Json.str_into buf (Printf.sprintf "%s/%d" label fid);
+             Buffer.add_string buf "}}");
+      Sink.iter s.sink (fun ev ->
+          sep ();
+          emit_event buf ev);
+      Buffer.add_string buf "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"clock\":\"virtual-us\",\"events\":%d,\"dropped\":%d,\"sample_interval_us\":%s}}"
+           (Sink.length s.sink) (Sink.dropped s.sink)
+           (Json.num_str s.sample_interval))
+
+let export_string t =
+  let buf = Buffer.create 65536 in
+  export t buf;
+  Buffer.contents buf
+
+(* --- virtual-CPU profile ------------------------------------------------- *)
+
+let profile_rows t =
+  match t.state with
+  | None -> []
+  | Some s ->
+      List.rev s.profile_order
+      |> List.map (fun key ->
+             let cell = Hashtbl.find s.profile key in
+             (key, cell.p_total, cell.p_count))
+      |> List.sort (fun (ka, ta, _) (kb, tb, _) ->
+             if ta <> tb then compare tb ta else String.compare ka kb)
+
+let profile_table ?(top = 20) t =
+  let rows = profile_rows t in
+  let total = List.fold_left (fun acc (_, v, _) -> acc +. v) 0.0 rows in
+  let tbl =
+    Wafl_util.Table.create ~headers:[ "span stack (virtual-CPU profile)"; "virt us"; "charges"; "share" ]
+  in
+  let shown = ref 0 in
+  List.iter
+    (fun (key, v, n) ->
+      if !shown < top then begin
+        incr shown;
+        Wafl_util.Table.add_row tbl
+          [
+            key;
+            Printf.sprintf "%.1f" v;
+            string_of_int n;
+            Printf.sprintf "%.1f%%" (if total > 0.0 then 100.0 *. v /. total else 0.0);
+          ]
+      end)
+    rows;
+  if List.length rows > top then
+    Wafl_util.Table.add_row tbl
+      [ Printf.sprintf "... %d more" (List.length rows - top); ""; ""; "" ];
+  Wafl_util.Table.render tbl

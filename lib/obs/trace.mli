@@ -1,0 +1,85 @@
+(** Virtual-time span/event tracer with Chrome trace-event export.
+
+    A tracer is either {!disabled} — every operation is a single branch,
+    and instrumented code is bit-identical to uninstrumented code — or
+    attached to an engine with {!create}, recording spans, instants and
+    periodic metric samples into a bounded ring buffer, all timestamped
+    with the engine's virtual clock.
+
+    Recording never consumes virtual time and never schedules events, so
+    enabling tracing does not change simulation results; and because all
+    recorded inputs are deterministic, two runs with the same seed export
+    byte-identical traces.  See DESIGN.md §4.8. *)
+
+type t
+
+val disabled : t
+(** The shared no-op tracer; the default everywhere instrumentation is
+    threaded. *)
+
+val create : ?ring_capacity:int -> ?sample_interval:float -> Wafl_sim.Engine.t -> t
+(** Attach a tracer to [eng].  Installs the engine's observability hooks
+    (displacing any previously installed hooks), so at most one tracer
+    should be attached per engine.  [ring_capacity] (default 262144)
+    bounds retained events, oldest dropped first; [sample_interval]
+    (default 10000.0 virtual microseconds) is the counter/gauge sampling
+    period, [0.0] disables the timeseries. *)
+
+val enabled : t -> bool
+val engine : t -> Wafl_sim.Engine.t option
+
+val metrics : t -> Metrics.t
+(** The tracer's metrics registry.  On a disabled tracer this returns a
+    shared throwaway registry, so instrumentation may register and update
+    instruments unconditionally. *)
+
+(** {1 Recording} *)
+
+val with_span :
+  t -> cat:string -> name:string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span: records a complete ('X') event covering
+    its virtual-time extent on the current fiber, and attributes CPU
+    charged within to the span stack (see {!profile_rows}).  The span is
+    closed (and recorded) even if the thunk raises. *)
+
+val instant : t -> cat:string -> name:string -> ?args:(string * string) list -> unit -> unit
+(** Record a zero-duration instant ('i') event at the current virtual
+    time. *)
+
+val complete :
+  t ->
+  cat:string ->
+  name:string ->
+  ts:float ->
+  dur:float ->
+  ?args:(string * string) list ->
+  ?num_args:(string * float) list ->
+  unit ->
+  unit
+(** Record a complete ('X') event for an interval the caller measured
+    itself — e.g. a RAID service time spanning sleeps, where a lexical
+    {!with_span} does not fit. *)
+
+val event_count : t -> int
+val dropped : t -> int
+
+(** {1 Export} *)
+
+val export : t -> Buffer.t -> unit
+(** Append the whole trace as Chrome trace-event JSON
+    ([{"traceEvents": [...], ...}]), loadable in Perfetto or
+    chrome://tracing.  Timestamps and durations are virtual microseconds,
+    [tid] is the fiber id, and counter samples appear as 'C' events. *)
+
+val export_string : t -> string
+
+(** {1 Virtual-CPU profile} *)
+
+val profile_rows : t -> (string * float * int) list
+(** [(span-stack path, total virtual us charged, number of charges)],
+    sorted by total descending (path ascending on ties).  Charges made
+    outside any span are attributed to ["fiber:<label>"]. *)
+
+val profile_table : ?top:int -> t -> string
+(** Rendered top-[top] (default 20) rows of {!profile_rows} with a
+    percentage-of-total column. *)

@@ -40,6 +40,12 @@ and t = {
   mutable all_fibers : fiber list; (* for stalled-fiber diagnosis *)
   race : Race.t option; (* Some iff created with ~sanitize:true *)
   mutable access_hook : (int -> string -> Race.mode -> unit) option;
+  mutable obs_hooks : obs_hooks option; (* observability taps; None = zero cost *)
+}
+
+and obs_hooks = {
+  on_consume : fid:int -> label:string -> amount:float -> now:float -> unit;
+  on_switch : fid:int -> label:string -> now:float -> unit;
 }
 
 (* --- binary min-heap on (time, seq) --- *)
@@ -119,6 +125,7 @@ let create ?(quantum = 100.0) ?(sanitize = false) ~cores () =
     all_fibers = [];
     race = (if sanitize then Some (Race.create ()) else None);
     access_hook = None;
+    obs_hooks = None;
   }
 
 let cores t = t.n_cores
@@ -169,6 +176,13 @@ let probe_locked t ~shared mode =
       Race.release r ~fid ~sync
 
 let set_access_hook t h = t.access_hook <- Some h
+
+(* Observability taps (see Wafl_obs).  Like the sanitizer probes, these
+   run synchronously inside existing scheduling decisions and must never
+   consume virtual time or schedule events, so an instrumented run stays
+   bit-identical to an uninstrumented one. *)
+let set_obs_hooks t h = t.obs_hooks <- Some h
+let clear_obs_hooks t = t.obs_hooks <- None
 let race_reports t = match t.race with None -> [] | Some r -> Race.reports r
 let race_report_count t = match t.race with None -> 0 | Some r -> Race.n_reports r
 
@@ -216,6 +230,9 @@ let start_fiber t f body =
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   f.cont <- Some k;
                   charge t f.label d;
+                  (match t.obs_hooks with
+                  | Some h -> h.on_consume ~fid:f.fid ~label:f.label ~amount:d ~now:t.clock
+                  | None -> ());
                   schedule t (t.clock +. d) (Resume f))
           | Sleep d ->
               Some
@@ -266,6 +283,9 @@ let dispatch t =
     t.free_cores <- t.free_cores - 1;
     t.switches <- t.switches + 1;
     f.hold_start <- t.clock;
+    (match t.obs_hooks with
+    | Some h -> h.on_switch ~fid:f.fid ~label:f.label ~now:t.clock
+    | None -> ());
     resume_fiber t f
   done
 

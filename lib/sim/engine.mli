@@ -164,3 +164,23 @@ val set_access_hook : t -> (int -> string -> Race.mode -> unit) -> unit
 
 val race_reports : t -> Race.report list
 val race_report_count : t -> int
+
+(** {1 Observability taps}
+
+    Used by [Wafl_obs] to attribute CPU charges to span stacks and to
+    drive virtual-time metric sampling.  Hooks run synchronously inside
+    existing scheduling decisions; they must never consume virtual time
+    or schedule events, so an instrumented run stays bit-identical to an
+    uninstrumented one.  With no hooks installed each site is a single
+    branch. *)
+
+type obs_hooks = {
+  on_consume : fid:int -> label:string -> amount:float -> now:float -> unit;
+      (** A fiber charged [amount] virtual microseconds of CPU, beginning
+          at virtual time [now]. *)
+  on_switch : fid:int -> label:string -> now:float -> unit;
+      (** A fiber was dispatched onto a core. *)
+}
+
+val set_obs_hooks : t -> obs_hooks -> unit
+val clear_obs_hooks : t -> unit

@@ -9,6 +9,10 @@ type 'b t = {
   cost : Cost.t;
   disk : 'b Disk.t;
   rg : int;
+  obs : Wafl_obs.Trace.t;
+  m_service : Wafl_obs.Metrics.histo;
+  m_ios : Wafl_obs.Metrics.counter;
+  m_blocks : Wafl_obs.Metrics.counter;
   data_width : int;
   queue_depth : int;
   queue : 'b request Sync.Channel.t;
@@ -112,7 +116,21 @@ let service_fiber t () =
           +. (float_of_int nblocks *. t.cost.Cost.device_write_per_block)
           +. (float_of_int partial *. t.cost.Cost.parity_read_penalty)
         in
+        let t0 = Engine.now t.eng in
         Engine.sleep service;
+        Wafl_obs.Metrics.observe t.m_service service;
+        Wafl_obs.Metrics.incr t.m_ios;
+        Wafl_obs.Metrics.add t.m_blocks nblocks;
+        if Wafl_obs.Trace.enabled t.obs then
+          Wafl_obs.Trace.complete t.obs ~cat:"raid" ~name:"raid io" ~ts:t0 ~dur:service
+            ~num_args:
+              [
+                ("rg", float_of_int t.rg);
+                ("blocks", float_of_int nblocks);
+                ("full_stripes", float_of_int full);
+                ("partial_stripes", float_of_int partial);
+              ]
+            ();
         let failed =
           match outcome with
           | `Give_up -> writes (* retries exhausted: nothing became durable *)
@@ -139,14 +157,19 @@ let service_fiber t () =
   in
   loop ()
 
-let create ?(queue_depth = 4) eng ~cost ~disk ~rg =
+let create ?(queue_depth = 4) ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~disk ~rg =
   if queue_depth <= 0 then invalid_arg "Raid.create: queue_depth must be positive";
+  let m = Wafl_obs.Trace.metrics obs in
   let t =
     {
       eng;
       cost;
       disk;
       rg;
+      obs;
+      m_service = Wafl_obs.Metrics.histogram m "raid.io_service_us";
+      m_ios = Wafl_obs.Metrics.counter m "raid.ios";
+      m_blocks = Wafl_obs.Metrics.counter m "raid.blocks";
       data_width = Geometry.data_drives (Disk.geometry disk) ~rg;
       queue_depth;
       queue = Sync.Channel.create eng;

@@ -23,12 +23,16 @@ type 'b t
 
 val create :
   ?queue_depth:int ->
+  ?obs:Wafl_obs.Trace.t ->
   Wafl_sim.Engine.t ->
   cost:Wafl_sim.Cost.t ->
   disk:'b Disk.t ->
   rg:int ->
   'b t
-(** Spawns [queue_depth] (default 4) service fibers labelled ["io"]. *)
+(** Spawns [queue_depth] (default 4) service fibers labelled ["io"].
+    [obs] (default disabled) records a ["raid io"] span per serviced I/O
+    with stripe mix args, plus service-time histogram and I/O counters
+    under the ["raid."] metric prefix. *)
 
 val rg : 'b t -> int
 

@@ -22,14 +22,31 @@ type t = {
   mutable wait_time : float;
   idle : Sync.Waitq.t;
   isolation : Isolation.t option;
+  obs : Wafl_obs.Trace.t;
+  wait_h : (string, Wafl_obs.Metrics.histo) Hashtbl.t; (* per affinity kind *)
+  service_h : (string, Wafl_obs.Metrics.histo) Hashtbl.t;
+  m_msgs : Wafl_obs.Metrics.counter;
+  g_queued : Wafl_obs.Metrics.gauge;
+  g_executing : Wafl_obs.Metrics.gauge;
   mutable chaos_misattribute : Affinity.t option;
       (* test-only: the next posted message is mislabelled with this
          affinity, as if a grant guard were dropped *)
 }
 
-let create ?workers ?isolation eng ~cost () =
+(* Per-affinity-kind histograms, registered on first use (the kind set is
+   small and fixed, so the cache stays tiny). *)
+let kind_histo t cache prefix kind =
+  match Hashtbl.find_opt cache kind with
+  | Some h -> h
+  | None ->
+      let h = Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) (prefix ^ kind) in
+      Hashtbl.add cache kind h;
+      h
+
+let create ?workers ?isolation ?(obs = Wafl_obs.Trace.disabled) eng ~cost () =
   let workers = match workers with Some w -> w | None -> Engine.cores eng in
   if workers <= 0 then invalid_arg "Scheduler.create: workers must be positive";
+  let m = Wafl_obs.Trace.metrics obs in
   {
     eng;
     cost;
@@ -43,6 +60,12 @@ let create ?workers ?isolation eng ~cost () =
     wait_time = 0.0;
     idle = Sync.Waitq.create eng;
     isolation;
+    obs;
+    wait_h = Hashtbl.create 16;
+    service_h = Hashtbl.create 16;
+    m_msgs = Wafl_obs.Metrics.counter m "sched.messages";
+    g_queued = Wafl_obs.Metrics.gauge m "sched.queued";
+    g_executing = Wafl_obs.Metrics.gauge m "sched.executing";
     chaos_misattribute = None;
   }
 
@@ -107,6 +130,7 @@ let rec dispatch t =
     | Some (m, rest) ->
         t.pending <- rest;
         t.pending_count <- t.pending_count - 1;
+        Wafl_obs.Metrics.set t.g_queued (float_of_int t.pending_count);
         start t m;
         dispatch t
   end
@@ -114,19 +138,31 @@ let rec dispatch t =
 and start t m =
   activate m.node;
   t.executing <- t.executing + 1;
-  t.wait_time <- t.wait_time +. (Engine.now t.eng -. m.posted_at);
+  let kind = Affinity.kind_name m.node.aff in
+  let wait = Engine.now t.eng -. m.posted_at in
+  t.wait_time <- t.wait_time +. wait;
+  Wafl_obs.Metrics.observe (kind_histo t t.wait_h "sched.wait_us." kind) wait;
+  Wafl_obs.Metrics.set t.g_executing (float_of_int t.executing);
   (* The queue hand-off orders the poster before the message body even
      when the granting dispatch runs in an unrelated fiber. *)
   Engine.probe_atomic t.eng ~shared:"sched.queue";
   ignore
     (Engine.spawn t.eng ~label:m.label (fun () ->
+         let t0 = Engine.now t.eng in
          Engine.consume t.cost.Cost.msg_dispatch;
          (match t.isolation with
          | Some iso ->
              Isolation.enter iso ~fid:(Engine.current_fid t.eng) ~affinity:m.node.aff
                ~label:m.label
          | None -> ());
-         (try m.body ()
+         let run_body () =
+           if Wafl_obs.Trace.enabled t.obs then
+             Wafl_obs.Trace.with_span t.obs ~cat:"sched" ~name:("msg " ^ kind)
+               ~args:[ ("label", m.label) ]
+               m.body
+           else m.body ()
+         in
+         (try run_body ()
           with exn ->
             (match t.isolation with
             | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
@@ -137,8 +173,13 @@ and start t m =
          | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
          | None -> ());
          release m.node;
+         Wafl_obs.Metrics.observe
+           (kind_histo t t.service_h "sched.service_us." kind)
+           (Engine.now t.eng -. t0);
+         Wafl_obs.Metrics.incr t.m_msgs;
          t.executing <- t.executing - 1;
          t.executed <- t.executed + 1;
+         Wafl_obs.Metrics.set t.g_executing (float_of_int t.executing);
          count_kind t m.node.aff;
          if t.executing = 0 && t.pending_count = 0 then ignore (Sync.Waitq.wake_all t.idle);
          dispatch t))
@@ -154,6 +195,7 @@ let post t ~affinity ~label body =
   let m = { node = node t affinity; label; body; posted_at = Engine.now t.eng } in
   t.pending <- t.pending @ [ m ];
   t.pending_count <- t.pending_count + 1;
+  Wafl_obs.Metrics.set t.g_queued (float_of_int t.pending_count);
   Engine.probe_atomic t.eng ~shared:"sched.queue";
   dispatch t
 

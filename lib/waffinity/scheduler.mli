@@ -17,11 +17,21 @@
 type t
 
 val create :
-  ?workers:int -> ?isolation:Isolation.t -> Wafl_sim.Engine.t -> cost:Wafl_sim.Cost.t -> unit -> t
+  ?workers:int ->
+  ?isolation:Isolation.t ->
+  ?obs:Wafl_obs.Trace.t ->
+  Wafl_sim.Engine.t ->
+  cost:Wafl_sim.Cost.t ->
+  unit ->
+  t
 (** [workers] defaults to the engine's core count.  When [isolation] is
     given, every message fiber is registered with the checker for its
     lifetime, so [Engine.probe] calls from message context are validated
-    against the message's affinity (see {!Isolation}). *)
+    against the message's affinity (see {!Isolation}).  [obs] (default
+    disabled) wraps each message body in a ["msg <kind>"] span and
+    records queue-wait and service-time histograms per affinity kind
+    (["sched.wait_us.<kind>"], ["sched.service_us.<kind>"]) plus queue
+    depth gauges. *)
 
 val isolation : t -> Isolation.t option
 

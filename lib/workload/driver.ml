@@ -26,6 +26,10 @@ type spec = {
   measure : float;
   seed : int;
   sanitize : bool;
+  obs : Engine.t -> Wafl_obs.Trace.t;
+      (* tracer factory, called once with the run's engine; the caller
+         captures the returned tracer via a closure to read it after the
+         run.  The default attaches nothing. *)
 }
 
 let paper_geometry () =
@@ -50,6 +54,7 @@ let default_spec =
     measure = 1_000_000.0;
     seed = 42;
     sanitize = false;
+    obs = (fun _ -> Wafl_obs.Trace.disabled);
   }
 
 type result = {
@@ -157,11 +162,12 @@ let stripe_of_fbn fbn = fbn / 1024 mod 16
 
 let run spec =
   let eng = Engine.create ~cores:spec.cores ~sanitize:spec.sanitize () in
+  let obs = spec.obs eng in
   let agg =
     Aggregate.create eng ~cost:spec.cost ~geometry:spec.geometry ~nvlog_half:spec.nvlog_half
-      ~cache_blocks:spec.cache_blocks ()
+      ~cache_blocks:spec.cache_blocks ~obs ()
   in
-  let walloc = Wafl_core.Walloc.create agg spec.cfg in
+  let walloc = Wafl_core.Walloc.create ~obs agg spec.cfg in
   let cp = Wafl_core.Walloc.cp walloc in
   let infra = Wafl_core.Walloc.infra walloc in
   let pool = Wafl_core.Walloc.pool walloc in
@@ -401,4 +407,9 @@ let run spec =
     }
   in
   stop := true;
+  (* Per-run virtual time accumulates in the process-wide registry so the
+     bench harness can report simulated seconds next to wall seconds. *)
+  Wafl_obs.Metrics.addf
+    (Wafl_obs.Metrics.counter Wafl_obs.Metrics.default "virtual_time_us")
+    (Engine.now eng);
   result

@@ -41,6 +41,12 @@ type spec = {
   measure : float;
   seed : int;
   sanitize : bool;  (** run under the race detector and isolation checker *)
+  obs : Wafl_sim.Engine.t -> Wafl_obs.Trace.t;
+      (** tracer factory, called once with the run's engine before any
+          component is built.  Default returns [Wafl_obs.Trace.disabled];
+          to trace a run, return [Wafl_obs.Trace.create eng] and capture
+          the tracer through a [ref] to export it afterwards.  Tracing
+          never changes results (see DESIGN.md §4.8). *)
 }
 
 val default_spec : spec

@@ -1,0 +1,226 @@
+(* Wafl_obs: span tracer, metrics registry, trace export and the
+   off-vs-on bit-identity guarantee.
+
+   The subsystem's contract has three legs: (1) spans and the
+   virtual-CPU profile attribute correctly across fiber switches,
+   (2) the Chrome trace-event export is well-formed JSON and
+   deterministic for a given seed, and (3) attaching a tracer never
+   changes simulation results — every paper experiment must be
+   bit-identical with tracing on and off. *)
+
+module H = Wafl_harness
+module Driver = Wafl_workload.Driver
+module Engine = Wafl_sim.Engine
+module Trace = Wafl_obs.Trace
+module Metrics = Wafl_obs.Metrics
+module Json = Wafl_obs.Json
+
+(* --- spans and the virtual-CPU profile ----------------------------------- *)
+
+let profile_total rows key =
+  match List.find_opt (fun (k, _, _) -> k = key) rows with
+  | Some (_, total, _) -> total
+  | None -> 0.0
+
+let test_span_nesting () =
+  let eng = Engine.create ~cores:2 () in
+  let t = Trace.create ~sample_interval:0.0 eng in
+  ignore
+    (Engine.spawn eng ~label:"a" (fun () ->
+         Trace.with_span t ~cat:"test" ~name:"outer" (fun () ->
+             Engine.consume 5.0;
+             Trace.with_span t ~cat:"test" ~name:"inner" (fun () ->
+                 Engine.consume 7.0;
+                 (* A sleep switches fibers mid-span: frames are per-fiber,
+                    so attribution must survive the interleaving. *)
+                 Engine.sleep 3.0;
+                 Engine.consume 2.0))));
+  ignore
+    (Engine.spawn eng ~label:"b" (fun () ->
+         Trace.with_span t ~cat:"test" ~name:"other" (fun () -> Engine.consume 11.0);
+         Engine.consume 1.0));
+  Engine.run eng;
+  let rows = Trace.profile_rows t in
+  Alcotest.(check (float 1e-6)) "outer self-charges" 5.0 (profile_total rows "outer");
+  Alcotest.(check (float 1e-6)) "nested stack path" 9.0 (profile_total rows "outer/inner");
+  Alcotest.(check (float 1e-6)) "sibling fiber" 11.0 (profile_total rows "other");
+  Alcotest.(check (float 1e-6)) "outside any span" 1.0 (profile_total rows "fiber:b");
+  Alcotest.(check int) "three span events" 3 (Trace.event_count t);
+  (* The table renders without blowing up and mentions the hot row. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let tbl = Trace.profile_table ~top:2 t in
+  Alcotest.(check bool) "table has top row" true (contains tbl "other")
+
+let test_span_exception () =
+  let eng = Engine.create ~cores:1 () in
+  let t = Trace.create ~sample_interval:0.0 eng in
+  ignore
+    (Engine.spawn eng ~label:"boom" (fun () ->
+         (try Trace.with_span t ~cat:"test" ~name:"raises" (fun () -> raise Exit)
+          with Exit -> ());
+         (* The frame must have been popped: this charge is span-free. *)
+         Engine.consume 4.0));
+  Engine.run eng;
+  Alcotest.(check int) "span recorded despite raise" 1 (Trace.event_count t);
+  Alcotest.(check (float 1e-6)) "stack popped on raise" 4.0
+    (profile_total (Trace.profile_rows t) "fiber:boom")
+
+(* --- metrics registry ---------------------------------------------------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  (* Find-or-create: the same name is the same instrument. *)
+  Metrics.incr (Metrics.counter m "a.count");
+  Alcotest.(check (float 1e-9)) "counter accumulates" 6.0 (Metrics.counter_value m "a.count");
+  let g = Metrics.gauge m "b.gauge" in
+  Metrics.set g 3.0;
+  Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge keeps last" 2.5 (Metrics.gauge_value m "b.gauge");
+  let h = Metrics.histogram m "c.histo" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  (match Metrics.histo m "c.histo" with
+  | None -> Alcotest.fail "histogram not found"
+  | Some hh ->
+      Alcotest.(check int) "histogram count" 100 (Wafl_util.Histogram.count hh);
+      let p50 = Wafl_util.Histogram.percentile hh 50.0 in
+      let p99 = Wafl_util.Histogram.percentile hh 99.0 in
+      Alcotest.(check bool) "p50 in band" true (p50 > 30.0 && p50 < 70.0);
+      Alcotest.(check bool) "p99 above p50" true (p99 > p50));
+  Alcotest.(check (list string)) "sorted iteration"
+    [ "a.count" ]
+    (List.map fst (Metrics.counters m));
+  Alcotest.(check (float 1e-9)) "missing name reads 0" 0.0 (Metrics.counter_value m "nope");
+  (* A disabled tracer still hands out a usable registry. *)
+  Metrics.incr (Metrics.counter (Trace.metrics Trace.disabled) "x");
+  Alcotest.(check bool) "disabled tracer is disabled" false (Trace.enabled Trace.disabled)
+
+let test_ring_drop () =
+  let eng = Engine.create ~cores:1 () in
+  let t = Trace.create ~ring_capacity:8 ~sample_interval:0.0 eng in
+  ignore
+    (Engine.spawn eng (fun () ->
+         for i = 1 to 20 do
+           Trace.instant t ~cat:"test" ~name:(string_of_int i) ()
+         done));
+  Engine.run eng;
+  Alcotest.(check int) "ring holds capacity" 8 (Trace.event_count t);
+  Alcotest.(check int) "oldest dropped, counted" 12 (Trace.dropped t)
+
+(* --- export: well-formed, complete, deterministic ------------------------ *)
+
+let traced_run seed =
+  let tracer = ref Trace.disabled in
+  let spec =
+    {
+      (H.Exp.spec_base ~scale:0.02) with
+      Driver.seed;
+      obs =
+        (fun eng ->
+          let t = Trace.create eng in
+          tracer := t;
+          t);
+    }
+  in
+  let r = Driver.run spec in
+  (r, !tracer)
+
+let test_export_parses () =
+  let _, t = traced_run 1 in
+  let json = Trace.export_string t in
+  match Json.of_string json with
+  | Error msg -> Alcotest.fail ("trace JSON does not parse: " ^ msg)
+  | Ok doc ->
+      let events =
+        match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check bool) "events recorded" true (List.length events > 0);
+      let cat_of ev = Option.bind (Json.member "cat" ev) Json.to_str in
+      let has c = List.exists (fun ev -> cat_of ev = Some c) events in
+      Alcotest.(check bool) "CP phase spans present" true (has "cp");
+      Alcotest.(check bool) "scheduler message spans present" true (has "sched");
+      Alcotest.(check bool) "raid io spans present" true (has "raid");
+      Alcotest.(check bool) "cleaner work spans present" true (has "cleaner");
+      Alcotest.(check bool) "metrics timeseries present" true (has "metrics");
+      (* Every event is timestamped in-range and durations are sane. *)
+      let horizon =
+        match Trace.engine t with Some eng -> Engine.now eng | None -> 0.0
+      in
+      List.iter
+        (fun ev ->
+          let num field = Option.bind (Json.member field ev) Json.to_float in
+          match num "ts" with
+          | None -> () (* metadata events carry no ts *)
+          | Some ts ->
+              Alcotest.(check bool) "ts within run" true (ts >= 0.0 && ts <= horizon);
+              Option.iter
+                (fun d -> Alcotest.(check bool) "dur non-negative" true (d >= 0.0))
+                (num "dur"))
+        events;
+      Alcotest.(check bool) "profile non-empty" true (Trace.profile_rows t <> [])
+
+let test_deterministic () =
+  let r1, t1 = traced_run 7 in
+  let r2, t2 = traced_run 7 in
+  Alcotest.(check bool) "same-seed results identical" true (r1 = r2);
+  Alcotest.(check string) "same-seed traces byte-identical" (Trace.export_string t1)
+    (Trace.export_string t2)
+
+(* --- tracing must not change results ------------------------------------- *)
+
+(* Runs [f] untraced then traced (via the harness hook, as the CLI's
+   trace subcommand would); the global is always restored. *)
+let both f =
+  H.Exp.trace := None;
+  let off = f () in
+  H.Exp.trace := Some (fun eng -> Trace.create eng);
+  let on = Fun.protect ~finally:(fun () -> H.Exp.trace := None) f in
+  (off, on)
+
+let check_fig name f =
+  let off, on = both f in
+  Alcotest.(check bool) (name ^ ": traced run bit-identical") true (off = on)
+
+let scale = 0.02
+let test_fig4 () = check_fig "fig4" (fun () -> H.Fig4.run ~scale ())
+let test_fig5 () = check_fig "fig5" (fun () -> H.Fig5.run ~scale ~thread_counts:[ 1; 4 ] ())
+let test_fig6 () = check_fig "fig6" (fun () -> H.Fig6.run ~scale ())
+let test_fig7 () = check_fig "fig7" (fun () -> H.Fig7.run ~scale ())
+let test_fig8 () = check_fig "fig8" (fun () -> H.Fig8.run ~scale ())
+let test_fig9 () = check_fig "fig9" (fun () -> H.Fig9.run ~scale ~levels:2 ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting across fiber switches" `Quick test_span_nesting;
+          Alcotest.test_case "span closed on exception" `Quick test_span_exception;
+          Alcotest.test_case "ring buffer drops oldest" `Quick test_ring_drop;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics ]);
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace JSON parses back" `Slow test_export_parses;
+          Alcotest.test_case "same seed, byte-identical trace" `Slow test_deterministic;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "fig4" `Slow test_fig4;
+          Alcotest.test_case "fig5" `Slow test_fig5;
+          Alcotest.test_case "fig6" `Slow test_fig6;
+          Alcotest.test_case "fig7" `Slow test_fig7;
+          Alcotest.test_case "fig8" `Slow test_fig8;
+          Alcotest.test_case "fig9" `Slow test_fig9;
+        ] );
+    ]

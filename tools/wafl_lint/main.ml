@@ -58,6 +58,12 @@ let partition_mutators =
    repair paths (which run with the aggregate quiesced). *)
 let mutator_whitelist = [ "infra.ml"; "cp.ml"; "aggregate.ml" ]
 
+(* Files allowed to write trace events directly: the observability
+   subsystem itself.  Everything else must record through the Trace API
+   (with_span / instant / complete), which keeps the disabled path a
+   single branch and the event stream well-formed. *)
+let sink_whitelist = [ "trace.ml"; "metrics.ml"; "sink.ml" ]
+
 let check_path src loc path =
   match path with
   | "Random" :: _ when base src.name <> "rng.ml" ->
@@ -82,6 +88,11 @@ let check_path src loc path =
                  "%s mutates partitioned bitmap state; only Infra/Cp may call it — post a \
                   message under the owning affinity instead"
                  field)
+      | "record" :: "Sink" :: _ ->
+          if not (List.mem (base src.name) sink_whitelist) then
+            report src loc
+              "Sink.record writes raw trace events; go through the Wafl_obs.Trace API \
+               (with_span / instant / complete) instead"
       | _ -> ())
 
 let iterator src =
