@@ -1,4 +1,4 @@
-.PHONY: all build test lint sanitize trace-smoke check bench bench-quick clean
+.PHONY: all build test lint sanitize trace-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -54,6 +54,7 @@ check:
 	$(MAKE) sanitize
 	$(MAKE) trace-smoke
 	dune exec bin/wafl_sim.exe -- crash --seeds 5
+	$(MAKE) bench-gate-fast
 
 bench:
 	dune exec bench/main.exe
@@ -61,6 +62,23 @@ bench:
 # Quarter-scale benchmark pass; still writes BENCH_paper.json.
 bench-quick:
 	WAFL_QUICK=1 dune exec bench/main.exe
+
+BENCH_GATE = ./_build/default/tools/bench_gate/main.exe
+
+# Perf regression gate: a fresh quarter-scale suite (written to _build,
+# leaving the committed BENCH_paper.json untouched) must stay within
+# 15% (+2 s jitter floor) of the committed per-figure wall times.
+bench-gate:
+	dune build bench/main.exe tools/bench_gate/main.exe
+	WAFL_QUICK=1 WAFL_BENCH_OUT=_build/bench_gate.json dune exec bench/main.exe
+	$(BENCH_GATE) BENCH_paper.json _build/bench_gate.json
+
+# Fast subset of the gate for make check: three cheap figures (~5 s of
+# simulation) instead of the full ~50 s suite.
+bench-gate-fast:
+	dune build bench/main.exe tools/bench_gate/main.exe
+	WAFL_QUICK=1 WAFL_BENCH_OUT=_build/bench_gate_fast.json WAFL_BENCH_ONLY=fig4,batching,history dune exec bench/main.exe
+	$(BENCH_GATE) BENCH_paper.json _build/bench_gate_fast.json
 
 clean:
 	dune clean

@@ -30,6 +30,9 @@ val consumed : t -> int list
 (** VBNs taken so far, ascending — what the infrastructure must commit
     to the allocation metafiles. *)
 
+val consumed_count : t -> int
+(** [List.length (consumed t)] without building the list. *)
+
 val unused : t -> int list
 (** VBNs never taken (bucket returned early at a CP boundary); they
     simply remain free. *)

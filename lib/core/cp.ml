@@ -63,17 +63,27 @@ type t = {
   mutable last_passes : int;
   mutable phase : string;
   mutable phase_start : float;
+  (* Phase-duration histogram handles, cached by phase name: phases
+     change many times per CP and the registry lookup concats + hashes a
+     string each time. *)
+  phase_histos : (string, Wafl_obs.Metrics.histo) Hashtbl.t;
 }
 
 (* Phase transition: closes the previous phase's span (the CP timeline in
    the exported trace) and records its duration in a per-phase histogram.
    "idle" delimits CPs and is never emitted as a span. *)
+let phase_histo t name =
+  match Hashtbl.find_opt t.phase_histos name with
+  | Some h -> h
+  | None ->
+      let h = Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) ("cp.phase_us." ^ name) in
+      Hashtbl.add t.phase_histos name h;
+      h
+
 let set_phase t name =
   (if t.phase <> "idle" then begin
      let dur = Engine.now t.eng -. t.phase_start in
-     Wafl_obs.Metrics.observe
-       (Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) ("cp.phase_us." ^ t.phase))
-       dur;
+     Wafl_obs.Metrics.observe (phase_histo t t.phase) dur;
      if Wafl_obs.Trace.enabled t.obs then
        Wafl_obs.Trace.complete t.obs ~cat:"cp" ~name:("cp " ^ t.phase) ~ts:t.phase_start ~dur ()
    end);
@@ -97,10 +107,13 @@ let build_work t snapshot =
     (fun (vol, files) ->
       List.iter
         (fun file ->
-          let buffers = File.cp_buffers file in
-          let n = List.length buffers in
+          (* Count first — most files are clean, and the count is O(1)
+             while [cp_buffers] builds a sorted list. *)
+          let n = File.cp_buffer_count file in
           if n = 0 then ()
-          else if n > t.cfg.segment_buffers then begin
+          else
+            let buffers = File.cp_buffers file in
+            if n > t.cfg.segment_buffers then begin
             (* Large inode: split so several cleaners share it. *)
             flush_batch ();
             let rec split remaining first =
@@ -794,6 +807,7 @@ let create ?(obs = Wafl_obs.Trace.disabled) infra pool cfg =
       last_passes = 0;
       phase = "idle";
       phase_start = 0.0;
+      phase_histos = Hashtbl.create 16;
     }
   in
   ignore (Engine.spawn eng ~label:"cp" (manager_loop t));

@@ -103,22 +103,38 @@ let quiesce_commits t =
 
 (* --- cost helpers ------------------------------------------------------ *)
 
-(* Distinct metafile blocks covered by a sorted VBN list. *)
-let distinct_blocks vbns =
-  let rec go acc prev = function
-    | [] -> acc
+(* Distinct metafile blocks covered by a VBN list, plus its length, in
+   one pass.  Every caller passes an ascending list already — buckets
+   consume their VBN array front-to-back and stage drains are sorted —
+   so the sort is normally skipped; the run-count over a sorted list is
+   the distinct-block count either way. *)
+let rec sorted_from prev = function
+  | [] -> true
+  | v :: rest -> prev <= v && sorted_from v rest
+
+let blocks_and_len vbns =
+  let vbns =
+    match vbns with
+    | [] -> vbns
+    | v :: rest -> if sorted_from v rest then vbns else List.sort Int.compare vbns
+  in
+  let rec go acc len prev = function
+    | [] -> (acc, len)
     | v :: rest ->
         let b = v / Layout.bits_per_map_block in
-        if b = prev then go acc prev rest else go (acc + 1) b rest
+        if b = prev then go acc (len + 1) prev rest else go (acc + 1) (len + 1) b rest
   in
-  go 0 (-1) (List.sort compare vbns)
+  go 0 0 (-1) vbns
 
+(* Charges the per-block and per-bit update costs; returns the list
+   length so callers need not re-walk the list to count it. *)
 let charge_bit_updates t vbns =
-  let blocks = distinct_blocks vbns in
+  let blocks, len = blocks_and_len vbns in
   t.n_touched <- t.n_touched + blocks;
   Engine.consume
     ((float_of_int blocks *. t.cost.Cost.metafile_block_touch)
-    +. (float_of_int (List.length vbns) *. t.cost.Cost.bitmap_bit_update))
+    +. (float_of_int len *. t.cost.Cost.bitmap_bit_update));
+  len
 
 (* Collect allocatable VBNs in [lo, hi] and charge scan cost. *)
 let scan_range t map ~lo ~hi ~allocatable =
@@ -211,11 +227,11 @@ let commit_phys_bucket t st bucket =
   Engine.consume (t.cost.Cost.bucket_fixed +. t.cost.Cost.summary_update);
   if not (Bucket.is_committed bucket) then begin
     let used = Bucket.consumed bucket in
-    charge_bit_updates t used;
+    let n = charge_bit_updates t used in
     List.iter (fun v -> Aggregate.commit_alloc_pvbn t.agg v) used;
-    t.n_allocated <- t.n_allocated + List.length used
+    t.n_allocated <- t.n_allocated + n
   end
-  else t.n_allocated <- t.n_allocated + List.length (Bucket.consumed bucket);
+  else t.n_allocated <- t.n_allocated + Bucket.consumed_count bucket;
   t.n_committed <- t.n_committed + 1;
   if Engine.sanitizing t.eng then
     Engine.probe_atomic t.eng ~shared:(Printf.sprintf "infra.rg%d.cycle" st.rg);
@@ -280,11 +296,11 @@ let commit_virt_bucket t vs ~under bucket =
   Engine.consume (t.cost.Cost.bucket_fixed +. t.cost.Cost.summary_update);
   if not (Bucket.is_committed bucket) then begin
     let used = Bucket.consumed bucket in
-    charge_bit_updates t used;
+    let n = charge_bit_updates t used in
     List.iter (fun v -> Aggregate.commit_alloc_vvbn t.agg ~vol:vs.vol v) used;
-    t.n_allocated <- t.n_allocated + List.length used
+    t.n_allocated <- t.n_allocated + n
   end
-  else t.n_allocated <- t.n_allocated + List.length (Bucket.consumed bucket);
+  else t.n_allocated <- t.n_allocated + Bucket.consumed_count bucket;
   t.n_committed <- t.n_committed + 1;
   refill_virt t vs ~under
 
@@ -332,7 +348,7 @@ let group_by_range t vbns =
     vbns;
   (* lint-ok: sorted before use. *)
   Hashtbl.fold (fun r vs acc -> (r, List.rev vs) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* A loose-accounting token is staged by its owning cleaner while commit
    messages flush it — concurrent by design, with atomic deltas in a real
@@ -372,9 +388,9 @@ let commit_frees ?owner t ~target ~vbns ~token =
         in
         post_commit t ~affinity (fun () ->
             Engine.consume t.cost.Cost.stage_commit_fixed;
-            charge_bit_updates t group;
+            let n = charge_bit_updates t group in
             List.iter commit_one group;
-            t.n_freed <- t.n_freed + List.length group;
+            t.n_freed <- t.n_freed + n;
             if apply_token then flush_token ()))
       groups
   end

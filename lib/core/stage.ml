@@ -16,8 +16,21 @@ let add t vbn =
   t.len <- t.len + 1;
   if t.len >= t.capacity then `Full else `Ok
 
+(* Stagers mostly add VBNs in ascending order, so [items] (a prepend
+   list) is usually already descending: detect that and reverse instead
+   of sorting. *)
+let rec sorted_desc_from prev = function
+  | [] -> true
+  | v :: rest -> prev >= v && sorted_desc_from v rest
+
 let drain t =
-  let items = List.sort compare t.items in
+  let items =
+    match t.items with
+    | [] -> []
+    | v :: rest ->
+        if sorted_desc_from v rest then List.rev t.items
+        else List.sort Int.compare t.items
+  in
   t.items <- [];
   t.len <- 0;
   items

@@ -39,9 +39,17 @@ type t = {
   agg_map : Bitmap_file.t;
   aa_free_tbl : int array array; (* rg -> aa -> free blocks *)
   mutable vols : (int * Volume.t) list; (* ascending ids; volumes are few *)
+  vols_tbl : (int, Volume.t) Hashtbl.t; (* same volumes; O(1) lookup *)
+  free_cell : int ref; (* cached [free_counter] cell: no hash per block *)
+  held_cell : int ref; (* cached "snapshot_held_blocks" cell *)
+  vol_free_cells : (int, int ref) Hashtbl.t; (* vid -> cached vvbn-free cell *)
+  (* Union of every snapshot's held words, rebuilt whenever [snaps]
+     changes, so [snapshot_held] is one bit test instead of a scan. *)
+  mutable snap_union : int64 array;
   vvbn_region_free : (int, int array) Hashtbl.t; (* vol id -> region free counts *)
   counters : Counters.t;
-  recently_freed : (int, unit) Hashtbl.t;
+  mutable recently_freed : int64 array; (* bitmap over pvbns; never iterated *)
+  mutable last_vol : Volume.t option; (* one-entry [volume] lookup cache *)
   cache : Buffer_cache.t;
   mutable snaps : Snapshot.t list;
   log_space : Sync.Waitq.t;
@@ -66,6 +74,7 @@ let init_aa_free geom =
 let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost ~geometry () =
   let disk = Disk.create geometry in
   let pers = { p_disk = disk; p_sb = None; p_nvlog = Nvlog.create ~half_capacity:nvlog_half () } in
+  let counters = Counters.create () in
   let t =
     {
       eng;
@@ -76,9 +85,15 @@ let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth ?obs eng ~
       agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geometry);
       aa_free_tbl = init_aa_free geometry;
       vols = [];
+      vols_tbl = Hashtbl.create 8;
+      vol_free_cells = Hashtbl.create 8;
+      free_cell = Counters.cell counters free_counter;
+      held_cell = Counters.cell counters "snapshot_held_blocks";
+      snap_union = [||];
       vvbn_region_free = Hashtbl.create 8;
-      counters = Counters.create ();
-      recently_freed = Hashtbl.create 1024;
+      counters;
+      recently_freed = Array.make ((Geometry.total_data_blocks geometry + 63) / 64) 0L;
+      last_vol = None;
       cache = Buffer_cache.create ~capacity:cache_blocks;
       snaps = [];
       log_space = Sync.Waitq.create eng;
@@ -110,7 +125,13 @@ let log_append t entry =
   if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.nvlog";
   Nvlog.append (nvlog t) entry
 
-let volume t vid = List.assoc_opt vid t.vols
+let volume t vid =
+  match t.last_vol with
+  | Some v when Volume.id v = vid -> t.last_vol
+  | _ ->
+      let r = Hashtbl.find_opt t.vols_tbl vid in
+      (match r with Some _ -> t.last_vol <- r | None -> ());
+      r
 
 let volume_exn t vid =
   match volume t vid with
@@ -123,6 +144,7 @@ let region_count vvbn_space = (vvbn_space + vvbn_region_bits - 1) / vvbn_region_
 
 let register_volume t vol =
   t.vols <- t.vols @ [ (Volume.id vol, vol) ];
+  Hashtbl.replace t.vols_tbl (Volume.id vol) vol;
   if Volume.id vol >= t.next_vol_id then t.next_vol_id <- Volume.id vol + 1;
   let nregions = region_count (Volume.vvbn_space vol) in
   let free = Array.make nregions 0 in
@@ -132,7 +154,9 @@ let register_volume t vol =
     free.(r) <- hi - lo + 1
   done;
   Hashtbl.replace t.vvbn_region_free (Volume.id vol) free;
-  Counters.set t.counters (vol_free_counter (Volume.id vol)) (Volume.vvbn_space vol)
+  Counters.set t.counters (vol_free_counter (Volume.id vol)) (Volume.vvbn_space vol);
+  Hashtbl.replace t.vol_free_cells (Volume.id vol)
+    (Counters.cell t.counters (vol_free_counter (Volume.id vol)))
 
 let create_volume t ~vvbn_space =
   let vid = t.next_vol_id in
@@ -246,9 +270,28 @@ let commit_alloc_pvbn t pvbn =
   Bitmap_file.set t.agg_map pvbn;
   let rg, aa = aa_of_pvbn t pvbn in
   t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) - 1;
-  Counters.add t.counters free_counter (-1)
+  t.free_cell := !(t.free_cell) - 1
 
-let snapshot_held t pvbn = List.exists (fun s -> Snapshot.holds s pvbn) t.snaps
+let vol_free_cell t vid =
+  match Hashtbl.find_opt t.vol_free_cells vid with
+  | Some c -> c
+  | None -> invalid_arg "Aggregate: unregistered volume"
+
+let snapshot_held t pvbn =
+  let w = pvbn lsr 6 in
+  w < Array.length t.snap_union
+  && Int64.logand t.snap_union.(w) (Int64.shift_left 1L (pvbn land 63)) <> 0L
+
+let rebuild_snap_union t =
+  let len =
+    List.fold_left (fun m s -> max m (Array.length (Snapshot.held_words s))) 0 t.snaps
+  in
+  let u = Array.make len 0L in
+  List.iter
+    (fun s ->
+      Array.iteri (fun i x -> u.(i) <- Int64.logor u.(i) x) (Snapshot.held_words s))
+    t.snaps;
+  t.snap_union <- u
 
 let commit_free_pvbn t pvbn =
   if Engine.sanitizing t.eng then begin
@@ -261,17 +304,18 @@ let commit_free_pvbn t pvbn =
   if snapshot_held t pvbn then
     (* The block leaves the active tree but a snapshot still references
        it: not reusable, not free space. *)
-    Counters.add t.counters "snapshot_held_blocks" 1
+    t.held_cell := !(t.held_cell) + 1
   else begin
     let rg, aa = aa_of_pvbn t pvbn in
     t.aa_free_tbl.(rg).(aa) <- t.aa_free_tbl.(rg).(aa) + 1;
-    Counters.add t.counters free_counter 1
+    t.free_cell := !(t.free_cell) + 1
   end;
-  Hashtbl.replace t.recently_freed pvbn ()
+  let w = pvbn lsr 6 in
+  t.recently_freed.(w) <- Int64.logor t.recently_freed.(w) (Int64.shift_left 1L (pvbn land 63))
 
 let pvbn_allocatable t pvbn =
   (not (Bitmap_file.mem t.agg_map pvbn))
-  && (not (Hashtbl.mem t.recently_freed pvbn))
+  && Int64.logand t.recently_freed.(pvbn lsr 6) (Int64.shift_left 1L (pvbn land 63)) = 0L
   && not (snapshot_held t pvbn)
 
 let region_free t vol =
@@ -286,7 +330,7 @@ let commit_alloc_vvbn t ~vol vvbn =
   let regions = region_free t vol in
   let r = vvbn / vvbn_region_bits in
   regions.(r) <- regions.(r) - 1;
-  Counters.add t.counters (vol_free_counter (Volume.id vol)) (-1)
+  decr (vol_free_cell t (Volume.id vol))
 
 let commit_free_vvbn t ~vol vvbn =
   if Engine.sanitizing t.eng then
@@ -296,7 +340,7 @@ let commit_free_vvbn t ~vol vvbn =
   let r = vvbn / vvbn_region_bits in
   regions.(r) <- regions.(r) + 1;
   Volume.note_freed_vvbn vol vvbn;
-  Counters.add t.counters (vol_free_counter (Volume.id vol)) 1
+  incr (vol_free_cell t (Volume.id vol))
 
 let vvbn_allocatable t ~vol vvbn =
   ignore t;
@@ -332,21 +376,21 @@ let take_dirty_meta t =
   (* Aggregate map last: relocating any other block dirties it. *)
   List.iter
     (fun idx -> acc := Agg_map_chunk { index = idx } :: !acc)
-    (List.rev (Bitmap_file.dirty_blocks t.agg_map));
+    (Bitmap_file.dirty_blocks_desc t.agg_map);
   Bitmap_file.clear_dirty t.agg_map;
   List.iter
     (fun (vid, v) ->
       List.iter
         (fun idx -> acc := Vol_map_chunk { vol = vid; index = idx } :: !acc)
-        (List.rev (Bitmap_file.dirty_blocks (Volume.vol_map v)));
+        (Bitmap_file.dirty_blocks_desc (Volume.vol_map v));
       Bitmap_file.clear_dirty (Volume.vol_map v);
       List.iter
         (fun idx -> acc := Container_chunk { vol = vid; index = idx } :: !acc)
-        (List.rev (Volume.dirty_container_chunks v));
+        (Volume.dirty_container_chunks_desc v);
       Volume.clear_dirty_containers v;
       List.iter
         (fun idx -> acc := Inode_chunk { vol = vid; index = idx } :: !acc)
-        (List.rev (Volume.dirty_inode_chunks v));
+        (Volume.dirty_inode_chunks_desc v);
       Volume.clear_dirty_inode_chunks v;
       (* Bmap dirt lives on files touched by this CP's cleaning. *)
       List.iter
@@ -354,7 +398,7 @@ let take_dirty_meta t =
           List.iter
             (fun idx ->
               acc := Bmap_block { vol = vid; file = File.id f; index = idx } :: !acc)
-            (List.rev (File.dirty_bmap_blocks f));
+            (File.dirty_bmap_blocks_desc f);
           File.clear_dirty_bmap f)
         (Volume.cp_files v))
     (List.rev t.vols);
@@ -441,7 +485,7 @@ let publish_superblock t sb =
   t.cp_count <- sb.Layout.cp_count;
   if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.nvlog";
   Nvlog.cp_commit (nvlog t);
-  Hashtbl.reset t.recently_freed;
+  Array.fill t.recently_freed 0 (Array.length t.recently_freed) 0L;
   List.iter
     (fun (_, v) ->
       Volume.clear_recent_frees v;
@@ -471,6 +515,7 @@ let create_snapshot t ~name =
   let sb = Option.get t.pers.p_sb in
   let snap = Snapshot.make ~name ~sb ~words:(Bitmap_file.snapshot_words t.agg_map) in
   t.snaps <- t.snaps @ [ snap ];
+  rebuild_snap_union t;
   snap
 
 let read_snapshot t snap ~vol ~file ~fbn =
@@ -482,6 +527,7 @@ let delete_snapshot t snap =
   if t.cp_in_progress then invalid_arg "Aggregate.delete_snapshot: CP in flight";
   if not (List.memq snap t.snaps) then invalid_arg "Aggregate.delete_snapshot: unknown snapshot";
   t.snaps <- List.filter (fun s -> s != snap) t.snaps;
+  rebuild_snap_union t;
   let words = Snapshot.held_words snap in
   let active = Bitmap_file.snapshot_words t.agg_map in
   let released = ref 0 in
@@ -564,6 +610,7 @@ let recompute_vvbn_regions t vol =
 
 let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
   let geom = Disk.geometry pers.p_disk in
+  let counters = Counters.create () in
   let t =
     {
       eng;
@@ -574,9 +621,15 @@ let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
       agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geom);
       aa_free_tbl = init_aa_free geom;
       vols = [];
+      vols_tbl = Hashtbl.create 8;
+      vol_free_cells = Hashtbl.create 8;
+      free_cell = Counters.cell counters free_counter;
+      held_cell = Counters.cell counters "snapshot_held_blocks";
+      snap_union = [||];
       vvbn_region_free = Hashtbl.create 8;
-      counters = Counters.create ();
-      recently_freed = Hashtbl.create 1024;
+      counters;
+      recently_freed = Array.make ((Geometry.total_data_blocks geom + 63) / 64) 0L;
+      last_vol = None;
       cache = Buffer_cache.create ~capacity:cache_blocks;
       snaps = [];
       log_space = Sync.Waitq.create eng;
@@ -667,6 +720,7 @@ let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
           t.snaps <-
             t.snaps @ [ Snapshot.make ~name ~sb:snap_sb ~words:(Bitmap_file.snapshot_words snap_map) ])
         sb.Layout.snap_roots;
+      rebuild_snap_union t;
       recompute_aa_free t;
       (* Subtract snapshot-held blocks from the free space and summaries:
          they are map-free but not allocatable. *)

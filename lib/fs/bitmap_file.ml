@@ -7,6 +7,7 @@ type t = {
   words : int64 array;
   mutable free : int;
   dirty : (int, unit) Hashtbl.t;
+  mutable last_dirty : int; (* last block marked; skips the replace *)
   locations : Intvec.t; (* metafile block idx -> pvbn *)
   mutable scanned : int;
 }
@@ -18,6 +19,7 @@ let create ~bits =
     words = Array.make ((bits + 63) / 64) 0L;
     free = bits;
     dirty = Hashtbl.create 64;
+    last_dirty = -1;
     locations = Intvec.create ~default:(-1) ();
     scanned = 0;
   }
@@ -109,11 +111,22 @@ let count_free_in t ~lo ~hi =
 let words_scanned t = t.scanned
 
 let dirty_blocks t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] |> List.sort compare (* lint-ok: sorted *)
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] |> List.sort Int.compare (* lint-ok: sorted *)
+
+let dirty_blocks_desc t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty [] (* lint-ok: sorted below *)
+  |> List.sort (fun a b -> Int.compare b a)
 
 let dirty_count t = Hashtbl.length t.dirty
-let mark_dirty t i = Hashtbl.replace t.dirty i ()
-let clear_dirty t = Hashtbl.reset t.dirty
+let mark_dirty t i =
+  if i <> t.last_dirty then begin
+    Hashtbl.replace t.dirty i ();
+    t.last_dirty <- i
+  end
+
+let clear_dirty t =
+  Hashtbl.clear t.dirty;
+  t.last_dirty <- -1
 
 let words_of_block t i =
   if i < 0 || i >= nblocks t then invalid_arg "Bitmap_file.words_of_block: bad block";

@@ -47,6 +47,10 @@ val dirty_blocks : t -> int list
 (** Metafile blocks with bits toggled since the last [clear_dirty],
     ascending. *)
 
+val dirty_blocks_desc : t -> int list
+(** [dirty_blocks] in descending order, for prepend-accumulator callers
+    that would otherwise reverse the ascending list. *)
+
 val dirty_count : t -> int
 val mark_dirty : t -> int -> unit
 (** Explicitly dirty a block (used when relocating the block itself). *)

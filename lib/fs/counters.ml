@@ -18,12 +18,24 @@ let add t name d = cell t name := !(cell t name) + d
 let stage tok name d = cell tok name := !(cell tok name) + d
 let staged tok name = read tok name
 
+let token_cell = cell
+
 let flush t tok =
-  let updated = Hashtbl.length tok in
+  let updated = ref 0 in
   (* Integer addition commutes, so the visit order cannot leak. lint-ok *)
-  Hashtbl.iter (fun name r -> add t name !r) tok;
-  Hashtbl.reset tok;
-  updated
+  (* Cells persist across flushes (holders cache them); zero them instead
+     of dropping them.  The update count — which feeds a per-update CPU
+     charge — counts cells with a nonzero staged delta, which matches the
+     old table-length count because a cell only exists while staged. *)
+  Hashtbl.iter (* lint-ok: commutative *)
+    (fun name r ->
+      if !r <> 0 then begin
+        incr updated;
+        add t name !r;
+        r := 0
+      end)
+    tok;
+  !updated
 
 let exact t toks name =
   read t name + List.fold_left (fun acc tok -> acc + staged tok name) 0 toks

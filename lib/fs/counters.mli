@@ -28,6 +28,15 @@ val add : t -> string -> int -> unit
 val stage : token -> string -> int -> unit
 (** Record a delta in the local token (no synchronization). *)
 
+val cell : t -> string -> int ref
+(** The named counter's storage cell (created zeroed if absent).  Hot
+    paths cache the cell to skip the per-update name hash; mutating it is
+    equivalent to {!add}. *)
+
+val token_cell : token -> string -> int ref
+(** Same, for a token: mutating the cell is equivalent to {!stage}.
+    Cells survive {!flush} (they are zeroed, not removed). *)
+
 val staged : token -> string -> int
 val flush : t -> token -> int
 (** Apply and clear every staged delta; returns how many distinct

@@ -58,20 +58,26 @@ let cp_snapshot t =
 
 let cp_buffers t =
   Hashtbl.fold (fun fbn content acc -> (fbn, content) :: acc) t.cp [] (* lint-ok: sorted *)
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let cp_buffer_count t = Hashtbl.length t.cp
 
 let cp_done t =
-  Hashtbl.reset t.cp;
+  (* [clear], not [reset]: keep the bucket table at its high-water size so
+     per-CP reuse doesn't regrow it from scratch every cycle. *)
+  Hashtbl.clear t.cp;
   t.cp_outstanding <- false
 
 let dirty_bmap_blocks t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_bmap [] |> List.sort compare (* lint-ok *)
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_bmap [] |> List.sort Int.compare (* lint-ok *)
+
+let dirty_bmap_blocks_desc t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.dirty_bmap [] (* lint-ok: sorted below *)
+  |> List.sort (fun a b -> Int.compare b a)
 
 let bmap_entries t index =
   let base = index * Layout.entries_per_bmap_block in
-  Array.init Layout.entries_per_bmap_block (fun i -> Intvec.get t.bmap (base + i))
+  Intvec.extract t.bmap ~pos:base ~len:Layout.entries_per_bmap_block
 
 let bmap_location t index = Intvec.get t.bmap_locations index
 
@@ -80,7 +86,7 @@ let set_bmap_location t index pvbn =
   Intvec.set t.bmap_locations index pvbn;
   old
 
-let clear_dirty_bmap t = Hashtbl.reset t.dirty_bmap
+let clear_dirty_bmap t = Hashtbl.clear t.dirty_bmap
 
 let inode_rec t =
   let locs = ref [] in

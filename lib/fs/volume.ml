@@ -15,7 +15,8 @@ type t = {
   dirty_containers : (int, unit) Hashtbl.t;
   (* volume activemap *)
   vol_map : Bitmap_file.t;
-  recent_frees : (int, unit) Hashtbl.t;
+  recent_frees : int64 array; (* bitmap over vvbns; never iterated *)
+  mutable last_dirty_container : int; (* last chunk marked; skips the replace *)
   (* inode file *)
   inode_locations : Intvec.t;
   dirty_inodes : (int, unit) Hashtbl.t;
@@ -36,7 +37,8 @@ let create ~id ~vvbn_space =
     container_locations = Intvec.create ~default:(-1) ();
     dirty_containers = Hashtbl.create 16;
     vol_map = Bitmap_file.create ~bits:vvbn_space;
-    recent_frees = Hashtbl.create 64;
+    recent_frees = Array.make ((vvbn_space + 63) / 64) 0L;
+    last_dirty_container = -1;
     inode_locations = Intvec.create ~default:(-1) ();
     dirty_inodes = Hashtbl.create 4;
     zombies = [];
@@ -70,7 +72,7 @@ let file_exn t fid =
    not depend on hash internals. *)
 let files t =
   Hashtbl.fold (fun _ f acc -> f :: acc) t.files [] (* lint-ok: sorted below *)
-  |> List.sort (fun a b -> compare (File.id a) (File.id b))
+  |> List.sort (fun a b -> Int.compare (File.id a) (File.id b))
 let file_count t = Hashtbl.length t.files
 
 let mark_deleted t file = t.zombies <- file :: t.zombies
@@ -96,7 +98,7 @@ let dirty_inode_count t = List.length t.dirty
 let cp_snapshot t =
   let snapshot = List.rev t.dirty in
   t.dirty <- [];
-  Hashtbl.reset t.dirty_set;
+  Hashtbl.clear t.dirty_set;
   List.iter File.cp_snapshot snapshot;
   t.cp <- snapshot;
   snapshot
@@ -119,21 +121,35 @@ let map_vvbn t ~vvbn ~pvbn =
   check_vvbn t vvbn;
   let old = Intvec.get t.container vvbn in
   Intvec.set t.container vvbn pvbn;
-  Hashtbl.replace t.dirty_containers (vvbn / Layout.entries_per_container_block) ();
+  let chunk = vvbn / Layout.entries_per_container_block in
+  if chunk <> t.last_dirty_container then begin
+    Hashtbl.replace t.dirty_containers chunk ();
+    t.last_dirty_container <- chunk
+  end;
   old
 
 let vol_map t = t.vol_map
-let note_freed_vvbn t vvbn = Hashtbl.replace t.recent_frees vvbn ()
-let vvbn_reusable t vvbn = not (Hashtbl.mem t.recent_frees vvbn)
-let clear_recent_frees t = Hashtbl.reset t.recent_frees
+let note_freed_vvbn t vvbn =
+  let w = vvbn lsr 6 in
+  t.recent_frees.(w) <- Int64.logor t.recent_frees.(w) (Int64.shift_left 1L (vvbn land 63))
 
-let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare (* lint-ok *)
+let vvbn_reusable t vvbn =
+  Int64.logand t.recent_frees.(vvbn lsr 6) (Int64.shift_left 1L (vvbn land 63)) = 0L
+
+let clear_recent_frees t = Array.fill t.recent_frees 0 (Array.length t.recent_frees) 0L
+
+let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort Int.compare (* lint-ok *)
+
+let sorted_keys_desc tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] (* lint-ok: sorted below *)
+  |> List.sort (fun a b -> Int.compare b a)
 
 let dirty_container_chunks t = sorted_keys t.dirty_containers
+let dirty_container_chunks_desc t = sorted_keys_desc t.dirty_containers
 
 let container_entries t index =
   let base = index * Layout.entries_per_container_block in
-  Array.init Layout.entries_per_container_block (fun i -> Intvec.get t.container (base + i))
+  Intvec.extract t.container ~pos:base ~len:Layout.entries_per_container_block
 
 let container_location t index = Intvec.get t.container_locations index
 
@@ -142,8 +158,11 @@ let set_container_location t index pvbn =
   Intvec.set t.container_locations index pvbn;
   old
 
-let clear_dirty_containers t = Hashtbl.reset t.dirty_containers
+let clear_dirty_containers t =
+  Hashtbl.clear t.dirty_containers;
+  t.last_dirty_container <- -1
 let dirty_inode_chunks t = sorted_keys t.dirty_inodes
+let dirty_inode_chunks_desc t = sorted_keys_desc t.dirty_inodes
 
 let inode_chunk t index =
   let base = index * Layout.inodes_per_block in
@@ -160,7 +179,7 @@ let set_inode_location t index pvbn =
   Intvec.set t.inode_locations index pvbn;
   old
 
-let clear_dirty_inode_chunks t = Hashtbl.reset t.dirty_inodes
+let clear_dirty_inode_chunks t = Hashtbl.clear t.dirty_inodes
 
 let locations_array vec =
   let acc = ref [] in

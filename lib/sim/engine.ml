@@ -1,40 +1,67 @@
+(* Effects carry no payload: the float operand travels through [pending]
+   (a flat one-field float record, so the write never allocates).  The
+   handler reads it synchronously before any other perform can run, so a
+   single shared cell is safe in this single-threaded simulation.  This
+   keeps a consume/sleep perform allocation-free. *)
 type _ Effect.t +=
-  | Consume : float -> unit Effect.t
-  | Sleep : float -> unit Effect.t
+  | Consume_e : unit Effect.t
+  | Sleep_e : unit Effect.t
   | Yield : unit Effect.t
   | Park : unit Effect.t
+
+(* A mutable float in a mixed record is boxed on every store; a
+   single-field float record is flat, so [x.v <- ...] allocates nothing.
+   Used for the clock and the per-label busy accumulators. *)
+type fbox = { mutable v : float }
+
+let pending : fbox = { v = 0.0 }
 
 type state = Created | Runnable | Running | Sleeping | Parked | Done
 
 type fiber = {
   fid : int;
+  daemon : bool; (* service fiber: excluded from live count / stall diagnosis *)
   mutable label : string;
   mutable state : state;
   mutable cont : (unit, unit) Effect.Deep.continuation option;
   mutable hold_start : float;
   mutable body : (unit -> unit) option; (* cleared once started *)
   mutable join_waiters : fiber list;
+  (* Busy-cell cache: when [cell_label == label] and [cell_epoch] matches
+     the engine's accounting epoch, [cell] is the accumulator for this
+     fiber's label and a charge is one float add — no hash lookup.  The
+     label check is physical equality, so {!relabel}/{!set_label} need no
+     explicit invalidation. *)
+  mutable cell : fbox;
+  mutable cell_label : string;
+  mutable cell_epoch : int;
   eng : t;
 }
-
-and action = Resume of fiber (* consume finished; fiber still holds its core *)
-           | Wake of fiber (* sleep expired or delayed spawn: make runnable *)
-
-and event = { time : float; seq : int; action : action }
 
 and t = {
   n_cores : int;
   quantum : float;
-  mutable clock : float;
+  clock : fbox;
   mutable free_cores : int;
   runnable : fiber Queue.t;
-  mutable heap : event array;
+  (* Event min-heap on (time, seq), struct-of-arrays so a push/pop
+     allocates nothing on the hot path (the time array stays a flat
+     unboxed float array).  ev_resume.(i) distinguishes a Resume (consume
+     finished; the fiber still holds its core) from a Wake (sleep expired
+     or delayed spawn: make runnable). *)
+  mutable ev_time : float array;
+  mutable ev_seq : int array;
+  mutable ev_fiber : fiber array;
+  mutable ev_resume : bool array;
   mutable heap_len : int;
   mutable next_seq : int;
   mutable next_fid : int;
   mutable live : int;
-  mutable current : fiber option;
-  busy_tbl : (string, float ref) Hashtbl.t;
+  mutable current : fiber; (* == dummy_fiber when no fiber is running *)
+  mutable run_limit : float; (* [until] of the active run; infinity if none *)
+  busy_tbl : (string, fbox) Hashtbl.t;
+  mutable busy_sorted : (string * fbox) list; (* same cells, label-sorted *)
+  mutable acct_epoch : int; (* bumped by reset_accounting; invalidates caches *)
   mutable window_start : float;
   mutable switches : int;
   mutable all_fibers : fiber list; (* for stalled-fiber diagnosis *)
@@ -48,60 +75,97 @@ and obs_hooks = {
   on_switch : fid:int -> label:string -> now:float -> unit;
 }
 
-(* --- binary min-heap on (time, seq) --- *)
+(* The engine currently executing [run], for the consume fast path.
+   Saved/restored around [run] so nested engines behave. *)
+let cur : t option ref = ref None
 
-let dummy_event = { time = 0.0; seq = 0; action = Wake (Obj.magic ()) }
+(* --- binary min-heap on (time, seq), struct-of-arrays --- *)
 
-let heap_less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let dummy_fiber : fiber = Obj.magic ()
+let dummy_cell : fbox = { v = 0.0 }
 
-let heap_push t ev =
-  if t.heap_len = Array.length t.heap then begin
-    let bigger = Array.make (max 64 (2 * t.heap_len)) dummy_event in
-    Array.blit t.heap 0 bigger 0 t.heap_len;
-    t.heap <- bigger
+(* Does the event at slot [i] order before (time', seq')? *)
+let heap_before t i time' seq' =
+  t.ev_time.(i) < time' || (t.ev_time.(i) = time' && t.ev_seq.(i) < seq')
+
+let heap_push t time seq fiber resume =
+  let cap = Array.length t.ev_time in
+  if t.heap_len = cap then begin
+    let cap' = max 64 (2 * cap) in
+    let tm = Array.make cap' 0.0
+    and sq = Array.make cap' 0
+    and fb = Array.make cap' dummy_fiber
+    and rs = Array.make cap' false in
+    Array.blit t.ev_time 0 tm 0 t.heap_len;
+    Array.blit t.ev_seq 0 sq 0 t.heap_len;
+    Array.blit t.ev_fiber 0 fb 0 t.heap_len;
+    Array.blit t.ev_resume 0 rs 0 t.heap_len;
+    t.ev_time <- tm;
+    t.ev_seq <- sq;
+    t.ev_fiber <- fb;
+    t.ev_resume <- rs
   end;
+  (* Sift the hole up, then write the new event once. *)
   let i = ref t.heap_len in
   t.heap_len <- t.heap_len + 1;
-  t.heap.(!i) <- ev;
   let continue_up = ref true in
   while !continue_up && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if heap_less t.heap.(!i) t.heap.(parent) then begin
-      let tmp = t.heap.(parent) in
-      t.heap.(parent) <- t.heap.(!i);
-      t.heap.(!i) <- tmp;
+    if heap_before t parent time seq then continue_up := false
+    else begin
+      t.ev_time.(!i) <- t.ev_time.(parent);
+      t.ev_seq.(!i) <- t.ev_seq.(parent);
+      t.ev_fiber.(!i) <- t.ev_fiber.(parent);
+      t.ev_resume.(!i) <- t.ev_resume.(parent);
       i := parent
     end
-    else continue_up := false
-  done
+  done;
+  t.ev_time.(!i) <- time;
+  t.ev_seq.(!i) <- seq;
+  t.ev_fiber.(!i) <- fiber;
+  t.ev_resume.(!i) <- resume
 
-let heap_pop t =
-  if t.heap_len = 0 then None
+(* Remove the minimum (slot 0); the caller has already read it. *)
+let heap_remove_min t =
+  t.heap_len <- t.heap_len - 1;
+  let n = t.heap_len in
+  if n = 0 then t.ev_fiber.(0) <- dummy_fiber
   else begin
-    let top = t.heap.(0) in
-    t.heap_len <- t.heap_len - 1;
-    if t.heap_len > 0 then begin
-      t.heap.(0) <- t.heap.(t.heap_len);
-      let i = ref 0 in
-      let continue_down = ref true in
-      while !continue_down do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.heap_len && heap_less t.heap.(l) t.heap.(!smallest) then smallest := l;
-        if r < t.heap_len && heap_less t.heap.(r) t.heap.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.heap.(!smallest) in
-          t.heap.(!smallest) <- t.heap.(!i);
-          t.heap.(!i) <- tmp;
-          i := !smallest
+    (* Sift the last event down from the root, writing it once. *)
+    let time = t.ev_time.(n)
+    and seq = t.ev_seq.(n)
+    and fiber = t.ev_fiber.(n)
+    and resume = t.ev_resume.(n) in
+    t.ev_fiber.(n) <- dummy_fiber;
+    let i = ref 0 in
+    let continue_down = ref true in
+    while !continue_down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      if l >= n then continue_down := false
+      else begin
+        (* The smaller child, or -1 if neither orders before the sifted event. *)
+        let s = ref (-1) in
+        if heap_before t l time seq then s := l;
+        if r < n
+           && heap_before t r
+                (if !s >= 0 then t.ev_time.(l) else time)
+                (if !s >= 0 then t.ev_seq.(l) else seq)
+        then s := r;
+        if !s < 0 then continue_down := false
+        else begin
+          t.ev_time.(!i) <- t.ev_time.(!s);
+          t.ev_seq.(!i) <- t.ev_seq.(!s);
+          t.ev_fiber.(!i) <- t.ev_fiber.(!s);
+          t.ev_resume.(!i) <- t.ev_resume.(!s);
+          i := !s
         end
-        else continue_down := false
-      done
-    end;
-    Some top
+      end
+    done;
+    t.ev_time.(!i) <- time;
+    t.ev_seq.(!i) <- seq;
+    t.ev_fiber.(!i) <- fiber;
+    t.ev_resume.(!i) <- resume
   end
-
-let heap_peek t = if t.heap_len = 0 then None else Some t.heap.(0)
 
 (* --- engine --- *)
 
@@ -110,16 +174,22 @@ let create ?(quantum = 100.0) ?(sanitize = false) ~cores () =
   {
     n_cores = cores;
     quantum;
-    clock = 0.0;
+    clock = { v = 0.0 };
     free_cores = cores;
     runnable = Queue.create ();
-    heap = Array.make 64 dummy_event;
+    ev_time = Array.make 64 0.0;
+    ev_seq = Array.make 64 0;
+    ev_fiber = Array.make 64 dummy_fiber;
+    ev_resume = Array.make 64 false;
     heap_len = 0;
     next_seq = 0;
     next_fid = 0;
     live = 0;
-    current = None;
+    current = dummy_fiber;
+    run_limit = infinity;
     busy_tbl = Hashtbl.create 16;
+    busy_sorted = [];
+    acct_epoch = 0;
     window_start = 0.0;
     switches = 0;
     all_fibers = [];
@@ -129,21 +199,21 @@ let create ?(quantum = 100.0) ?(sanitize = false) ~cores () =
   }
 
 let cores t = t.n_cores
-let now t = t.clock
+let now t = t.clock.v
 
 (* --- sanitizer plumbing --- *)
 
 let sanitizing t = t.race <> None
 let race t = t.race
-let current_fid t = match t.current with Some f -> f.fid | None -> Race.main_fid
-let current_label t = match t.current with Some f -> f.label | None -> "main"
+let current_fid t = if t.current == dummy_fiber then Race.main_fid else t.current.fid
+let current_label t = if t.current == dummy_fiber then "main" else t.current.label
 
 let probe t ~shared mode =
   match t.race with
   | None -> ()
   | Some r ->
       let fid = current_fid t in
-      Race.access r ~fid ~label:(current_label t) ~now:t.clock ~shared mode;
+      Race.access r ~fid ~label:(current_label t) ~now:t.clock.v ~shared mode;
       (match t.access_hook with Some h -> h fid shared mode | None -> ())
 
 (* Models an operation on an atomically/lock-protected structure whose
@@ -171,7 +241,7 @@ let probe_locked t ~shared mode =
       let fid = current_fid t in
       let sync = Race.sync_id r shared in
       Race.acquire r ~fid ~sync;
-      Race.access r ~fid ~label:(current_label t) ~now:t.clock ~shared mode;
+      Race.access r ~fid ~label:(current_label t) ~now:t.clock.v ~shared mode;
       (match t.access_hook with Some h -> h fid shared mode | None -> ());
       Race.release r ~fid ~sync
 
@@ -180,21 +250,45 @@ let set_access_hook t h = t.access_hook <- Some h
 (* Observability taps (see Wafl_obs).  Like the sanitizer probes, these
    run synchronously inside existing scheduling decisions and must never
    consume virtual time or schedule events, so an instrumented run stays
-   bit-identical to an uninstrumented one. *)
+   bit-identical to an uninstrumented one.  With no hooks installed each
+   site is a single branch. *)
 let set_obs_hooks t h = t.obs_hooks <- Some h
 let clear_obs_hooks t = t.obs_hooks <- None
 let race_reports t = match t.race with None -> [] | Some r -> Race.reports r
 let race_report_count t = match t.race with None -> 0 | Some r -> Race.n_reports r
 
-let schedule t time action =
-  let ev = { time; seq = t.next_seq; action } in
+let schedule t time fiber ~resume =
+  let seq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
-  heap_push t ev
+  heap_push t time seq fiber resume
 
-let charge t label d =
-  match Hashtbl.find_opt t.busy_tbl label with
-  | Some r -> r := !r +. d
-  | None -> Hashtbl.add t.busy_tbl label (ref d)
+(* Keep [busy_sorted] ordered by label so the read side never re-sorts;
+   new labels are rare (a handful per run), so the insertion is cheap. *)
+let rec insert_sorted label r = function
+  | [] -> [ (label, r) ]
+  | (l, _) :: _ as rest when String.compare label l < 0 -> (label, r) :: rest
+  | kv :: rest -> kv :: insert_sorted label r rest
+
+(* Charge [d] to [f]'s label.  The fiber caches its accumulator cell, so
+   the steady state is one physical-equality check and one float add. *)
+let charge t f d =
+  if f.cell_label == f.label && f.cell_epoch = t.acct_epoch then
+    f.cell.v <- f.cell.v +. d
+  else begin
+    let cell =
+      match Hashtbl.find_opt t.busy_tbl f.label with
+      | Some c -> c
+      | None ->
+          let c = { v = 0.0 } in
+          Hashtbl.add t.busy_tbl f.label c;
+          t.busy_sorted <- insert_sorted f.label c t.busy_sorted;
+          c
+    in
+    f.cell <- cell;
+    f.cell_label <- f.label;
+    f.cell_epoch <- t.acct_epoch;
+    cell.v <- cell.v +. d
+  end
 
 let enqueue_runnable t f =
   f.state <- Runnable;
@@ -204,7 +298,7 @@ let release_core t = t.free_cores <- t.free_cores + 1
 
 let finish_fiber t f =
   f.state <- Done;
-  t.live <- t.live - 1;
+  if not f.daemon then t.live <- t.live - 1;
   release_core t;
   (match t.race with
   | Some r ->
@@ -216,8 +310,38 @@ let finish_fiber t f =
 
 (* Execute the fiber's body under the effect handler.  Control returns to
    the scheduler whenever the fiber performs an effect that stores its
-   continuation (or when it finishes). *)
+   continuation (or when it finishes).  The per-effect continuation
+   consumers are allocated once per fiber here, not per perform. *)
 let start_fiber t f body =
+  let consume_k (k : (unit, unit) Effect.Deep.continuation) =
+    f.cont <- Some k;
+    let d = pending.v in
+    charge t f d;
+    (match t.obs_hooks with
+    | Some h -> h.on_consume ~fid:f.fid ~label:f.label ~amount:d ~now:t.clock.v
+    | None -> ());
+    schedule t (t.clock.v +. d) f ~resume:true
+  in
+  let sleep_k (k : (unit, unit) Effect.Deep.continuation) =
+    f.cont <- Some k;
+    f.state <- Sleeping;
+    release_core t;
+    schedule t (t.clock.v +. pending.v) f ~resume:false
+  in
+  let yield_k (k : (unit, unit) Effect.Deep.continuation) =
+    f.cont <- Some k;
+    release_core t;
+    enqueue_runnable t f
+  in
+  let park_k (k : (unit, unit) Effect.Deep.continuation) =
+    f.cont <- Some k;
+    f.state <- Parked;
+    release_core t
+  in
+  let consume_o = Some consume_k
+  and sleep_o = Some sleep_k
+  and yield_o = Some yield_k
+  and park_o = Some park_k in
   let handler =
     {
       Effect.Deep.retc = (fun () -> finish_fiber t f);
@@ -225,34 +349,10 @@ let start_fiber t f body =
       effc =
         (fun (type a) (e : a Effect.t) ->
           match e with
-          | Consume d ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  f.cont <- Some k;
-                  charge t f.label d;
-                  (match t.obs_hooks with
-                  | Some h -> h.on_consume ~fid:f.fid ~label:f.label ~amount:d ~now:t.clock
-                  | None -> ());
-                  schedule t (t.clock +. d) (Resume f))
-          | Sleep d ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  f.cont <- Some k;
-                  f.state <- Sleeping;
-                  release_core t;
-                  schedule t (t.clock +. d) (Wake f))
-          | Yield ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  f.cont <- Some k;
-                  release_core t;
-                  enqueue_runnable t f)
-          | Park ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  f.cont <- Some k;
-                  f.state <- Parked;
-                  release_core t)
+          | Consume_e -> (consume_o : ((a, unit) Effect.Deep.continuation -> unit) option)
+          | Sleep_e -> sleep_o
+          | Yield -> yield_o
+          | Park -> park_o
           | _ -> None);
     }
   in
@@ -265,16 +365,16 @@ let resume_fiber t f =
       | Some body ->
           f.body <- None;
           f.state <- Running;
-          t.current <- Some f;
+          t.current <- f;
           start_fiber t f body;
-          t.current <- None
+          t.current <- dummy_fiber
       | None -> invalid_arg "Engine: resuming a fiber with no continuation")
   | Some k ->
       f.cont <- None;
       f.state <- Running;
-      t.current <- Some f;
+      t.current <- f;
       Effect.Deep.continue k ();
-      t.current <- None
+      t.current <- dummy_fiber
 
 (* Dispatch runnable fibers onto free cores. *)
 let dispatch t =
@@ -282,28 +382,32 @@ let dispatch t =
     let f = Queue.pop t.runnable in
     t.free_cores <- t.free_cores - 1;
     t.switches <- t.switches + 1;
-    f.hold_start <- t.clock;
+    f.hold_start <- t.clock.v;
     (match t.obs_hooks with
-    | Some h -> h.on_switch ~fid:f.fid ~label:f.label ~now:t.clock
+    | Some h -> h.on_switch ~fid:f.fid ~label:f.label ~now:t.clock.v
     | None -> ());
     resume_fiber t f
   done
 
-let spawn t ?(label = "other") ?at body =
+let spawn t ?(label = "other") ?(daemon = false) ?at body =
   let f =
     {
       fid = t.next_fid;
+      daemon;
       label;
       state = Created;
       cont = None;
       hold_start = 0.0;
       body = Some body;
       join_waiters = [];
+      cell = dummy_cell;
+      cell_label = "";
+      cell_epoch = -1;
       eng = t;
     }
   in
   t.next_fid <- t.next_fid + 1;
-  t.live <- t.live + 1;
+  if not daemon then t.live <- t.live + 1;
   t.all_fibers <- f :: t.all_fibers;
   (match t.race with
   | Some r -> Race.add_fiber r ~parent:(current_fid t) ~fid:f.fid
@@ -311,69 +415,113 @@ let spawn t ?(label = "other") ?at body =
   (match at with
   | None -> enqueue_runnable t f
   | Some time ->
-      if time < t.clock then invalid_arg "Engine.spawn: at is in the past";
+      if time < t.clock.v then invalid_arg "Engine.spawn: at is in the past";
       f.state <- Sleeping;
-      schedule t time (Wake f));
+      schedule t time f ~resume:false);
   f
 
 let run ?until t =
-  let stop = ref false in
-  while not !stop do
-    dispatch t;
-    match heap_peek t with
-    | None -> stop := true
-    | Some ev -> (
-        match until with
-        | Some limit when ev.time > limit ->
-            t.clock <- limit;
-            stop := true
-        | _ -> (
-            ignore (heap_pop t);
-            t.clock <- ev.time;
-            match ev.action with
-            | Wake f -> enqueue_runnable t f
-            | Resume f ->
-                if
-                  t.quantum > 0.0
-                  && t.clock -. f.hold_start >= t.quantum
-                  && not (Queue.is_empty t.runnable)
-                then begin
-                  release_core t;
-                  enqueue_runnable t f
-                end
-                else resume_fiber t f))
-  done;
-  (* If we stopped because of [until] there may still be runnable fibers;
-     leave them queued for the next call. *)
-  (match until with
-  | Some limit when t.clock < limit && t.heap_len = 0 && Queue.is_empty t.runnable ->
-      t.clock <- limit
-  | _ -> ());
-  (* The host context now observes everything that ran (cooperative,
-     single-threaded), so its clock must dominate all of it. *)
-  match t.race with Some r -> Race.absorb_all r | None -> ()
+  let saved = !cur in
+  cur := Some t;
+  t.run_limit <- (match until with Some l -> l | None -> infinity);
+  Fun.protect
+    ~finally:(fun () -> cur := saved)
+    (fun () ->
+      let stop = ref false in
+      while not !stop do
+        dispatch t;
+        if t.heap_len = 0 then stop := true
+        else begin
+          let time = t.ev_time.(0) in
+          match until with
+          | Some limit when time > limit ->
+              t.clock.v <- limit;
+              stop := true
+          | _ ->
+              let f = t.ev_fiber.(0) in
+              let resume = t.ev_resume.(0) in
+              heap_remove_min t;
+              t.clock.v <- time;
+              if not resume then enqueue_runnable t f
+              else if
+                t.quantum > 0.0
+                && t.clock.v -. f.hold_start >= t.quantum
+                && not (Queue.is_empty t.runnable)
+              then begin
+                release_core t;
+                enqueue_runnable t f
+              end
+              else resume_fiber t f
+        end
+      done;
+      (* If we stopped because of [until] there may still be runnable fibers;
+         leave them queued for the next call. *)
+      (match until with
+      | Some limit when t.clock.v < limit && t.heap_len = 0 && Queue.is_empty t.runnable ->
+          t.clock.v <- limit
+      | _ -> ());
+      (* The host context now observes everything that ran (cooperative,
+         single-threaded), so its clock must dominate all of it. *)
+      match t.race with Some r -> Race.absorb_all r | None -> ())
 
 let stalled_fibers t =
   if t.heap_len > 0 || not (Queue.is_empty t.runnable) then []
   else
     List.filter_map
-      (fun f -> match f.state with Parked -> Some (f.fid, f.label) | _ -> None)
+      (fun f ->
+        match f.state with
+        | Parked when not f.daemon -> Some (f.fid, f.label)
+        | _ -> None)
       t.all_fibers
 
 let live_fibers t = t.live
 
 (* --- fiber-context operations --- *)
 
-let consume d = if d > 0.0 then Effect.perform (Consume d)
-let sleep d = if d > 0.0 then Effect.perform (Sleep d) else Effect.perform Yield
+(* Fast path: when the running fiber's resume event would be the very
+   next thing the event loop processes — no fiber is runnable and
+   clock+d strictly precedes every queued event (our event would carry
+   the largest seq, so a time tie goes to the queued event) — performing
+   the effect, scheduling, popping and resuming is observable only as
+   "charge d and advance the clock".  Doing exactly that inline skips
+   two stack switches and the heap round-trip.  The [run_limit] guard
+   keeps warmup/measure windows exact: an event past [until] must stay
+   queued with the clock pinned at the limit, so that case suspends. *)
+let consume d =
+  if d > 0.0 then begin
+    match !cur with
+    | Some t
+      when t.current != dummy_fiber
+           && Queue.is_empty t.runnable
+           && (t.heap_len = 0 || t.clock.v +. d < t.ev_time.(0))
+           && t.clock.v +. d <= t.run_limit ->
+        let f = t.current in
+        charge t f d;
+        (match t.obs_hooks with
+        | Some h -> h.on_consume ~fid:f.fid ~label:f.label ~amount:d ~now:t.clock.v
+        | None -> ());
+        t.next_seq <- t.next_seq + 1;
+        t.clock.v <- t.clock.v +. d
+    | _ ->
+        pending.v <- d;
+        Effect.perform Consume_e
+  end
+
+let sleep d =
+  if d > 0.0 then begin
+    pending.v <- d;
+    Effect.perform Sleep_e
+  end
+  else Effect.perform Yield
+
 let yield () = Effect.perform Yield
 
 let self t =
-  match t.current with
-  | Some f -> f
-  | None -> invalid_arg "Engine.self: no fiber is running"
+  if t.current == dummy_fiber then invalid_arg "Engine.self: no fiber is running"
+  else t.current
 
 let set_label t label = (self t).label <- label
+let relabel f label = f.label <- label
 let fiber_id f = f.fid
 let fiber_label f = f.label
 let finished f = f.state = Done
@@ -407,16 +555,18 @@ let join t f =
 
 let reset_accounting t =
   Hashtbl.reset t.busy_tbl;
-  t.window_start <- t.clock
+  t.busy_sorted <- [];
+  t.acct_epoch <- t.acct_epoch + 1;
+  t.window_start <- t.clock.v
 
-let busy t label = match Hashtbl.find_opt t.busy_tbl label with Some r -> !r | None -> 0.0
+let busy t label =
+  match Hashtbl.find_opt t.busy_tbl label with Some c -> c.v | None -> 0.0
 
-let busy_labels t =
-  (* lint-ok: sorted before use. *)
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.busy_tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+(* [busy_sorted] is maintained label-sorted at insertion, so this neither
+   walks the hash table nor re-sorts. *)
+let busy_labels t = List.map (fun (k, c) -> (k, c.v)) t.busy_sorted
 
-let window t = t.clock -. t.window_start
+let window t = t.clock.v -. t.window_start
 
 let cores_used t label =
   let w = window t in

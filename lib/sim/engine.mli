@@ -42,10 +42,16 @@ val cores : t -> int
 val now : t -> float
 (** Current virtual time in microseconds. *)
 
-val spawn : t -> ?label:string -> ?at:float -> (unit -> unit) -> fiber
+val spawn : t -> ?label:string -> ?daemon:bool -> ?at:float -> (unit -> unit) -> fiber
 (** [spawn t ~label body] creates a fiber that becomes runnable now (or at
     virtual time [at]).  [label] (default ["other"]) is the accounting
-    class charged for the fiber's CPU time; see {!busy}. *)
+    class charged for the fiber's CPU time; see {!busy}.
+
+    [daemon] (default [false]) marks a long-lived service fiber — e.g. a
+    scheduler worker — that legitimately parks forever between work items:
+    daemons are excluded from {!live_fibers} and from {!stalled_fibers}
+    diagnosis, so a run that ends with idle daemons parked still counts as
+    having run to completion. *)
 
 (** {1 Running} *)
 
@@ -56,12 +62,12 @@ val run : ?until:float -> t -> unit
     continue — this is how warmup/measurement windows are implemented). *)
 
 val stalled_fibers : t -> (int * string) list
-(** Fibers that are parked with nothing left in the system to wake them;
-    non-empty after a full [run] indicates a deadlock or a lost wakeup.
-    Returns [(id, label)] pairs. *)
+(** Non-daemon fibers that are parked with nothing left in the system to
+    wake them; non-empty after a full [run] indicates a deadlock or a
+    lost wakeup.  Returns [(id, label)] pairs. *)
 
 val live_fibers : t -> int
-(** Fibers spawned and not yet finished. *)
+(** Non-daemon fibers spawned and not yet finished. *)
 
 (** {1 Fiber context operations} *)
 
@@ -81,6 +87,13 @@ val self : t -> fiber
 val set_label : t -> string -> unit
 (** Change the accounting class of the current fiber; used by scheduler
     workers that execute messages of different classes. *)
+
+val relabel : fiber -> string -> unit
+(** Change the accounting class of an arbitrary fiber (it need not be
+    running).  The Waffinity scheduler relabels a pooled worker to the
+    granted message's label before waking it, so CPU charges and the
+    dispatch observability hook see the message's class, exactly as if
+    the message ran on a fresh fiber with that label. *)
 
 val fiber_id : fiber -> int
 val fiber_label : fiber -> string

@@ -5,6 +5,7 @@ type group = { data : int; parity : int; first_drive : int (* global data-drive 
 
 type t = {
   drive_blocks : int;
+  drive_shift : int; (* log2 drive_blocks when a power of two, else -1 *)
   aa_stripes : int;
   groups : group array;
   drives_total : int;
@@ -25,7 +26,13 @@ let create ?(drive_blocks = 65536) ?(aa_stripes = 1024) ~raid_groups () =
            g)
     |> Array.of_list
   in
-  { drive_blocks; aa_stripes; groups; drives_total = !next }
+  let drive_shift =
+    if drive_blocks land (drive_blocks - 1) = 0 then
+      let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+      log2 drive_blocks 0
+    else -1
+  in
+  { drive_blocks; drive_shift; aa_stripes; groups; drives_total = !next }
 
 let drives_total t = t.drives_total
 let total_data_blocks t = t.drives_total * t.drive_blocks
@@ -54,8 +61,10 @@ let vbn_valid t v = v >= 0 && v < total_data_blocks t
 
 let locate t v =
   if not (vbn_valid t v) then invalid_arg "Geometry.locate: bad vbn";
-  let global_drive = v / t.drive_blocks in
-  let dbn = v mod t.drive_blocks in
+  let global_drive, dbn =
+    if t.drive_shift >= 0 then (v lsr t.drive_shift, v land (t.drive_blocks - 1))
+    else (v / t.drive_blocks, v mod t.drive_blocks)
+  in
   (* RAID groups are few (typically 1-4); a linear scan is clear and fast. *)
   let rec find rg =
     let g = t.groups.(rg) in

@@ -6,11 +6,26 @@ let popcount (x : int64) =
   let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
+(* de Bruijn sequence for branch-free 64-bit ctz: isolating the lowest
+   set bit and multiplying by B puts a unique 6-bit pattern in the top
+   bits, which indexes the position table. *)
+let ctz_debruijn = 0x022FDD63CC95386DL
+
+let ctz_table =
+  (* [table.(top6 (bit i * B)) = i] — built from the sequence itself, so
+     the table cannot disagree with the lookup. *)
+  let t = Array.make 64 0 in
+  for i = 0 to 63 do
+    let idx = Int64.to_int (Int64.shift_right_logical (Int64.mul (Int64.shift_left 1L i) ctz_debruijn) 58) in
+    t.(idx) <- i
+  done;
+  t
+
 let ctz (x : int64) =
-  (* Count trailing zeros of a non-zero word via de Bruijn-free loop; words
-     are scanned rarely (once per 64 allocations) so a simple loop is fine. *)
-  let rec go x i = if Int64.logand x 1L = 1L then i else go (Int64.shift_right_logical x 1) (i + 1) in
-  go x 0
+  (* Count trailing zeros of a non-zero word, O(1): de Bruijn multiply on
+     the isolated lowest bit. *)
+  let lowest = Int64.logand x (Int64.neg x) in
+  Array.unsafe_get ctz_table (Int64.to_int (Int64.shift_right_logical (Int64.mul lowest ctz_debruijn) 58))
 
 let find_first_zero w =
   let inv = Int64.lognot w in

@@ -6,6 +6,10 @@
 val popcount : int64 -> int
 (** Number of set bits. *)
 
+val ctz : int64 -> int
+(** Count trailing zeros of a non-zero word (branch-free de Bruijn
+    lookup); undefined on 0. *)
+
 val find_first_zero : int64 -> int
 (** Index (0-63) of the lowest clear bit, or -1 if the word is all ones. *)
 

@@ -14,6 +14,10 @@ val get : t -> int -> int
 val set : t -> int -> int -> unit
 (** Grows the vector as needed; intermediate slots read as the default. *)
 
+val extract : t -> pos:int -> len:int -> int array
+(** [extract t ~pos ~len] equals [Array.init len (fun i -> get t (pos + i))]
+    — a block copy of the logical range, defaults where unset. *)
+
 val iteri_set : t -> (int -> int -> unit) -> unit
 (** Iterate over indices whose value differs from the default. *)
 

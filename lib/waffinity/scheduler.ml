@@ -1,30 +1,64 @@
 open Wafl_sim
 
+(* One node per affinity instance.  Besides the conflict-tracking state
+   (active / desc_active, as before), each node owns the FIFO of its own
+   pending messages and caches everything derivable from its affinity
+   (kind name, span name, metric handles) so the per-message hot path
+   computes no strings and performs no hash lookups. *)
 type node = {
   aff : Affinity.t;
   parent : node option;
   mutable active : bool;
   mutable desc_active : int;
+  q : msg Queue.t; (* this node's pending messages, oldest first *)
+  kind : string; (* Affinity.kind_name aff *)
+  span_name : string; (* "msg " ^ kind *)
+  mutable wait_h : Wafl_obs.Metrics.histo option; (* registered on first use *)
+  mutable service_h : Wafl_obs.Metrics.histo option;
 }
 
-type msg = { node : node; label : string; body : unit -> unit; posted_at : float }
+and msg = { label : string; body : unit -> unit; posted_at : float; seq : int }
+
+(* A pooled worker fiber.  Workers are daemons: spawned on demand up to
+   (roughly) the worker count, they execute one granted message at a
+   time and park between grants instead of being created and torn down
+   per message — the real Waffinity worker-thread model. *)
+type worker = {
+  mutable slot : (node * msg) option; (* the granted message to run next *)
+  mutable fiber : Engine.fiber option; (* set right after spawn *)
+}
 
 type t = {
   eng : Engine.t;
   cost : Cost.t;
   workers : int;
   nodes : (Affinity.t, node) Hashtbl.t;
-  mutable pending : msg list; (* oldest first *)
+  (* Grantable-head index: a binary min-heap of nodes keyed by the
+     sequence number of each node's head (oldest) pending message.
+     Invariant: a node appears in the heap or the round's stash exactly
+     when its queue is non-empty, keyed by its current head's seq. *)
+  mutable hp_seq : int array;
+  mutable hp_node : node array;
+  mutable hp_len : int;
+  (* Nodes popped but not grantable during the current dispatch round;
+     re-pushed when the round ends.  Within a round grantability only
+     shrinks (grants add blockers, releases re-enter dispatch), so a
+     skipped node stays skipped — exactly the old rescan semantics. *)
+  mutable st_seq : int array;
+  mutable st_node : node array;
+  mutable st_len : int;
+  mutable next_seq : int;
   mutable pending_count : int;
   mutable executing : int;
   mutable executed : int;
-  by_kind : (string, int ref) Hashtbl.t;
+  by_kind_tbl : (string, int ref) Hashtbl.t;
+  mutable by_kind : (string * int ref) list; (* same refs, kind-sorted *)
   mutable wait_time : float;
-  idle : Sync.Waitq.t;
+  idle : Sync.Waitq.t; (* drain waiters *)
+  mutable idle_workers : worker list; (* parked workers, most recent first *)
   isolation : Isolation.t option;
   obs : Wafl_obs.Trace.t;
-  wait_h : (string, Wafl_obs.Metrics.histo) Hashtbl.t; (* per affinity kind *)
-  service_h : (string, Wafl_obs.Metrics.histo) Hashtbl.t;
+  obs_on : bool; (* Trace.enabled obs, hoisted off the hot path *)
   m_msgs : Wafl_obs.Metrics.counter;
   g_queued : Wafl_obs.Metrics.gauge;
   g_executing : Wafl_obs.Metrics.gauge;
@@ -33,15 +67,18 @@ type t = {
          affinity, as if a grant guard were dropped *)
 }
 
-(* Per-affinity-kind histograms, registered on first use (the kind set is
-   small and fixed, so the cache stays tiny). *)
-let kind_histo t cache prefix kind =
-  match Hashtbl.find_opt cache kind with
-  | Some h -> h
-  | None ->
-      let h = Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) (prefix ^ kind) in
-      Hashtbl.add cache kind h;
-      h
+let dummy_node =
+  {
+    aff = Affinity.Serial;
+    parent = None;
+    active = false;
+    desc_active = 0;
+    q = Queue.create ();
+    kind = "";
+    span_name = "";
+    wait_h = None;
+    service_h = None;
+  }
 
 let create ?workers ?isolation ?(obs = Wafl_obs.Trace.disabled) eng ~cost () =
   let workers = match workers with Some w -> w | None -> Engine.cores eng in
@@ -52,17 +89,24 @@ let create ?workers ?isolation ?(obs = Wafl_obs.Trace.disabled) eng ~cost () =
     cost;
     workers;
     nodes = Hashtbl.create 64;
-    pending = [];
+    hp_seq = Array.make 64 0;
+    hp_node = Array.make 64 dummy_node;
+    hp_len = 0;
+    st_seq = Array.make 64 0;
+    st_node = Array.make 64 dummy_node;
+    st_len = 0;
+    next_seq = 0;
     pending_count = 0;
     executing = 0;
     executed = 0;
-    by_kind = Hashtbl.create 16;
+    by_kind_tbl = Hashtbl.create 16;
+    by_kind = [];
     wait_time = 0.0;
     idle = Sync.Waitq.create eng;
+    idle_workers = [];
     isolation;
     obs;
-    wait_h = Hashtbl.create 16;
-    service_h = Hashtbl.create 16;
+    obs_on = Wafl_obs.Trace.enabled obs;
     m_msgs = Wafl_obs.Metrics.counter m "sched.messages";
     g_queued = Wafl_obs.Metrics.gauge m "sched.queued";
     g_executing = Wafl_obs.Metrics.gauge m "sched.executing";
@@ -77,7 +121,20 @@ let rec node t aff =
   | Some n -> n
   | None ->
       let parent = Option.map (node t) (Affinity.parent aff) in
-      let n = { aff; parent; active = false; desc_active = 0 } in
+      let kind = Affinity.kind_name aff in
+      let n =
+        {
+          aff;
+          parent;
+          active = false;
+          desc_active = 0;
+          q = Queue.create ();
+          kind;
+          span_name = "msg " ^ kind;
+          wait_h = None;
+          service_h = None;
+        }
+      in
       Hashtbl.add t.nodes aff n;
       n
 
@@ -110,79 +167,215 @@ let release n =
   in
   up n.parent
 
-let count_kind t aff =
-  let key = Affinity.kind_name aff in
-  match Hashtbl.find_opt t.by_kind key with
-  | Some r -> incr r
-  | None -> Hashtbl.add t.by_kind key (ref 1)
+(* Per-affinity-kind histograms, registered on first use and cached on
+   the node (the metrics registry dedups by name, so nodes of the same
+   kind share the underlying histogram). *)
+let wait_histo t n =
+  match n.wait_h with
+  | Some h -> h
+  | None ->
+      let h =
+        Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) ("sched.wait_us." ^ n.kind)
+      in
+      n.wait_h <- Some h;
+      h
 
-let rec dispatch t =
-  if t.executing < t.workers && t.pending_count > 0 then begin
-    (* Grant the oldest message whose affinity is unblocked. *)
-    let rec pick acc = function
-      | [] -> None
-      | m :: rest ->
-          if grantable m.node then Some (m, List.rev_append acc rest)
-          else pick (m :: acc) rest
-    in
-    match pick [] t.pending with
-    | None -> ()
-    | Some (m, rest) ->
-        t.pending <- rest;
-        t.pending_count <- t.pending_count - 1;
-        Wafl_obs.Metrics.set t.g_queued (float_of_int t.pending_count);
-        start t m;
-        dispatch t
+let service_histo t n =
+  match n.service_h with
+  | Some h -> h
+  | None ->
+      let h =
+        Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics t.obs) ("sched.service_us." ^ n.kind)
+      in
+      n.service_h <- Some h;
+      h
+
+let rec insert_sorted key r = function
+  | [] -> [ (key, r) ]
+  | (k, _) :: _ as rest when String.compare key k < 0 -> (key, r) :: rest
+  | kv :: rest -> kv :: insert_sorted key r rest
+
+let count_kind t n =
+  match Hashtbl.find_opt t.by_kind_tbl n.kind with
+  | Some r -> incr r
+  | None ->
+      let r = ref 1 in
+      Hashtbl.add t.by_kind_tbl n.kind r;
+      t.by_kind <- insert_sorted n.kind r t.by_kind
+
+(* --- the grantable-head heap (min-heap on head-message seq) --- *)
+
+let hp_push t seq n =
+  let cap = Array.length t.hp_seq in
+  if t.hp_len = cap then begin
+    let cap' = 2 * cap in
+    let sq = Array.make cap' 0 and nd = Array.make cap' dummy_node in
+    Array.blit t.hp_seq 0 sq 0 t.hp_len;
+    Array.blit t.hp_node 0 nd 0 t.hp_len;
+    t.hp_seq <- sq;
+    t.hp_node <- nd
+  end;
+  let i = ref t.hp_len in
+  t.hp_len <- t.hp_len + 1;
+  let continue_up = ref true in
+  while !continue_up && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.hp_seq.(parent) < seq then continue_up := false
+    else begin
+      t.hp_seq.(!i) <- t.hp_seq.(parent);
+      t.hp_node.(!i) <- t.hp_node.(parent);
+      i := parent
+    end
+  done;
+  t.hp_seq.(!i) <- seq;
+  t.hp_node.(!i) <- n
+
+(* Remove the minimum (slot 0); the caller has already read it. *)
+let hp_remove_min t =
+  t.hp_len <- t.hp_len - 1;
+  let n = t.hp_len in
+  if n = 0 then t.hp_node.(0) <- dummy_node
+  else begin
+    let seq = t.hp_seq.(n) and node = t.hp_node.(n) in
+    t.hp_node.(n) <- dummy_node;
+    let i = ref 0 in
+    let continue_down = ref true in
+    while !continue_down do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      if l >= n then continue_down := false
+      else begin
+        let s = ref (if t.hp_seq.(l) < seq then l else -1) in
+        if r < n && t.hp_seq.(r) < (if !s >= 0 then t.hp_seq.(l) else seq) then s := r;
+        if !s < 0 then continue_down := false
+        else begin
+          t.hp_seq.(!i) <- t.hp_seq.(!s);
+          t.hp_node.(!i) <- t.hp_node.(!s);
+          i := !s
+        end
+      end
+    done;
+    t.hp_seq.(!i) <- seq;
+    t.hp_node.(!i) <- node
   end
 
-and start t m =
-  activate m.node;
+let stash t seq n =
+  let cap = Array.length t.st_seq in
+  if t.st_len = cap then begin
+    let cap' = 2 * cap in
+    let sq = Array.make cap' 0 and nd = Array.make cap' dummy_node in
+    Array.blit t.st_seq 0 sq 0 t.st_len;
+    Array.blit t.st_node 0 nd 0 t.st_len;
+    t.st_seq <- sq;
+    t.st_node <- nd
+  end;
+  t.st_seq.(t.st_len) <- seq;
+  t.st_node.(t.st_len) <- n;
+  t.st_len <- t.st_len + 1
+
+(* --- dispatch: grant oldest pending messages whose affinity is free --- *)
+
+(* The body a message runs under: cost, isolation registration, optional
+   span — byte-for-byte the work the old per-message fiber did. *)
+let exec t n m =
+  let t0 = Engine.now t.eng in
+  Engine.consume t.cost.Cost.msg_dispatch;
+  (match t.isolation with
+  | Some iso ->
+      Isolation.enter iso ~fid:(Engine.current_fid t.eng) ~affinity:n.aff ~label:m.label
+  | None -> ());
+  let run_body () =
+    if t.obs_on then
+      Wafl_obs.Trace.with_span t.obs ~cat:"sched" ~name:n.span_name
+        ~args:[ ("label", m.label) ]
+        m.body
+    else m.body ()
+  in
+  (try run_body ()
+   with exn ->
+     (match t.isolation with
+     | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
+     | None -> ());
+     release n;
+     raise exn);
+  (match t.isolation with
+  | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
+  | None -> ());
+  release n;
+  if t.obs_on then begin
+    Wafl_obs.Metrics.observe (service_histo t n) (Engine.now t.eng -. t0);
+    Wafl_obs.Metrics.incr t.m_msgs
+  end;
+  t.executing <- t.executing - 1;
+  t.executed <- t.executed + 1;
+  if t.obs_on then Wafl_obs.Metrics.set t.g_executing (float_of_int t.executing);
+  count_kind t n
+
+(* A worker executes its granted message, re-enters dispatch (the old
+   per-message fiber did the same on its way out), then parks in the
+   idle pool until the next grant fills its slot. *)
+let rec worker_loop t w =
+  (match w.slot with
+  | None -> ()
+  | Some (n, m) ->
+      w.slot <- None;
+      exec t n m;
+      if t.executing = 0 && t.pending_count = 0 then ignore (Sync.Waitq.wake_all t.idle);
+      dispatch t);
+  t.idle_workers <- w :: t.idle_workers;
+  Engine.park t.eng;
+  worker_loop t w
+
+and start t n m =
+  activate n;
   t.executing <- t.executing + 1;
-  let kind = Affinity.kind_name m.node.aff in
   let wait = Engine.now t.eng -. m.posted_at in
   t.wait_time <- t.wait_time +. wait;
-  Wafl_obs.Metrics.observe (kind_histo t t.wait_h "sched.wait_us." kind) wait;
-  Wafl_obs.Metrics.set t.g_executing (float_of_int t.executing);
+  if t.obs_on then begin
+    Wafl_obs.Metrics.observe (wait_histo t n) wait;
+    Wafl_obs.Metrics.set t.g_executing (float_of_int t.executing)
+  end;
   (* The queue hand-off orders the poster before the message body even
      when the granting dispatch runs in an unrelated fiber. *)
   Engine.probe_atomic t.eng ~shared:"sched.queue";
-  ignore
-    (Engine.spawn t.eng ~label:m.label (fun () ->
-         let t0 = Engine.now t.eng in
-         Engine.consume t.cost.Cost.msg_dispatch;
-         (match t.isolation with
-         | Some iso ->
-             Isolation.enter iso ~fid:(Engine.current_fid t.eng) ~affinity:m.node.aff
-               ~label:m.label
-         | None -> ());
-         let run_body () =
-           if Wafl_obs.Trace.enabled t.obs then
-             Wafl_obs.Trace.with_span t.obs ~cat:"sched" ~name:("msg " ^ kind)
-               ~args:[ ("label", m.label) ]
-               m.body
-           else m.body ()
-         in
-         (try run_body ()
-          with exn ->
-            (match t.isolation with
-            | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
-            | None -> ());
-            release m.node;
-            raise exn);
-         (match t.isolation with
-         | Some iso -> Isolation.exit iso ~fid:(Engine.current_fid t.eng)
-         | None -> ());
-         release m.node;
-         Wafl_obs.Metrics.observe
-           (kind_histo t t.service_h "sched.service_us." kind)
-           (Engine.now t.eng -. t0);
-         Wafl_obs.Metrics.incr t.m_msgs;
-         t.executing <- t.executing - 1;
-         t.executed <- t.executed + 1;
-         Wafl_obs.Metrics.set t.g_executing (float_of_int t.executing);
-         count_kind t m.node.aff;
-         if t.executing = 0 && t.pending_count = 0 then ignore (Sync.Waitq.wake_all t.idle);
-         dispatch t))
+  match t.idle_workers with
+  | w :: rest ->
+      t.idle_workers <- rest;
+      w.slot <- Some (n, m);
+      let f = Option.get w.fiber in
+      (* Charge the worker's CPU to the message's class, and let the
+         dispatch observability hook see that class, exactly as the old
+         fresh-fiber-per-message spawn did. *)
+      Engine.relabel f m.label;
+      Engine.wake t.eng f
+  | [] ->
+      (* No idle worker: grow the pool.  [executing] <= workers bounds
+         the busy workers, so the pool stays within one fiber of the
+         worker count (the one transiently between finish and park). *)
+      let w = { slot = Some (n, m); fiber = None } in
+      w.fiber <- Some (Engine.spawn t.eng ~label:m.label ~daemon:true (fun () -> worker_loop t w))
+
+and dispatch t =
+  (* Pop grantable heads oldest-first; stash skipped (blocked) nodes and
+     re-push them once the round ends.  Equivalent to the old "rescan
+     the whole pending list after every grant" because a node blocked at
+     its pop stays blocked for the rest of the round. *)
+  while t.executing < t.workers && t.hp_len > 0 do
+    let seq = t.hp_seq.(0) and n = t.hp_node.(0) in
+    hp_remove_min t;
+    if grantable n then begin
+      let m = Queue.pop n.q in
+      t.pending_count <- t.pending_count - 1;
+      if t.obs_on then Wafl_obs.Metrics.set t.g_queued (float_of_int t.pending_count);
+      if not (Queue.is_empty n.q) then hp_push t (Queue.peek n.q).seq n;
+      start t n m
+    end
+    else stash t seq n
+  done;
+  for i = 0 to t.st_len - 1 do
+    hp_push t t.st_seq.(i) t.st_node.(i);
+    t.st_node.(i) <- dummy_node
+  done;
+  t.st_len <- 0
 
 let post t ~affinity ~label body =
   let affinity =
@@ -192,10 +385,14 @@ let post t ~affinity ~label body =
         chaos
     | None -> affinity
   in
-  let m = { node = node t affinity; label; body; posted_at = Engine.now t.eng } in
-  t.pending <- t.pending @ [ m ];
+  let n = node t affinity in
+  let m = { label; body; posted_at = Engine.now t.eng; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  let was_empty = Queue.is_empty n.q in
+  Queue.push m n.q;
+  if was_empty then hp_push t m.seq n;
   t.pending_count <- t.pending_count + 1;
-  Wafl_obs.Metrics.set t.g_queued (float_of_int t.pending_count);
+  if t.obs_on then Wafl_obs.Metrics.set t.g_queued (float_of_int t.pending_count);
   Engine.probe_atomic t.eng ~shared:"sched.queue";
   dispatch t
 
@@ -219,9 +416,7 @@ let queued t = t.pending_count
 let executing t = t.executing
 let executed_total t = t.executed
 
-let executed_by_kind t =
-  (* lint-ok: sorted before use. *)
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.by_kind []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
+(* [by_kind] is maintained kind-sorted at insertion; no hash-order walk,
+   no re-sort per call. *)
+let executed_by_kind t = List.map (fun (k, r) -> (k, !r)) t.by_kind
 let wait_time_total t = t.wait_time

@@ -160,7 +160,39 @@ type recorder = {
 
 let stripe_of_fbn fbn = fbn / 1024 mod 16
 
-let run spec =
+(* Suite-level memoization.  A run is a pure function of its spec (the
+   tracer factory aside), and the figure suite re-executes several
+   byte-identical specs: Figure 6's two rows are Figure 4/5 rows, the
+   history and crossover endpoints are the white-alligator row, and
+   Figure 9's top-load rows are Figure 5's.  When enabled, a repeated
+   spec returns the cached result instead of re-simulating — the printed
+   numbers are identical because runs are deterministic.  Off by
+   default: traced and test runs must re-execute (a cache hit would skip
+   the tracer factory's side effects), so only the bench harness turns
+   this on. *)
+let memoize = ref false
+
+(* Every spec field except [obs] (a closure; bench runs all share the
+   default factory, and results do not depend on observation). *)
+let memo_key spec =
+  ( ( spec.cores,
+      spec.workload,
+      spec.clients,
+      spec.think_time,
+      spec.volumes,
+      spec.cfg,
+      spec.cost ),
+    ( spec.geometry,
+      spec.nvlog_half,
+      spec.cache_blocks,
+      spec.warmup,
+      spec.measure,
+      spec.seed,
+      spec.sanitize ) )
+
+let memo_tbl = Hashtbl.create 32
+
+let run_uncached spec =
   let eng = Engine.create ~cores:spec.cores ~sanitize:spec.sanitize () in
   let obs = spec.obs eng in
   let agg =
@@ -413,3 +445,14 @@ let run spec =
     (Wafl_obs.Metrics.counter Wafl_obs.Metrics.default "virtual_time_us")
     (Engine.now eng);
   result
+
+let run spec =
+  if not !memoize then run_uncached spec
+  else
+    let key = memo_key spec in
+    match Hashtbl.find_opt memo_tbl key with
+    | Some r -> r
+    | None ->
+        let r = run_uncached spec in
+        Hashtbl.add memo_tbl key r;
+        r

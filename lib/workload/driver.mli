@@ -90,6 +90,14 @@ val cores_write_alloc : result -> float
 (** Cleaner + infrastructure core usage — the paper's "write allocation
     work". *)
 
+val memoize : bool ref
+(** When true, [run] caches results keyed on the spec (minus [obs]) and
+    returns the cached result for a repeated spec.  Runs are pure
+    functions of their spec, so the returned numbers are identical to a
+    re-execution.  Enabled only by the bench harness, where the figure
+    suite re-runs several identical configurations; leave off for traced
+    or sanitized runs (a cache hit skips the tracer factory). *)
+
 val run : spec -> result
 (** Build, populate (each client's files are written once and flushed by
     a CP so that steady-state writes are overwrites), warm up, measure.

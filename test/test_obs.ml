@@ -176,6 +176,33 @@ let test_deterministic () =
   Alcotest.(check string) "same-seed traces byte-identical" (Trace.export_string t1)
     (Trace.export_string t2)
 
+(* Same property with enough concurrent clients to grow the scheduler's
+   worker-fiber pool and recycle workers across messages: pool reuse
+   must leave no mark on the trace. *)
+let test_worker_pool_trace_identical () =
+  let churn_run seed =
+    let tracer = ref Trace.disabled in
+    let spec =
+      {
+        (H.Exp.spec_base ~scale:0.02) with
+        Driver.seed;
+        clients = 24;
+        obs =
+          (fun eng ->
+            let t = Trace.create eng in
+            tracer := t;
+            t);
+      }
+    in
+    let r = Driver.run spec in
+    (r, !tracer)
+  in
+  let r1, t1 = churn_run 11 in
+  let r2, t2 = churn_run 11 in
+  Alcotest.(check bool) "pool-churn results identical" true (r1 = r2);
+  Alcotest.(check string) "pool-churn traces byte-identical" (Trace.export_string t1)
+    (Trace.export_string t2)
+
 (* --- tracing must not change results ------------------------------------- *)
 
 (* Runs [f] untraced then traced (via the harness hook, as the CLI's
@@ -213,6 +240,8 @@ let () =
         [
           Alcotest.test_case "chrome trace JSON parses back" `Slow test_export_parses;
           Alcotest.test_case "same seed, byte-identical trace" `Slow test_deterministic;
+          Alcotest.test_case "worker-pool churn, byte-identical trace" `Slow
+            test_worker_pool_trace_identical;
         ] );
       ( "bit-identity",
         [

@@ -57,6 +57,18 @@ let test_fig9 () =
 
 (* The crash harness spins up two engines per seed (run + recovery); both
    must stay silent, and the whole outcome must be unaffected. *)
+(* Enough concurrent clients to grow and recycle the scheduler's worker
+   pool: the sanitizer must stay silent and the outcome must match the
+   unsanitized run exactly. *)
+let test_worker_pool_churn () =
+  let spec = { (H.Exp.spec_base ~scale:0.02) with Driver.clients = 24; seed = 11 } in
+  let off, on =
+    both (fun () ->
+        Driver.run { spec with Driver.sanitize = !H.Exp.sanitize })
+  in
+  Alcotest.(check int) "pool churn: zero race reports" 0 on.Driver.races;
+  Alcotest.(check bool) "pool churn: sanitized run bit-identical" true (off = on)
+
 let test_crash_seeds () =
   let run sanitize =
     H.Crash.run_seeds ~ops:20_000 ~horizon:20_000.0 ~sanitize ~first_seed:1 ~count:5 ()
@@ -79,5 +91,7 @@ let () =
           Alcotest.test_case "fig8" `Slow test_fig8;
           Alcotest.test_case "fig9" `Slow test_fig9;
         ] );
+      ( "scheduler",
+        [ Alcotest.test_case "worker-pool churn" `Slow test_worker_pool_churn ] );
       ("crash", [ Alcotest.test_case "five seeds" `Slow test_crash_seeds ]);
     ]

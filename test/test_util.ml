@@ -211,6 +211,25 @@ let test_popcount_cases () =
   Alcotest.(check int) "one bit" 1 (Bitops.popcount 0x8000000000000000L);
   Alcotest.(check int) "alternating" 32 (Bitops.popcount 0x5555555555555555L)
 
+let test_ctz_matches_reference () =
+  let reference x =
+    let rec go i =
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then i else go (i + 1)
+    in
+    go 0
+  in
+  for i = 0 to 63 do
+    Alcotest.(check int)
+      (Printf.sprintf "single bit %d" i)
+      i
+      (Bitops.ctz (Int64.shift_left 1L i))
+  done;
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.bits64 r in
+    if x <> 0L then Alcotest.(check int) "random word" (reference x) (Bitops.ctz x)
+  done
+
 let test_find_first_zero () =
   Alcotest.(check int) "empty word" 0 (Bitops.find_first_zero 0L);
   Alcotest.(check int) "full word" (-1) (Bitops.find_first_zero (-1L));
@@ -251,6 +270,21 @@ let prop_find_first_zero_correct =
               lower 0))
 
 (* --- Intvec --- *)
+
+let test_intvec_extract () =
+  let v = Intvec.create ~default:(-1) () in
+  List.iter (fun (i, x) -> Intvec.set v i x) [ (0, 10); (3, 13); (7, 17) ];
+  let model pos len = Array.init len (fun i -> Intvec.get v (pos + i)) in
+  List.iter
+    (fun (pos, len) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "extract pos=%d len=%d" pos len)
+        (model pos len)
+        (Intvec.extract v ~pos ~len))
+    [ (0, 8); (0, 0); (2, 3); (6, 10); (100, 4) ];
+  Alcotest.check_raises "negative pos rejected" (Invalid_argument "Intvec.extract") (fun () ->
+      ignore (Intvec.extract v ~pos:(-1) ~len:2))
+
 
 let test_intvec_defaults () =
   let v = Intvec.create ~default:(-1) () in
@@ -384,6 +418,7 @@ let () =
         qsuite [ prop_popcount_set_increments; prop_find_first_zero_correct ]
         @ [
             Alcotest.test_case "popcount cases" `Quick test_popcount_cases;
+            Alcotest.test_case "ctz vs reference" `Quick test_ctz_matches_reference;
             Alcotest.test_case "find_first_zero" `Quick test_find_first_zero;
             Alcotest.test_case "find_next_zero" `Quick test_find_next_zero;
             Alcotest.test_case "get/set/clear" `Quick test_bit_get_set_clear;
@@ -393,6 +428,7 @@ let () =
           Alcotest.test_case "defaults and holes" `Quick test_intvec_defaults;
           Alcotest.test_case "growth" `Quick test_intvec_growth;
           Alcotest.test_case "iteri_set" `Quick test_intvec_iteri_set;
+          Alcotest.test_case "extract matches get loop" `Quick test_intvec_extract;
           Alcotest.test_case "copy independence" `Quick test_intvec_copy_independent;
           Alcotest.test_case "negative index" `Quick test_intvec_negative_index;
           QCheck_alcotest.to_alcotest ~verbose:false prop_intvec_models_assoc;

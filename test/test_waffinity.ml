@@ -243,6 +243,89 @@ let test_drain () =
   Engine.run eng;
   Alcotest.(check bool) "drain saw all done" true !drained_after
 
+(* With one worker every message serializes, so execution order is
+   exactly the grant order: for always-grantable (disjoint) affinities
+   the dispatcher must pop oldest-posted-first across nodes. *)
+let test_fifo_across_nodes () =
+  let eng = Engine.create ~cores:8 () in
+  let sched = Scheduler.create ~workers:1 eng ~cost:Cost.default () in
+  let order = ref [] in
+  for i = 0 to 19 do
+    Scheduler.post sched
+      ~affinity:(Affinity.Stripe (0, 0, i))
+      ~label:"m"
+      (fun () ->
+        Engine.consume 5.0;
+        order := i :: !order)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "oldest grantable first" (List.init 20 Fun.id) (List.rev !order)
+
+(* A message that keeps reposting to its own node must not starve an
+   older message on another node: each repost gets a fresh (younger)
+   sequence number, so the victim's turn comes at the next grant. *)
+let test_no_starvation_under_repost_stream () =
+  let eng = Engine.create ~cores:8 () in
+  let sched = Scheduler.create ~workers:1 eng ~cost:Cost.default () in
+  let order = ref [] in
+  let reposts = ref 0 in
+  let rec chain () =
+    order := "chain" :: !order;
+    Engine.consume 10.0;
+    if !reposts < 20 then begin
+      incr reposts;
+      Scheduler.post sched ~affinity:(Affinity.Stripe (0, 0, 0)) ~label:"chain" (fun () ->
+          chain ())
+    end
+  in
+  Scheduler.post sched ~affinity:(Affinity.Stripe (0, 0, 0)) ~label:"chain" (fun () -> chain ());
+  Scheduler.post sched
+    ~affinity:(Affinity.Stripe (0, 0, 1))
+    ~label:"victim"
+    (fun () -> order := "victim" :: !order);
+  Engine.run eng;
+  let executed = List.rev !order in
+  let pos = ref (-1) in
+  List.iteri (fun i x -> if x = "victim" then pos := i) executed;
+  Alcotest.(check int) "all links and the victim ran" 22 (List.length executed);
+  Alcotest.(check bool)
+    (Printf.sprintf "victim ran at grant %d, not after the stream" !pos)
+    true
+    (!pos >= 0 && !pos <= 1)
+
+(* The worker pool recycles fibers across messages; replaying the same
+   posts must reproduce the same execution intervals bit-for-bit (the
+   property the figure-level identity tests rely on, in isolation). *)
+let prop_scheduler_replay_identical =
+  let affinity_of r =
+    match Wafl_util.Rng.int r 4 with
+    | 0 -> Affinity.Stripe (0, 0, Wafl_util.Rng.int r 4)
+    | 1 -> Affinity.Volume (0, Wafl_util.Rng.int r 2)
+    | 2 -> Affinity.Agg_range (0, Wafl_util.Rng.int r 3)
+    | _ -> Affinity.Serial
+  in
+  QCheck.Test.make ~name:"worker pool replays identically" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let run_once () =
+        let r = Wafl_util.Rng.create ~seed in
+        let eng = Engine.create ~cores:(1 + Wafl_util.Rng.int r 7) () in
+        let sched =
+          Scheduler.create ~workers:(1 + Wafl_util.Rng.int r 7) eng ~cost:Cost.default ()
+        in
+        let log = ref [] in
+        for i = 0 to 29 do
+          let aff = affinity_of r in
+          Scheduler.post sched ~affinity:aff ~label:"m" (fun () ->
+              let t0 = Engine.now eng in
+              Engine.consume (1.0 +. Wafl_util.Rng.float r 20.0);
+              log := (i, t0, Engine.now eng) :: !log)
+        done;
+        Engine.run eng;
+        !log
+      in
+      run_once () = run_once ())
+
 (* --- Classical Waffinity (SIII-B) --- *)
 
 let test_classical_mapping () =
@@ -352,6 +435,10 @@ let () =
           Alcotest.test_case "serial blocks everything" `Quick test_serial_blocks_everything;
           Alcotest.test_case "worker cap" `Quick test_worker_cap;
           Alcotest.test_case "post_wait returns value" `Quick test_post_wait_returns_value;
+          Alcotest.test_case "FIFO across nodes (1 worker)" `Quick test_fifo_across_nodes;
+          Alcotest.test_case "no starvation under repost stream" `Quick
+            test_no_starvation_under_repost_stream;
+          QCheck_alcotest.to_alcotest ~verbose:false prop_scheduler_replay_identical;
           Alcotest.test_case "FIFO among equal affinities" `Quick
             test_fifo_among_equal_affinities;
           Alcotest.test_case "no head-of-line blocking" `Quick

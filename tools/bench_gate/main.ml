@@ -1,0 +1,78 @@
+(* Bench regression gate: compare a fresh benchmark run against the
+   committed BENCH_paper.json baseline, per figure.
+
+     bench_gate BASELINE.json FRESH.json
+
+   A figure regresses when its fresh wall time exceeds the baseline's by
+   more than 15% plus an absolute slack of 2 s.  The absolute slack is a
+   jitter floor: on a shared single-core host a ~5 s figure varies by
+   over 30% run-to-run, so short figures (and fig6, which is fully
+   memoized and takes ~0 s) are effectively gated by the floor while the
+   15% rule bites on the long ones, where real regressions show.  Only
+   figures
+   present in both files are compared, so a fast-subset run gates just
+   the figures it measured.  Exit status 1 on any regression. *)
+
+module J = Wafl_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> fail "bench_gate: %s" e in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match J.of_string body with
+  | Ok doc -> doc
+  | Error e -> fail "bench_gate: %s: %s" path e
+
+let figures doc path =
+  match J.member "figures" doc with
+  | Some (J.Arr figs) ->
+      List.filter_map
+        (fun f ->
+          match (J.member "name" f, J.member "wall_s" f) with
+          | Some (J.Str n), Some (J.Num w) -> Some (n, w)
+          | _ -> None)
+        figs
+  | _ -> fail "bench_gate: %s: no figures array" path
+
+let scale_of doc path =
+  match J.member "scale" doc with
+  | Some (J.Num s) -> s
+  | _ -> fail "bench_gate: %s: no scale" path
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ -> fail "usage: bench_gate BASELINE.json FRESH.json"
+  in
+  let baseline = load baseline_path and fresh = load fresh_path in
+  let bs = scale_of baseline baseline_path and fs = scale_of fresh fresh_path in
+  if bs <> fs then
+    fail "bench_gate: scale mismatch (baseline %.2f vs fresh %.2f): not comparable" bs fs;
+  let base_figs = figures baseline baseline_path in
+  let fresh_figs = figures fresh fresh_path in
+  let slack_abs = 2.0 and slack_rel = 1.15 in
+  let regressed = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, fw) ->
+      match List.assoc_opt name base_figs with
+      | None -> Printf.printf "  %-18s %6.1fs  (new figure, no baseline)\n" name fw
+      | Some bw ->
+          incr compared;
+          let limit = (bw *. slack_rel) +. slack_abs in
+          let status = if fw > limit then "REGRESSED" else "ok" in
+          if fw > limit then regressed := name :: !regressed;
+          Printf.printf "  %-18s %6.1fs vs %6.1fs baseline (limit %.1fs)  [%s]\n" name fw bw
+            limit status)
+    fresh_figs;
+  if !compared = 0 then fail "bench_gate: no common figures between %s and %s" baseline_path fresh_path;
+  match !regressed with
+  | [] -> Printf.printf "bench gate OK: %d figure(s) within limits\n" !compared
+  | l ->
+      Printf.printf "bench gate FAILED: %s regressed >15%% (+2s slack) vs %s\n"
+        (String.concat ", " (List.rev l))
+        baseline_path;
+      exit 1
