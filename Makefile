@@ -1,4 +1,4 @@
-.PHONY: all build test lint sanitize trace-smoke check bench bench-quick bench-gate bench-gate-fast clean
+.PHONY: all build test lint sanitize trace-smoke analyze-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -41,6 +41,23 @@ trace-smoke:
 	dune exec bin/wafl_sim.exe -- trace --seed 1 --measure 0.05 --out _build/trace_smoke.json
 	@test -s _build/trace_smoke.json && echo "trace smoke OK: _build/trace_smoke.json"
 
+# Causal-analysis smoke: one figure run with --causal, then the offline
+# analyzer over its trace.  Asserts the pipeline end to end: the run
+# retained every event (no ring drops), and the analyzer extracted a
+# connected critical path from an acyclic DAG.  The figure run's exit
+# code is ignored (shape checks can MISS at reduced scale); the greps
+# are the gate.
+analyze-smoke:
+	dune build bin/wafl_sim.exe
+	-dune exec --no-build bin/wafl_sim.exe -- fig6 --scale 0.1 --causal _build/causal_smoke.json > _build/analyze_smoke_run.txt 2>&1
+	@grep -q "0 dropped" _build/analyze_smoke_run.txt || { echo "analyze smoke FAILED: causal run dropped trace events"; exit 1; }
+	dune exec --no-build bin/wafl_sim.exe -- analyze _build/causal_smoke.json > _build/analyze_smoke.txt
+	@grep -q "dropped events: 0" _build/analyze_smoke.txt || { echo "analyze smoke FAILED: analyzer saw dropped events"; exit 1; }
+	@grep -q "acyclic: yes" _build/analyze_smoke.txt || { echo "analyze smoke FAILED: causal graph not acyclic"; exit 1; }
+	@grep -q "critical path: CP" _build/analyze_smoke.txt || { echo "analyze smoke FAILED: no critical path extracted"; exit 1; }
+	@grep -q "dominant:" _build/analyze_smoke.txt || { echo "analyze smoke FAILED: no bottleneck attribution"; exit 1; }
+	@echo "analyze smoke OK: _build/analyze_smoke.txt"
+
 # Full gate: build everything (lib/ with warnings as errors), run the
 # whole test suite (including the Wafl_obs suite: span nesting, trace
 # parse-back, byte-identical same-seed traces, off-vs-on bit-identity),
@@ -53,6 +70,7 @@ check:
 	$(MAKE) lint
 	$(MAKE) sanitize
 	$(MAKE) trace-smoke
+	$(MAKE) analyze-smoke
 	dune exec bin/wafl_sim.exe -- crash --seeds 5
 	$(MAKE) bench-gate-fast
 

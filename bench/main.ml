@@ -16,6 +16,9 @@ type record = {
   r_name : string;
   r_wall_s : float;
   r_virtual_us : float;  (** simulated virtual time across the figure's runs *)
+  r_write_ops : int;  (** client writes across the figure's runs (cache hits included) *)
+  r_write_p50_us : float;
+  r_write_p99_us : float;
   r_shapes : (string * bool) list;
 }
 
@@ -28,21 +31,41 @@ let virtual_total () =
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let v0 = virtual_total () in
-  let shapes = f () in
+  (* Fresh per-figure sink: every run under [f] (memoized or not) merges
+     its end-to-end write-latency histogram here. *)
+  let wh = Wafl_util.Histogram.create () in
+  Wafl_workload.Driver.latency_sink := Some wh;
+  let shapes = Fun.protect ~finally:(fun () -> Wafl_workload.Driver.latency_sink := None) f in
   let wall = Unix.gettimeofday () -. t0 in
   let virt = virtual_total () -. v0 in
-  Printf.printf "  [%s: %.1fs wall, %.2fs virtual]\n%!" name wall (virt /. 1e6);
-  records := { r_name = name; r_wall_s = wall; r_virtual_us = virt; r_shapes = shapes } :: !records;
+  let p50 = Wafl_util.Histogram.percentile wh 50.0 in
+  let p99 = Wafl_util.Histogram.percentile wh 99.0 in
+  Printf.printf "  [%s: %.1fs wall, %.2fs virtual, write p50 %.0fus p99 %.0fus]\n%!" name wall
+    (virt /. 1e6) p50 p99;
+  records :=
+    {
+      r_name = name;
+      r_wall_s = wall;
+      r_virtual_us = virt;
+      r_write_ops = Wafl_util.Histogram.count wh;
+      r_write_p50_us = p50;
+      r_write_p99_us = p99;
+      r_shapes = shapes;
+    }
+    :: !records;
   shapes
 
 (* BENCH_paper.json schema (all times in the named unit):
-     { "schema": "wafl-bench/2",
+     { "schema": "wafl-bench/3",
        "scale": float,            -- WAFL_SCALE factor of THIS run
        "total_wall_s": float,
        "total_virtual_us": float, -- simulated time of actually-executed
                                   -- runs (memoized cache hits add none)
        "shapes_ok": int, "shapes_total": int,
        "figures": [ { "name": str, "wall_s": float, "virtual_us": float,
+                      "write_ops": int,        -- client writes, cache hits included
+                      "write_p50_us": float,   -- end-to-end write latency
+                      "write_p99_us": float,
                       "shapes": [ { "name": str, "ok": bool } ] } ],
        "runs_by_scale": { "0.25": { scale, total_wall_s, total_virtual_us,
                                     shapes_ok, shapes_total, figures },
@@ -52,7 +75,9 @@ let timed name f =
    keeps the latest run per scale so one file records both the
    quarter-scale smoke and the full-scale suite.  Figures appear in
    execution order; "shapes" are the qualitative paper-vs-measured
-   assertions also printed in the shape summary. *)
+   assertions also printed in the shape summary.  v3 adds the per-figure
+   end-to-end write-latency fields; v2 files (without them) are still
+   read for "runs_by_scale" carry-over. *)
 let run_record ~scale ~total_wall =
   let figs =
     List.rev_map
@@ -62,6 +87,9 @@ let run_record ~scale ~total_wall =
             ("name", J.Str r.r_name);
             ("wall_s", J.Num r.r_wall_s);
             ("virtual_us", J.Num r.r_virtual_us);
+            ("write_ops", J.Num (float_of_int r.r_write_ops));
+            ("write_p50_us", J.Num r.r_write_p50_us);
+            ("write_p99_us", J.Num r.r_write_p99_us);
             ( "shapes",
               J.Arr
                 (List.map
@@ -80,8 +108,8 @@ let run_record ~scale ~total_wall =
     ("figures", J.Arr figs);
   ]
 
-(* Latest run per scale from an existing v2 file, minus the scale being
-   rewritten; a v1 file (or no file) contributes nothing. *)
+(* Latest run per scale from an existing v2/v3 file, minus the scale
+   being rewritten; a v1 file (or no file) contributes nothing. *)
 let previous_runs ~except path =
   match open_in path with
   | exception Sys_error _ -> []
@@ -90,7 +118,9 @@ let previous_runs ~except path =
       let body = really_input_string ic len in
       close_in ic;
       match J.of_string body with
-      | Ok doc when J.member "schema" doc = Some (J.Str "wafl-bench/2") -> (
+      | Ok doc
+        when J.member "schema" doc = Some (J.Str "wafl-bench/2")
+             || J.member "schema" doc = Some (J.Str "wafl-bench/3") -> (
           match J.member "runs_by_scale" doc with
           | Some (J.Obj runs) -> List.filter (fun (k, _) -> k <> except) runs
           | _ -> [])
@@ -102,7 +132,7 @@ let write_json ~scale ~total_wall path =
   let runs = previous_runs ~except:key path @ [ (key, J.Obj this_run) ] in
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
   let doc =
-    J.Obj ((("schema", J.Str "wafl-bench/2") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
+    J.Obj ((("schema", J.Str "wafl-bench/3") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);

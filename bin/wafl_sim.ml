@@ -23,30 +23,64 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let causal_arg =
+  let doc =
+    "Like $(b,--trace), but additionally record causal edges across every asynchronous \
+     handoff and write the last run's trace to $(docv), ready for $(b,wafl_sim analyze) \
+     (or Perfetto, where the edges render as flow arrows). Takes precedence over \
+     $(b,--trace). Recording never changes results."
+  in
+  Arg.(value & opt (some string) None & info [ "causal" ] ~docv:"FILE" ~doc)
+
+(* Satellite of the causal work: a trace that overflowed its ring is
+   silently missing its oldest events, which breaks DAG connectivity —
+   always tell the operator. *)
+let report_drops t =
+  let dropped = Wafl_obs.Trace.dropped t in
+  if dropped > 0 then
+    Printf.printf
+      "WARNING: %d events dropped from the trace ring; the trace is incomplete (raise the \
+       ring capacity or shorten the run)\n"
+      dropped
+
 let run_experiment name runner =
   let doc = Printf.sprintf "Reproduce %s." name in
-  let action scale sanitize trace_out =
+  let action scale sanitize trace_out causal_out =
     H.Exp.sanitize := sanitize;
     let last = ref Wafl_obs.Trace.disabled in
-    if trace_out <> None then
-      H.Exp.trace :=
-        Some
-          (fun eng ->
-            let t = Wafl_obs.Trace.create eng in
-            last := t;
-            t);
+    let out =
+      match (causal_out, trace_out) with
+      | Some path, _ -> Some (path, true)
+      | None, Some path -> Some (path, false)
+      | None, None -> None
+    in
+    (match out with
+    | Some (_, causal) ->
+        H.Exp.trace :=
+          Some
+            (fun eng ->
+              let t = Wafl_obs.Trace.create ~causal eng in
+              last := t;
+              t)
+    | None -> ());
     let shapes = Fun.protect ~finally:(fun () -> H.Exp.trace := None) (fun () -> runner scale) in
-    (match trace_out with
+    (match out with
     | None -> ()
-    | Some path ->
+    | Some (path, causal) ->
         let oc = open_out path in
         output_string oc (Wafl_obs.Trace.export_string !last);
         close_out oc;
-        Printf.printf "wrote %s (the experiment's last run)\n" path);
+        Printf.printf "wrote %s (the experiment's last run%s): %d events retained, %d dropped\n"
+          path
+          (if causal then ", with causal edges" else "")
+          (Wafl_obs.Trace.event_count !last)
+          (Wafl_obs.Trace.dropped !last);
+        report_drops !last);
     H.Exp.print_shapes shapes;
     if List.for_all snd shapes then `Ok () else `Error (false, "some shape checks missed")
   in
-  Cmd.v (Cmd.info name ~doc) Term.(ret (const action $ scale_arg $ sanitize_arg $ trace_arg))
+  Cmd.v (Cmd.info name ~doc)
+    Term.(ret (const action $ scale_arg $ sanitize_arg $ trace_arg $ causal_arg))
 
 let fig4 scale =
   let rows = H.Fig4.run ~scale () in
@@ -124,7 +158,7 @@ let workload_conv =
   Arg.conv (parse, print)
 
 let custom_run workload cleaners serial_infra dynamic clients cores measure_s think seed
-    sanitize =
+    sanitize causal_out =
   let wl =
     match workload with
     | `Seq -> Driver.Seq_write { file_blocks = 16384 }
@@ -137,6 +171,7 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
       ~max_cleaners:(max cleaners 4)
       ~parallel_infra:(not serial_infra) ~dynamic ()
   in
+  let tracer = ref Wafl_obs.Trace.disabled in
   let spec =
     {
       Driver.default_spec with
@@ -148,9 +183,27 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
       measure = measure_s *. 1_000_000.0;
       seed;
       sanitize;
+      obs =
+        (match causal_out with
+        | None -> Driver.default_spec.Driver.obs
+        | Some _ ->
+            fun eng ->
+              let t = Wafl_obs.Trace.create ~causal:true eng in
+              tracer := t;
+              t);
     }
   in
   let r = Driver.run spec in
+  (match causal_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Wafl_obs.Trace.export_string !tracer);
+      close_out oc;
+      Printf.printf "wrote %s: %d events retained, %d dropped\n" path
+        (Wafl_obs.Trace.event_count !tracer)
+        (Wafl_obs.Trace.dropped !tracer);
+      report_drops !tracer);
   Printf.printf "ops            %d\n" r.Driver.ops;
   Printf.printf "throughput     %.0f ops/s (%.0f per client)\n" r.Driver.throughput
     r.Driver.throughput_per_client;
@@ -173,7 +226,7 @@ let custom_run workload cleaners serial_infra dynamic clients cores measure_s th
 
 (* --- traced run --- *)
 
-let traced_run workload cleaners clients cores measure_s seed out sample_interval top =
+let traced_run workload cleaners clients cores measure_s seed out sample_interval top causal =
   let wl =
     match workload with
     | `Seq -> Driver.Seq_write { file_blocks = 16384 }
@@ -194,7 +247,7 @@ let traced_run workload cleaners clients cores measure_s seed out sample_interva
       seed;
       obs =
         (fun eng ->
-          let t = Wafl_obs.Trace.create ~sample_interval eng in
+          let t = Wafl_obs.Trace.create ~sample_interval ~causal eng in
           tracer := t;
           t);
     }
@@ -208,6 +261,7 @@ let traced_run workload cleaners clients cores measure_s seed out sample_interva
   close_out oc;
   Printf.printf "wrote %s: %d events retained, %d dropped\n" out
     (Wafl_obs.Trace.event_count t) (Wafl_obs.Trace.dropped t);
+  report_drops t;
   Printf.printf "run: %d ops, %.0f ops/s, %d CPs\n\n" r.Driver.ops r.Driver.throughput
     r.Driver.cps_completed;
   print_string (Wafl_obs.Trace.profile_table ~top t);
@@ -236,10 +290,47 @@ let trace_cmd =
   let out = Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output file.") in
   let sample_interval = Arg.(value & opt float 10_000.0 & info [ "sample-interval" ] ~docv:"US" ~doc:"Counter/gauge sampling period in virtual us (0 disables the timeseries).") in
   let top = Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows in the virtual-CPU profile table.") in
+  let causal = Arg.(value & flag & info [ "causal" ] ~doc:"Also record causal edges (flow events) across every asynchronous handoff, for $(b,wafl_sim analyze).") in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const traced_run $ workload $ cleaners $ clients $ cores $ measure $ seed $ out
-      $ sample_interval $ top)
+      $ sample_interval $ top $ causal)
+
+(* --- trace analysis --- *)
+
+let analyze_run file json =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error e -> Error e
+  in
+  match contents with
+  | Error e -> `Error (false, e)
+  | Ok s -> (
+      match Wafl_obs.Causal.analyze_string s with
+      | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+      | Ok a ->
+          if json then print_endline (Wafl_obs.Json.to_string (Wafl_obs.Causal.to_json a))
+          else print_string (Wafl_obs.Causal.render a);
+          `Ok ())
+
+let analyze_cmd =
+  let doc =
+    "Analyze a causal trace (written by $(b,--causal)): end-to-end latency decomposition \
+     per operation and pipeline stage, each checkpoint's critical path extracted from the \
+     causal DAG, and a bottleneck table attributing critical-path time to resource classes \
+     (serial allocator, cleaner pool, Waffinity partition classes, RAID). Warns when the \
+     trace ring dropped events, since a truncated trace under-reports."
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace JSON file.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the analysis as JSON.") in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(ret (const analyze_run $ file $ json))
 
 (* --- randomized crash-point harness --- *)
 
@@ -299,7 +390,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const custom_run $ workload $ cleaners $ serial_infra $ dynamic $ clients $ cores
-      $ measure $ think $ seed $ sanitize_arg)
+      $ measure $ think $ seed $ sanitize_arg $ causal_arg)
 
 let () =
   let doc = "WAFL White Alligator write-allocation reproduction" in
@@ -322,5 +413,6 @@ let () =
             run_experiment "all" all;
             run_cmd;
             trace_cmd;
+            analyze_cmd;
             crash_cmd;
           ]))

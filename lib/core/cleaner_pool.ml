@@ -10,7 +10,13 @@ type segment = {
 
 type work = segment list
 
-type msg = Work of work | Flushreq of (unit -> unit)
+type msg =
+  | Work of {
+      segments : work;
+      posted_at : float;
+      h : Wafl_obs.Causal.handoff; (* submitter's causal context *)
+    }
+  | Flushreq of (unit -> unit)
 
 type cleaner = {
   idx : int;
@@ -32,6 +38,8 @@ type t = {
   cost : Cost.t;
   infra : Infra.t;
   obs : Wafl_obs.Trace.t;
+  obs_on : bool; (* Trace.enabled obs, hoisted off the hot path *)
+  causal_on : bool; (* Causal.enabled obs, hoisted likewise *)
   m_busy : Wafl_obs.Metrics.counter;
   m_work : Wafl_obs.Metrics.counter;
   g_active : Wafl_obs.Metrics.gauge;
@@ -232,15 +240,24 @@ let release_buckets t c =
 let cleaner_loop t c () =
   let rec loop () =
     match Sync.Channel.recv c.chan with
-    | Work segments ->
+    | Work { segments; posted_at; h } ->
+        let t0 = Engine.now t.eng in
+        (* The cleaner picks up the work item: the submitter's causal
+           context becomes this cleaner's context, so cleaning spans
+           attribute to the CP (or message) that produced the work. *)
+        Wafl_obs.Causal.restore t.obs ~kind:"clean" h;
         (* Per-message cost: dispatch plus waking the thread — the
            overhead batched inode cleaning amortizes (SV-C). *)
         charge t (t.cost.Cost.msg_dispatch +. t.cost.Cost.thread_wake);
-        if Wafl_obs.Trace.enabled t.obs then
+        if t.obs_on then
           Wafl_obs.Trace.with_span t.obs ~cat:"cleaner" ~name:"clean work"
             ~args:[ ("segments", string_of_int (List.length segments)) ]
+            ~num_args:(if t.causal_on then [ ("wait_us", t0 -. posted_at) ] else [])
             (fun () -> List.iter (clean_segment t c) segments)
         else List.iter (clean_segment t c) segments;
+        (* Cleaner fibers are reused across unrelated work items: drop any
+           leftover span/context so item A can never parent item B. *)
+        if t.obs_on then Wafl_obs.Causal.fiber_reset t.obs;
         Wafl_obs.Metrics.incr t.m_work;
         if Sync.Channel.length c.chan = 0 then release_buckets t c;
         t.n_messages <- t.n_messages + 1;
@@ -276,6 +293,8 @@ let create ?(obs = Wafl_obs.Trace.disabled) infra ~max_threads ~initial_threads 
       cost = Aggregate.cost agg;
       infra;
       obs;
+      obs_on = Wafl_obs.Trace.enabled obs;
+      causal_on = Wafl_obs.Causal.enabled obs;
       m_busy = Wafl_obs.Metrics.counter m "cleaner.busy_us";
       m_work = Wafl_obs.Metrics.counter m "cleaner.work_msgs";
       g_active = Wafl_obs.Metrics.gauge m "cleaner.active";
@@ -347,7 +366,13 @@ let submit t work =
   !best.queued <- !best.queued + 1;
   t.pending_msgs <- t.pending_msgs + 1;
   Wafl_obs.Metrics.set t.g_pending (float_of_int t.pending_msgs);
-  Sync.Channel.send !best.chan (Work work)
+  Sync.Channel.send !best.chan
+    (Work
+       {
+         segments = work;
+         posted_at = Engine.now t.eng;
+         h = Wafl_obs.Causal.capture t.obs ~kind:"clean";
+       })
 
 let wait_idle t =
   while t.pending_msgs > 0 do

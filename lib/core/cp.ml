@@ -622,7 +622,7 @@ let publish_commit t =
   Engine.sleep t.cost.Cost.device_base_latency;
   Aggregate.publish_superblock t.agg sb
 
-let run_cp t =
+let run_cp_body t =
   let started = Engine.now t.eng in
   t.is_running <- true;
   set_phase t "snapshot";
@@ -738,6 +738,12 @@ let run_cp t =
   t.is_running <- false;
   set_phase t "idle";
   ignore (Sync.Waitq.wake_all t.completion)
+
+(* Each CP runs under its own causal root: every handoff made while it
+   runs — cleaner work, Waffinity posts, RAID I/Os — carries the CP's
+   context, which is what lets the analyzer extract a per-CP critical
+   path and attribute it to resource classes. *)
+let run_cp t = Wafl_obs.Causal.with_root t.obs (fun () -> run_cp_body t)
 
 let manager_loop t () =
   let rec loop () =

@@ -3,6 +3,8 @@ open Wafl_sim
 type t = {
   eng : Engine.t;
   raid : Wafl_fs.Layout.block Wafl_storage.Raid.t;
+  obs : Wafl_obs.Trace.t;
+  obs_on : bool;
   m_fill : Wafl_obs.Metrics.histo;
   mutable pending : (int * Wafl_fs.Layout.block) list; (* newest first *)
   mutable pending_count : int;
@@ -17,6 +19,8 @@ let create ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~raid ~expected_buckets =
   {
     eng;
     raid;
+    obs;
+    obs_on = Wafl_obs.Trace.enabled obs;
     m_fill = Wafl_obs.Metrics.histogram (Wafl_obs.Trace.metrics obs) "tetris.fill_blocks";
     pending = [];
     pending_count = 0;
@@ -45,11 +49,17 @@ let submit_now t =
   if t.pending_count > 0 then begin
     Wafl_obs.Metrics.observe t.m_fill (float_of_int t.pending_count);
     let writes = List.rev t.pending in
+    let blocks = t.pending_count in
     t.pending <- [];
     t.ios <- t.ios + 1;
-    t.blocks <- t.blocks + t.pending_count;
+    t.blocks <- t.blocks + blocks;
     t.pending_count <- 0;
-    Wafl_storage.Raid.submit t.raid ~writes ~on_complete:(fun () -> ())
+    let submit () = Wafl_storage.Raid.submit t.raid ~writes ~on_complete:(fun () -> ()) in
+    if t.obs_on then
+      Wafl_obs.Trace.with_span t.obs ~cat:"tetris" ~name:"stripe fill"
+        ~num_args:[ ("blocks", float_of_int blocks) ]
+        submit
+    else submit ()
   end
 
 let bucket_done t =

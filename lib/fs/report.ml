@@ -144,9 +144,23 @@ let perf ?elapsed m =
   (match M.histo m "raid.io_service_us" with
   | Some h when H.count h > 0 -> histo_line buf "raid service (us)" h
   | _ -> ());
+  (match M.histo m "raid.io_wait_us" with
+  | Some h when H.count h > 0 -> histo_line buf "raid queue wait (us)" h
+  | _ -> ());
   (match M.histo m "tetris.fill_blocks" with
   | Some h when H.count h > 0 -> histo_line buf "tetris fill (blocks)" h
   | _ -> ());
+  (* Write path: end-to-end client latency per op kind plus the CP
+     back-pressure component (DESIGN.md §4.10). *)
+  let e2e = with_prefix "op.e2e_us." (M.histograms m) in
+  let e2e = List.filter (fun (_, h) -> H.count h > 0) e2e in
+  if e2e <> [] then begin
+    Buffer.add_string buf "write path (end-to-end client latency, us):\n";
+    List.iter (fun (kind, h) -> histo_line buf kind h) e2e;
+    match M.histo m "op.throttle_us" with
+    | Some h when H.count h > 0 -> histo_line buf "nvlog throttle (us)" h
+    | _ -> ()
+  end;
   Buffer.contents buf
 
 let faults agg =

@@ -8,12 +8,14 @@
    through the Trace API. *)
 
 type ev = {
-  ph : char;  (* 'X' complete span, 'i' instant, 'C' counter sample *)
+  ph : char;  (* 'X' complete span, 'i' instant, 'C' counter sample,
+                 's'/'f' flow start/finish (causal edge) *)
   cat : string;
   name : string;
   ts : float; (* virtual microseconds *)
   dur : float; (* 'X': span duration; 'C': sampled value *)
   tid : int; (* fiber id; Race.main_fid (-1) outside fiber context *)
+  flow : int; (* 's'/'f': edge id pairing the two halves; 0 = none *)
   args : (string * string) list;
   num_args : (string * float) list;
 }

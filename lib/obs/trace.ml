@@ -33,6 +33,12 @@ type enabled = {
   mutable profile_order : string list; (* first-appearance, newest first *)
   sample_interval : float; (* 0.0 disables the metrics timeseries *)
   mutable next_sample : float;
+  (* Causal mode (see Causal / DESIGN.md §4.10): explicit request-context
+     propagation across asynchronous handoffs, recorded as flow events. *)
+  causal : bool;
+  ctxs : (int, int) Hashtbl.t; (* fiber id -> active causal context; absent = none *)
+  mutable next_ctx : int;
+  mutable next_flow : int;
 }
 
 type t = { state : enabled option }
@@ -51,7 +57,17 @@ let engine t = Option.map (fun s -> s.eng) t.state
 let sample s ~now =
   let put (name, v) =
     Sink.record s.sink
-      { ph = 'C'; cat = "metrics"; name; ts = now; dur = v; tid = 0; args = []; num_args = [] }
+      {
+        ph = 'C';
+        cat = "metrics";
+        name;
+        ts = now;
+        dur = v;
+        tid = 0;
+        flow = 0;
+        args = [];
+        num_args = [];
+      }
   in
   List.iter put (Metrics.counters s.metrics);
   List.iter put (Metrics.gauges s.metrics)
@@ -90,7 +106,84 @@ let profile_charge s ~fid ~label ~amount =
       Hashtbl.add s.profile key { p_total = amount; p_count = 1 };
       s.profile_order <- key :: s.profile_order
 
-let create ?(ring_capacity = 262_144) ?(sample_interval = 10_000.0) eng =
+(* --- causal context propagation (the low-level half of Causal) ----------- *)
+
+let ctx_of s fid = match Hashtbl.find_opt s.ctxs fid with Some c -> c | None -> 0
+let set_ctx s fid c = if c = 0 then Hashtbl.remove s.ctxs fid else Hashtbl.replace s.ctxs fid c
+
+(* One half of a causal edge.  's' marks the handoff source, 'f' the
+   destination; the shared [flow] id pairs them (Perfetto draws the
+   arrow, the analyzer walks it). *)
+let record_flow s ~ph ~name ~tid ~flow ~now =
+  Sink.record s.sink
+    { ph; cat = "flow"; name; ts = now; dur = 0.0; tid; flow; args = []; num_args = [] }
+
+type handoff = { h_ctx : int; h_flow : int }
+
+let no_handoff = { h_ctx = 0; h_flow = 0 }
+
+let capture t ~kind =
+  match t.state with
+  | Some s when s.causal ->
+      let fid = Engine.current_fid s.eng in
+      let flow = s.next_flow in
+      s.next_flow <- flow + 1;
+      record_flow s ~ph:'s' ~name:kind ~tid:fid ~flow ~now:(Engine.now s.eng);
+      { h_ctx = ctx_of s fid; h_flow = flow }
+  | _ -> no_handoff
+
+let restore t ~kind h =
+  if h != no_handoff then
+    match t.state with
+    | Some s when s.causal ->
+        let fid = Engine.current_fid s.eng in
+        record_flow s ~ph:'f' ~name:kind ~tid:fid ~flow:h.h_flow ~now:(Engine.now s.eng);
+        set_ctx s fid h.h_ctx
+    | _ -> ()
+
+let with_root t f =
+  match t.state with
+  | Some s when s.causal ->
+      let fid = Engine.current_fid s.eng in
+      let prev = ctx_of s fid in
+      let c = s.next_ctx in
+      s.next_ctx <- c + 1;
+      set_ctx s fid c;
+      Fun.protect ~finally:(fun () -> set_ctx s fid prev) f
+  | _ -> f ()
+
+let current_ctx t =
+  match t.state with
+  | Some s when s.causal -> ctx_of s (Engine.current_fid s.eng)
+  | _ -> 0
+
+(* Pooled worker fibers call this between messages: whatever the previous
+   message left behind — an unclosed span, an active causal context —
+   must not leak into the next, unrelated message (see DESIGN.md §4.10). *)
+let fiber_reset t =
+  match t.state with
+  | None -> ()
+  | Some s ->
+      let fid = Engine.current_fid s.eng in
+      (match Hashtbl.find_opt s.stacks fid with Some st -> st := [] | None -> ());
+      if s.causal then Hashtbl.remove s.ctxs fid
+
+(* In causal mode every recorded span carries its fiber's active context
+   as a numeric arg, which is how the analyzer groups spans per request. *)
+let span_num_args s ~fid num_args =
+  if s.causal then
+    match ctx_of s fid with 0 -> num_args | c -> ("ctx", float_of_int c) :: num_args
+  else num_args
+
+let causal t = match t.state with Some s -> s.causal | None -> false
+
+let create ?ring_capacity ?(sample_interval = 10_000.0) ?(causal = false) eng =
+  (* Causal mode records two flow events per handoff on top of the spans,
+     so its default ring is deep enough for the smoke figures to export
+     with zero drops. *)
+  let ring_capacity =
+    match ring_capacity with Some c -> c | None -> if causal then 1 lsl 22 else 262_144
+  in
   let s =
     {
       eng;
@@ -102,6 +195,10 @@ let create ?(ring_capacity = 262_144) ?(sample_interval = 10_000.0) eng =
       profile_order = [];
       sample_interval;
       next_sample = Engine.now eng +. sample_interval;
+      causal;
+      ctxs = Hashtbl.create 64;
+      next_ctx = 1;
+      next_flow = 1;
     }
   in
   Engine.set_obs_hooks eng
@@ -114,12 +211,29 @@ let create ?(ring_capacity = 262_144) ?(sample_interval = 10_000.0) eng =
         (fun ~fid ~label ~now ->
           Hashtbl.replace s.names fid label;
           maybe_sample s ~now);
+      on_wake =
+        (if causal then fun ~waker ~wakee ~now ->
+           (* A blocked fiber resumes its own context; the edge is what
+              the critical-path walk follows from wakee back to waker. *)
+           let flow = s.next_flow in
+           s.next_flow <- flow + 1;
+           record_flow s ~ph:'s' ~name:"wake" ~tid:waker ~flow ~now;
+           record_flow s ~ph:'f' ~name:"wake" ~tid:wakee ~flow ~now
+         else fun ~waker:_ ~wakee:_ ~now:_ -> ());
+      on_spawn =
+        (if causal then fun ~parent ~child ~now ->
+           let flow = s.next_flow in
+           s.next_flow <- flow + 1;
+           record_flow s ~ph:'s' ~name:"spawn" ~tid:parent ~flow ~now;
+           record_flow s ~ph:'f' ~name:"spawn" ~tid:child ~flow ~now;
+           set_ctx s child (ctx_of s parent)
+         else fun ~parent:_ ~child:_ ~now:_ -> ());
     };
   { state = Some s }
 
 (* --- recording ----------------------------------------------------------- *)
 
-let with_span t ~cat ~name ?(args = []) f =
+let with_span t ~cat ~name ?(args = []) ?(num_args = []) f =
   match t.state with
   | None -> f ()
   | Some s ->
@@ -131,7 +245,17 @@ let with_span t ~cat ~name ?(args = []) f =
         (match !stack with [] -> () | _ :: rest -> stack := rest);
         let now = Engine.now s.eng in
         Sink.record s.sink
-          { ph = 'X'; cat; name; ts; dur = now -. ts; tid = fid; args; num_args = [] };
+          {
+            ph = 'X';
+            cat;
+            name;
+            ts;
+            dur = now -. ts;
+            tid = fid;
+            flow = 0;
+            args;
+            num_args = span_num_args s ~fid num_args;
+          };
         maybe_sample s ~now
       in
       (match f () with
@@ -141,6 +265,41 @@ let with_span t ~cat ~name ?(args = []) f =
       | exception exn ->
           finish ();
           raise exn)
+
+(* Non-lexical span pair for callers whose open and close sites are in
+   different scopes.  [end_span] with an empty stack is a no-op, so an
+   unmatched begin is survivable (and cleaned up by {!fiber_reset}). *)
+let begin_span t ~cat ~name =
+  match t.state with
+  | None -> ()
+  | Some s ->
+      let fid = Engine.current_fid s.eng in
+      let stack = stack_of s fid in
+      stack := { f_cat = cat; f_name = name; f_ts = Engine.now s.eng } :: !stack
+
+let end_span t =
+  match t.state with
+  | None -> ()
+  | Some s -> (
+      let fid = Engine.current_fid s.eng in
+      match Hashtbl.find_opt s.stacks fid with
+      | Some ({ contents = fr :: rest } as stack) ->
+          stack := rest;
+          let now = Engine.now s.eng in
+          Sink.record s.sink
+            {
+              ph = 'X';
+              cat = fr.f_cat;
+              name = fr.f_name;
+              ts = fr.f_ts;
+              dur = now -. fr.f_ts;
+              tid = fid;
+              flow = 0;
+              args = [];
+              num_args = span_num_args s ~fid [];
+            };
+          maybe_sample s ~now
+      | _ -> ())
 
 let instant t ~cat ~name ?(args = []) () =
   match t.state with
@@ -155,6 +314,7 @@ let instant t ~cat ~name ?(args = []) () =
           ts = now;
           dur = 0.0;
           tid = Engine.current_fid s.eng;
+          flow = 0;
           args;
           num_args = [];
         };
@@ -166,8 +326,19 @@ let complete t ~cat ~name ~ts ~dur ?(args = []) ?(num_args = []) () =
   match t.state with
   | None -> ()
   | Some s ->
+      let fid = Engine.current_fid s.eng in
       Sink.record s.sink
-        { ph = 'X'; cat; name; ts; dur; tid = Engine.current_fid s.eng; args; num_args };
+        {
+          ph = 'X';
+          cat;
+          name;
+          ts;
+          dur;
+          tid = fid;
+          flow = 0;
+          args;
+          num_args = span_num_args s ~fid num_args;
+        };
       maybe_sample s ~now:(Engine.now s.eng)
 
 let event_count t = match t.state with Some s -> Sink.length s.sink | None -> 0
@@ -189,6 +360,13 @@ let emit_event buf (ev : Sink.ev) =
     Buffer.add_string buf (Json.num_str ev.dur)
   end;
   if ev.ph = 'i' then Buffer.add_string buf ",\"s\":\"g\"";
+  if ev.ph = 's' || ev.ph = 'f' then begin
+    Buffer.add_string buf ",\"id\":";
+    Buffer.add_string buf (string_of_int ev.flow);
+    (* Bind the flow finish to the enclosing slice so Perfetto draws the
+       arrow into the consuming span, not just at the track. *)
+    if ev.ph = 'f' then Buffer.add_string buf ",\"bp\":\"e\""
+  end;
   Buffer.add_string buf ",\"pid\":0,\"tid\":";
   Buffer.add_string buf (string_of_int ev.tid);
   let has_args = ev.ph = 'C' || ev.args <> [] || ev.num_args <> [] in
@@ -256,8 +434,8 @@ let export t buf =
       Buffer.add_string buf "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
       Buffer.add_string buf
         (Printf.sprintf
-           "\"clock\":\"virtual-us\",\"events\":%d,\"dropped\":%d,\"sample_interval_us\":%s}}"
-           (Sink.length s.sink) (Sink.dropped s.sink)
+           "\"clock\":\"virtual-us\",\"events\":%d,\"dropped\":%d,\"causal\":%b,\"sample_interval_us\":%s}}"
+           (Sink.length s.sink) (Sink.dropped s.sink) s.causal
            (Json.num_str s.sample_interval))
 
 let export_string t =

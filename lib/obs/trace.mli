@@ -17,15 +17,23 @@ val disabled : t
 (** The shared no-op tracer; the default everywhere instrumentation is
     threaded. *)
 
-val create : ?ring_capacity:int -> ?sample_interval:float -> Wafl_sim.Engine.t -> t
+val create :
+  ?ring_capacity:int -> ?sample_interval:float -> ?causal:bool -> Wafl_sim.Engine.t -> t
 (** Attach a tracer to [eng].  Installs the engine's observability hooks
     (displacing any previously installed hooks), so at most one tracer
-    should be attached per engine.  [ring_capacity] (default 262144)
-    bounds retained events, oldest dropped first; [sample_interval]
-    (default 10000.0 virtual microseconds) is the counter/gauge sampling
-    period, [0.0] disables the timeseries. *)
+    should be attached per engine.  [ring_capacity] (default 262144;
+    4194304 in causal mode, which records a multiple of the events)
+    bounds retained events, oldest dropped first;
+    [sample_interval] (default 10000.0 virtual microseconds) is the
+    counter/gauge sampling period, [0.0] disables the timeseries.
+
+    [causal] (default [false]) additionally records causal edges — flow
+    events pairing every asynchronous handoff's source and destination —
+    and stamps each span with its fiber's active request context; see
+    {!Causal} and DESIGN.md §4.10. *)
 
 val enabled : t -> bool
+val causal : t -> bool
 val engine : t -> Wafl_sim.Engine.t option
 
 val metrics : t -> Metrics.t
@@ -36,11 +44,23 @@ val metrics : t -> Metrics.t
 (** {1 Recording} *)
 
 val with_span :
-  t -> cat:string -> name:string -> ?args:(string * string) list -> (unit -> 'a) -> 'a
+  t ->
+  cat:string ->
+  name:string ->
+  ?args:(string * string) list ->
+  ?num_args:(string * float) list ->
+  (unit -> 'a) ->
+  'a
 (** Run the thunk inside a span: records a complete ('X') event covering
     its virtual-time extent on the current fiber, and attributes CPU
     charged within to the span stack (see {!profile_rows}).  The span is
     closed (and recorded) even if the thunk raises. *)
+
+val begin_span : t -> cat:string -> name:string -> unit
+val end_span : t -> unit
+(** Non-lexical span pair for open/close sites in different scopes.
+    [end_span] on an empty stack is a no-op; a span left open on a pooled
+    worker fiber is discarded by {!fiber_reset} between messages. *)
 
 val instant : t -> cat:string -> name:string -> ?args:(string * string) list -> unit -> unit
 (** Record a zero-duration instant ('i') event at the current virtual
@@ -62,6 +82,44 @@ val complete :
 
 val event_count : t -> int
 val dropped : t -> int
+
+(** {1 Causal edges}
+
+    The low-level half of {!Causal}; instrumentation outside [Wafl_obs]
+    must go through the [Causal] wrappers ([wafl_lint] enforces this), so
+    every causal edge in a trace comes from one audited API.  All of
+    these are single branches unless the tracer was created with
+    [~causal:true]. *)
+
+type handoff
+(** A captured causal context plus the flow id of its edge, carried
+    through an asynchronous handoff (a queued message, a cleaner work
+    item, a RAID request). *)
+
+val no_handoff : handoff
+(** The shared empty handoff; what {!capture} returns when causal mode is
+    off, and a valid field initializer for requests that never cross a
+    traced edge. *)
+
+val capture : t -> kind:string -> handoff
+(** Record the source half ('s' flow event, named [kind]) of a causal
+    edge on the current fiber and return its context for the consumer. *)
+
+val restore : t -> kind:string -> handoff -> unit
+(** Record the destination half ('f') of the edge on the current fiber
+    and activate the captured context.  [kind] must match the capture. *)
+
+val with_root : t -> (unit -> 'a) -> 'a
+(** Run the thunk under a fresh causal context (a new request root); the
+    fiber's previous context is restored afterwards. *)
+
+val current_ctx : t -> int
+(** The current fiber's active context id; 0 when none or not causal. *)
+
+val fiber_reset : t -> unit
+(** Clear the current fiber's span stack and causal context.  Pooled
+    worker fibers call this between messages so state leaked by one
+    message cannot attach to the next. *)
 
 (** {1 Export} *)
 

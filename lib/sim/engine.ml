@@ -73,6 +73,8 @@ and t = {
 and obs_hooks = {
   on_consume : fid:int -> label:string -> amount:float -> now:float -> unit;
   on_switch : fid:int -> label:string -> now:float -> unit;
+  on_wake : waker:int -> wakee:int -> now:float -> unit;
+  on_spawn : parent:int -> child:int -> now:float -> unit;
 }
 
 (* The engine currently executing [run], for the consume fast path.
@@ -305,6 +307,10 @@ let finish_fiber t f =
       List.iter (fun w -> Race.edge r ~from_:f.fid ~to_:w.fid) f.join_waiters;
       Race.finish_fiber r ~fid:f.fid
   | None -> ());
+  (match t.obs_hooks with
+  | Some h ->
+      List.iter (fun w -> h.on_wake ~waker:f.fid ~wakee:w.fid ~now:t.clock.v) f.join_waiters
+  | None -> ());
   List.iter (fun w -> enqueue_runnable t w) f.join_waiters;
   f.join_waiters <- []
 
@@ -411,6 +417,9 @@ let spawn t ?(label = "other") ?(daemon = false) ?at body =
   t.all_fibers <- f :: t.all_fibers;
   (match t.race with
   | Some r -> Race.add_fiber r ~parent:(current_fid t) ~fid:f.fid
+  | None -> ());
+  (match t.obs_hooks with
+  | Some h -> h.on_spawn ~parent:(current_fid t) ~child:f.fid ~now:t.clock.v
   | None -> ());
   (match at with
   | None -> enqueue_runnable t f
@@ -535,6 +544,9 @@ let wake t f =
   | Parked ->
       (match t.race with
       | Some r -> Race.edge r ~from_:(current_fid t) ~to_:f.fid
+      | None -> ());
+      (match t.obs_hooks with
+      | Some h -> h.on_wake ~waker:(current_fid t) ~wakee:f.fid ~now:t.clock.v
       | None -> ());
       enqueue_runnable t f
   | _ -> invalid_arg "Engine.wake: fiber is not parked"

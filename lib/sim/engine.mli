@@ -193,6 +193,14 @@ type obs_hooks = {
           at virtual time [now]. *)
   on_switch : fid:int -> label:string -> now:float -> unit;
       (** A fiber was dispatched onto a core. *)
+  on_wake : waker:int -> wakee:int -> now:float -> unit;
+      (** [waker] made the parked fiber [wakee] runnable ({!wake}, or a
+          finishing fiber releasing its {!join} waiters).  Every [Sync]
+          mutex/condvar/waitq/channel wakeup funnels through here, so
+          this is the engine-level causal edge for blocking handoffs. *)
+  on_spawn : parent:int -> child:int -> now:float -> unit;
+      (** [parent] spawned [child] ([Race.main_fid] when spawned from
+          outside fiber context). *)
 }
 
 val set_obs_hooks : t -> obs_hooks -> unit

@@ -1,7 +1,12 @@
 open Wafl_sim
 
 type 'b request =
-  | Io of { writes : (Geometry.vbn * 'b) list; on_complete : unit -> unit }
+  | Io of {
+      writes : (Geometry.vbn * 'b) list;
+      on_complete : unit -> unit;
+      submitted_at : float;
+      h : Wafl_obs.Causal.handoff; (* submitter's causal context *)
+    }
   | Stop
 
 type 'b t = {
@@ -10,7 +15,10 @@ type 'b t = {
   disk : 'b Disk.t;
   rg : int;
   obs : Wafl_obs.Trace.t;
+  obs_on : bool; (* Trace.enabled obs, hoisted off the hot path *)
+  causal_on : bool; (* Causal.enabled obs, hoisted likewise *)
   m_service : Wafl_obs.Metrics.histo;
+  m_wait : Wafl_obs.Metrics.histo;
   m_ios : Wafl_obs.Metrics.counter;
   m_blocks : Wafl_obs.Metrics.counter;
   data_width : int;
@@ -87,7 +95,13 @@ let service_fiber t () =
   let rec loop () =
     match Sync.Channel.recv t.queue with
     | Stop -> ()
-    | Io { writes; on_complete } ->
+    | Io { writes; on_complete; submitted_at; h } ->
+        (* The service fiber picks up the request: the submitter's causal
+           context becomes this fiber's, so the I/O span (and the queue
+           wait it reveals) attribute to the submitting CP. *)
+        Wafl_obs.Causal.restore t.obs ~kind:"raid" h;
+        let wait = Engine.now t.eng -. submitted_at in
+        if t.obs_on then Wafl_obs.Metrics.observe t.m_wait wait;
         check_failure t;
         let fault = Disk.fault t.disk in
         (* Transient failures: bounded exponential backoff in virtual
@@ -121,15 +135,18 @@ let service_fiber t () =
         Wafl_obs.Metrics.observe t.m_service service;
         Wafl_obs.Metrics.incr t.m_ios;
         Wafl_obs.Metrics.add t.m_blocks nblocks;
-        if Wafl_obs.Trace.enabled t.obs then
+        if t.obs_on then
           Wafl_obs.Trace.complete t.obs ~cat:"raid" ~name:"raid io" ~ts:t0 ~dur:service
             ~num_args:
-              [
-                ("rg", float_of_int t.rg);
-                ("blocks", float_of_int nblocks);
-                ("full_stripes", float_of_int full);
-                ("partial_stripes", float_of_int partial);
-              ]
+              (let base =
+                 [
+                   ("rg", float_of_int t.rg);
+                   ("blocks", float_of_int nblocks);
+                   ("full_stripes", float_of_int full);
+                   ("partial_stripes", float_of_int partial);
+                 ]
+               in
+               if t.causal_on then ("wait_us", wait) :: base else base)
             ();
         let failed =
           match outcome with
@@ -151,6 +168,9 @@ let service_fiber t () =
         t.partial <- t.partial + partial;
         t.busy <- t.busy +. service;
         on_complete ();
+        (* Service fibers are reused across unrelated requests: deactivate
+           this request's causal context before dequeuing the next. *)
+        if t.obs_on then Wafl_obs.Causal.fiber_reset t.obs;
         t.outstanding <- t.outstanding - 1;
         if t.outstanding = 0 then ignore (Sync.Waitq.wake_all t.done_q);
         loop ()
@@ -167,7 +187,10 @@ let create ?(queue_depth = 4) ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~disk ~
       disk;
       rg;
       obs;
+      obs_on = Wafl_obs.Trace.enabled obs;
+      causal_on = Wafl_obs.Causal.enabled obs;
       m_service = Wafl_obs.Metrics.histogram m "raid.io_service_us";
+      m_wait = Wafl_obs.Metrics.histogram m "raid.io_wait_us";
       m_ios = Wafl_obs.Metrics.counter m "raid.ios";
       m_blocks = Wafl_obs.Metrics.counter m "raid.blocks";
       data_width = Geometry.data_drives (Disk.geometry disk) ~rg;
@@ -269,7 +292,14 @@ let submit t ~writes ~on_complete =
   else begin
     Engine.consume t.cost.Cost.raid_io_dispatch;
     t.outstanding <- t.outstanding + 1;
-    Sync.Channel.send t.queue (Io { writes; on_complete })
+    Sync.Channel.send t.queue
+      (Io
+         {
+           writes;
+           on_complete;
+           submitted_at = Engine.now t.eng;
+           h = Wafl_obs.Causal.capture t.obs ~kind:"raid";
+         })
   end
 
 let quiesce t =

@@ -13,11 +13,18 @@ type node = {
   q : msg Queue.t; (* this node's pending messages, oldest first *)
   kind : string; (* Affinity.kind_name aff *)
   span_name : string; (* "msg " ^ kind *)
+  post_kind : string; (* "post " ^ kind: the causal-edge kind for this node *)
   mutable wait_h : Wafl_obs.Metrics.histo option; (* registered on first use *)
   mutable service_h : Wafl_obs.Metrics.histo option;
 }
 
-and msg = { label : string; body : unit -> unit; posted_at : float; seq : int }
+and msg = {
+  label : string;
+  body : unit -> unit;
+  posted_at : float;
+  seq : int;
+  h : Wafl_obs.Causal.handoff; (* poster's causal context (no_handoff unless causal) *)
+}
 
 (* A pooled worker fiber.  Workers are daemons: spawned on demand up to
    (roughly) the worker count, they execute one granted message at a
@@ -59,6 +66,7 @@ type t = {
   isolation : Isolation.t option;
   obs : Wafl_obs.Trace.t;
   obs_on : bool; (* Trace.enabled obs, hoisted off the hot path *)
+  causal_on : bool; (* Causal.enabled obs, hoisted likewise *)
   m_msgs : Wafl_obs.Metrics.counter;
   g_queued : Wafl_obs.Metrics.gauge;
   g_executing : Wafl_obs.Metrics.gauge;
@@ -76,6 +84,7 @@ let dummy_node =
     q = Queue.create ();
     kind = "";
     span_name = "";
+    post_kind = "";
     wait_h = None;
     service_h = None;
   }
@@ -107,6 +116,7 @@ let create ?workers ?isolation ?(obs = Wafl_obs.Trace.disabled) eng ~cost () =
     isolation;
     obs;
     obs_on = Wafl_obs.Trace.enabled obs;
+    causal_on = Wafl_obs.Causal.enabled obs;
     m_msgs = Wafl_obs.Metrics.counter m "sched.messages";
     g_queued = Wafl_obs.Metrics.gauge m "sched.queued";
     g_executing = Wafl_obs.Metrics.gauge m "sched.executing";
@@ -131,6 +141,7 @@ let rec node t aff =
           q = Queue.create ();
           kind;
           span_name = "msg " ^ kind;
+          post_kind = "post " ^ kind;
           wait_h = None;
           service_h = None;
         }
@@ -278,6 +289,11 @@ let stash t seq n =
    span — byte-for-byte the work the old per-message fiber did. *)
 let exec t n m =
   let t0 = Engine.now t.eng in
+  (* The grant: the queued message's causal context becomes this worker's
+     context (and the 'f' half of the post edge lands here), so spans the
+     body opens attribute to the posting request, not to whatever the
+     pooled worker ran last. *)
+  Wafl_obs.Causal.restore t.obs ~kind:n.post_kind m.h;
   Engine.consume t.cost.Cost.msg_dispatch;
   (match t.isolation with
   | Some iso ->
@@ -287,6 +303,7 @@ let exec t n m =
     if t.obs_on then
       Wafl_obs.Trace.with_span t.obs ~cat:"sched" ~name:n.span_name
         ~args:[ ("label", m.label) ]
+        ~num_args:(if t.causal_on then [ ("wait_us", t0 -. m.posted_at) ] else [])
         m.body
     else m.body ()
   in
@@ -319,6 +336,10 @@ let rec worker_loop t w =
   | Some (n, m) ->
       w.slot <- None;
       exec t n m;
+      (* Workers are reused across unrelated messages: drop any span the
+         body left open and deactivate its causal context, so message A's
+         leftovers can never parent message B's spans. *)
+      if t.obs_on then Wafl_obs.Causal.fiber_reset t.obs;
       if t.executing = 0 && t.pending_count = 0 then ignore (Sync.Waitq.wake_all t.idle);
       dispatch t);
   t.idle_workers <- w :: t.idle_workers;
@@ -386,7 +407,15 @@ let post t ~affinity ~label body =
     | None -> affinity
   in
   let n = node t affinity in
-  let m = { label; body; posted_at = Engine.now t.eng; seq = t.next_seq } in
+  let m =
+    {
+      label;
+      body;
+      posted_at = Engine.now t.eng;
+      seq = t.next_seq;
+      h = Wafl_obs.Causal.capture t.obs ~kind:n.post_kind;
+    }
+  in
   t.next_seq <- t.next_seq + 1;
   let was_empty = Queue.is_empty n.q in
   Queue.push m n.q;

@@ -63,6 +63,7 @@ type result = {
   throughput : float;
   throughput_per_client : float;
   latency : Wafl_util.Histogram.t;
+  write_latency : Wafl_util.Histogram.t;
   reads : int;
   writes : int;
   metas : int;
@@ -156,6 +157,7 @@ type recorder = {
   mutable writes : int;
   mutable metas : int;
   hist : Wafl_util.Histogram.t;
+  whist : Wafl_util.Histogram.t; (* writes only: end-to-end latency *)
 }
 
 let stripe_of_fbn fbn = fbn / 1024 mod 16
@@ -277,8 +279,18 @@ let run_uncached spec =
       writes = 0;
       metas = 0;
       hist = Wafl_util.Histogram.create ();
+      whist = Wafl_util.Histogram.create ();
     }
   in
+  (* End-to-end latency decomposition (DESIGN.md §4.10): per-op-kind
+     histograms plus the time writes spend throttled behind CP progress.
+     On a disabled tracer these land in a throwaway registry. *)
+  let obs_on = Wafl_obs.Trace.enabled obs in
+  let m = Wafl_obs.Trace.metrics obs in
+  let h_e2e_read = Wafl_obs.Metrics.histogram m "op.e2e_us.read" in
+  let h_e2e_write = Wafl_obs.Metrics.histogram m "op.e2e_us.write" in
+  let h_e2e_meta = Wafl_obs.Metrics.histogram m "op.e2e_us.meta" in
+  let h_throttle = Wafl_obs.Metrics.histogram m "op.throttle_us" in
   let stop = ref false in
   let master_rng = Wafl_util.Rng.create ~seed:spec.seed in
   let active_samples = ref 0 and active_sum = ref 0 in
@@ -287,12 +299,29 @@ let run_uncached spec =
     let rng = Wafl_util.Rng.split master_rng in
     let cursor = ref (Wafl_util.Rng.int rng (total_blocks cf)) in
     let token = ref (Int64.of_int ((c + 1) * 1_000_000)) in
+    (* Waiting for NVLog space is where CP back-pressure surfaces in
+       client latency; measure it separately so the decomposition can
+       distinguish throttling from service time. *)
+    let throttled_wait () =
+      if obs_on then begin
+        let w0 = Engine.now eng in
+        Aggregate.wait_for_log_space agg;
+        Wafl_obs.Metrics.observe h_throttle (Engine.now eng -. w0)
+      end
+      else Aggregate.wait_for_log_space agg
+    in
     ignore
       (Engine.spawn eng ~label:"client" (fun () ->
            while not !stop do
              let started = Engine.now eng in
              let op = gen_op spec.workload rng cf cursor in
+             (* Each client operation is one causal root: the context
+                follows the op through its Waffinity message (and any
+                downstream handoffs), and the op span below closes the
+                request's end-to-end interval. *)
              let kind =
+               Wafl_obs.Causal.with_root obs (fun () ->
+               let kind =
                match op with
                | Read idx ->
                    let file, fbn = op_target cf idx in
@@ -312,7 +341,7 @@ let run_uncached spec =
                | Write idx ->
                    (* Throttle against CP progress before consuming NVRAM
                       (the message body itself must never park). *)
-                   Aggregate.wait_for_log_space agg;
+                   throttled_wait ();
                    let file, fbn = op_target cf idx in
                    token := Int64.add !token 1L;
                    let content = !token in
@@ -337,7 +366,7 @@ let run_uncached spec =
                    | `Ok -> ()
                    | `Log_half_full ->
                        Wafl_core.Cp.request cp;
-                       Aggregate.wait_for_log_space agg);
+                       throttled_wait ());
                    `W
                | Meta ->
                    Sched.post_wait sched
@@ -345,14 +374,32 @@ let run_uncached spec =
                      ~label:"client"
                      (fun () -> Engine.consume spec.cost.Cost.client_meta);
                    `M
+               in
+               if obs_on then begin
+                 (* Recorded inside the root so the op span carries its
+                    request context. *)
+                 let name, h =
+                   match kind with
+                   | `R -> ("read", h_e2e_read)
+                   | `W -> ("write", h_e2e_write)
+                   | `M -> ("meta", h_e2e_meta)
+                 in
+                 let dur = Engine.now eng -. started in
+                 Wafl_obs.Metrics.observe h dur;
+                 Wafl_obs.Trace.complete obs ~cat:"op" ~name ~ts:started ~dur ()
+               end;
+               kind)
              in
              if rec_.recording then begin
                rec_.ops <- rec_.ops + 1;
+               let e2e = Engine.now eng -. started in
                (match kind with
                | `R -> rec_.reads <- rec_.reads + 1
-               | `W -> rec_.writes <- rec_.writes + 1
+               | `W ->
+                   rec_.writes <- rec_.writes + 1;
+                   Wafl_util.Histogram.add rec_.whist e2e
                | `M -> rec_.metas <- rec_.metas + 1);
-               Wafl_util.Histogram.add rec_.hist (Engine.now eng -. started)
+               Wafl_util.Histogram.add rec_.hist e2e
              end;
              if spec.think_time > 0.0 then
                Engine.sleep (Wafl_util.Rng.exponential rng ~mean:spec.think_time)
@@ -397,6 +444,7 @@ let run_uncached spec =
       throughput_per_client =
         float_of_int rec_.ops /. duration *. 1_000_000.0 /. float_of_int spec.clients;
       latency = rec_.hist;
+      write_latency = rec_.whist;
       reads = rec_.reads;
       writes = rec_.writes;
       metas = rec_.metas;
@@ -446,13 +494,25 @@ let run_uncached spec =
     (Engine.now eng);
   result
 
+(* When set, every run — including memoized cache hits, whose results
+   carry the histogram — merges its end-to-end write-latency histogram
+   into the sink.  The bench harness points this at a fresh histogram
+   per figure to report write p50/p99 next to wall time. *)
+let latency_sink : Wafl_util.Histogram.t option ref = ref None
+
 let run spec =
-  if not !memoize then run_uncached spec
-  else
-    let key = memo_key spec in
-    match Hashtbl.find_opt memo_tbl key with
-    | Some r -> r
-    | None ->
-        let r = run_uncached spec in
-        Hashtbl.add memo_tbl key r;
-        r
+  let r =
+    if not !memoize then run_uncached spec
+    else
+      let key = memo_key spec in
+      match Hashtbl.find_opt memo_tbl key with
+      | Some r -> r
+      | None ->
+          let r = run_uncached spec in
+          Hashtbl.add memo_tbl key r;
+          r
+  in
+  (match !latency_sink with
+  | Some dst -> Wafl_util.Histogram.merge_into ~dst r.write_latency
+  | None -> ());
+  r

@@ -60,6 +60,9 @@ type result = {
   throughput : float;  (** client ops per virtual second *)
   throughput_per_client : float;
   latency : Wafl_util.Histogram.t;
+  write_latency : Wafl_util.Histogram.t;
+      (** end-to-end latency of the write ops alone (the paper's client
+          writes; what BENCH_paper.json reports as p50/p99) *)
   reads : int;
   writes : int;
   metas : int;
@@ -97,6 +100,12 @@ val memoize : bool ref
     re-execution.  Enabled only by the bench harness, where the figure
     suite re-runs several identical configurations; leave off for traced
     or sanitized runs (a cache hit skips the tracer factory). *)
+
+val latency_sink : Wafl_util.Histogram.t option ref
+(** When [Some h], every [run] — including memoized cache hits — merges
+    its result's end-to-end write-latency histogram into [h].  The bench
+    harness installs a fresh histogram per figure so BENCH_paper.json can
+    report per-figure write p50/p99. *)
 
 val run : spec -> result
 (** Build, populate (each client's files are written once and flushed by

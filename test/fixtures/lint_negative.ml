@@ -9,6 +9,9 @@ let _bad_order tbl = Hashtbl.iter (fun _ v -> print_int v) tbl
 let _bad_fold tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
 let _bad_mutation agg = Wafl_fs.Aggregate.commit_alloc_pvbn agg 42
 let _bad_raw_event sink ev = Wafl_obs.Sink.record sink ev
+let _bad_raw_flow t = Wafl_obs.Trace.capture t ~kind:"smuggled"
+let _bad_raw_restore t h = Wafl_obs.Trace.restore t ~kind:"smuggled" h
+let _bad_raw_reset t = Wafl_obs.Trace.fiber_reset t
 
 (* Suppressed: the fold result is sorted before use. lint-ok *)
 let _ok_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

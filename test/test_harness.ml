@@ -19,6 +19,7 @@ let synthetic ?(throughput = 100_000.0) ?(cores_cleaner = 1.0) ?(cores_infra = 0
     throughput;
     throughput_per_client = throughput /. 40.0;
     latency;
+    write_latency = latency;
     reads = 0;
     writes;
     metas = 0;

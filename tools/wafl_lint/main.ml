@@ -64,6 +64,14 @@ let mutator_whitelist = [ "infra.ml"; "cp.ml"; "aggregate.ml" ]
    single branch and the event stream well-formed. *)
 let sink_whitelist = [ "trace.ml"; "metrics.ml"; "sink.ml" ]
 
+(* Files allowed to call the raw causal-edge primitives on [Trace]
+   (capture / restore / with_root / fiber_reset): the observability
+   subsystem itself.  Instrumentation elsewhere must go through
+   [Wafl_obs.Causal], so every causal edge in a trace comes from one
+   audited API (and the analyzer can trust edge pairing). *)
+let causal_primitives = [ "capture"; "restore"; "with_root"; "fiber_reset" ]
+let causal_whitelist = [ "trace.ml"; "causal.ml" ]
+
 let check_path src loc path =
   match path with
   | "Random" :: _ when base src.name <> "rng.ml" ->
@@ -93,6 +101,13 @@ let check_path src loc path =
             report src loc
               "Sink.record writes raw trace events; go through the Wafl_obs.Trace API \
                (with_span / instant / complete) instead"
+      | field :: "Trace" :: _ when List.mem field causal_primitives ->
+          if not (List.mem (base src.name) causal_whitelist) then
+            report src loc
+              (Printf.sprintf
+                 "Trace.%s emits raw causal flow events; instrument through Wafl_obs.Causal \
+                  so every causal edge comes from one audited API"
+                 field)
       | _ -> ())
 
 let iterator src =
