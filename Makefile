@@ -1,4 +1,4 @@
-.PHONY: all build test lint sanitize trace-smoke analyze-smoke check bench bench-quick bench-gate bench-gate-fast clean
+.PHONY: all build test lint sanitize trace-smoke analyze-smoke overload-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -58,6 +58,16 @@ analyze-smoke:
 	@grep -q "dominant:" _build/analyze_smoke.txt || { echo "analyze smoke FAILED: no bottleneck attribution"; exit 1; }
 	@echo "analyze smoke OK: _build/analyze_smoke.txt"
 
+# Overload smoke: the quarter-scale noisy-neighbor experiment (open-loop
+# arrivals, watermark back-pressure, per-volume QoS) plus a 5-seed crash
+# run whose crash points land inside throttled / back-to-back-CP
+# windows.  The experiment exits non-zero if any isolation shape misses
+# (victim p99 within 2x baseline with QoS on, no NVRAM exhaustion, ...).
+overload-smoke:
+	dune build bin/wafl_sim.exe
+	dune exec --no-build bin/wafl_sim.exe -- overload --scale 0.25
+	dune exec --no-build bin/wafl_sim.exe -- crash --overload --seeds 5
+
 # Full gate: build everything (lib/ with warnings as errors), run the
 # whole test suite (including the Wafl_obs suite: span nesting, trace
 # parse-back, byte-identical same-seed traces, off-vs-on bit-identity),
@@ -71,6 +81,7 @@ check:
 	$(MAKE) sanitize
 	$(MAKE) trace-smoke
 	$(MAKE) analyze-smoke
+	$(MAKE) overload-smoke
 	dune exec bin/wafl_sim.exe -- crash --seeds 5
 	$(MAKE) bench-gate-fast
 
@@ -91,11 +102,11 @@ bench-gate:
 	WAFL_QUICK=1 WAFL_BENCH_OUT=_build/bench_gate.json dune exec bench/main.exe
 	$(BENCH_GATE) BENCH_paper.json _build/bench_gate.json
 
-# Fast subset of the gate for make check: three cheap figures (~5 s of
+# Fast subset of the gate for make check: four cheap figures (~5 s of
 # simulation) instead of the full ~50 s suite.
 bench-gate-fast:
 	dune build bench/main.exe tools/bench_gate/main.exe
-	WAFL_QUICK=1 WAFL_BENCH_OUT=_build/bench_gate_fast.json WAFL_BENCH_ONLY=fig4,batching,history dune exec bench/main.exe
+	WAFL_QUICK=1 WAFL_BENCH_OUT=_build/bench_gate_fast.json WAFL_BENCH_ONLY=fig4,batching,history,overload dune exec bench/main.exe
 	$(BENCH_GATE) BENCH_paper.json _build/bench_gate_fast.json
 
 clean:

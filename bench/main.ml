@@ -19,10 +19,17 @@ type record = {
   r_write_ops : int;  (** client writes across the figure's runs (cache hits included) *)
   r_write_p50_us : float;
   r_write_p99_us : float;
+  r_extra : (string * J.t) list;
+      (** figure-specific columns (e.g. the overload figure's per-scenario
+          goodput / shed_rate / victim_p99 table) *)
   r_shapes : (string * bool) list;
 }
 
 let records : record list ref = ref []
+
+(* A figure closure can publish extra JSON columns for its record by
+   setting this before returning its shapes; [timed] consumes it. *)
+let pending_extra : (string * J.t) list ref = ref []
 
 let virtual_total () =
   (* Driver.run accumulates each run's final virtual clock here. *)
@@ -35,6 +42,7 @@ let timed name f =
      its end-to-end write-latency histogram here. *)
   let wh = Wafl_util.Histogram.create () in
   Wafl_workload.Driver.latency_sink := Some wh;
+  pending_extra := [];
   let shapes = Fun.protect ~finally:(fun () -> Wafl_workload.Driver.latency_sink := None) f in
   let wall = Unix.gettimeofday () -. t0 in
   let virt = virtual_total () -. v0 in
@@ -50,13 +58,15 @@ let timed name f =
       r_write_ops = Wafl_util.Histogram.count wh;
       r_write_p50_us = p50;
       r_write_p99_us = p99;
+      r_extra = !pending_extra;
       r_shapes = shapes;
     }
     :: !records;
+  pending_extra := [];
   shapes
 
 (* BENCH_paper.json schema (all times in the named unit):
-     { "schema": "wafl-bench/3",
+     { "schema": "wafl-bench/4",
        "scale": float,            -- WAFL_SCALE factor of THIS run
        "total_wall_s": float,
        "total_virtual_us": float, -- simulated time of actually-executed
@@ -76,26 +86,33 @@ let timed name f =
    quarter-scale smoke and the full-scale suite.  Figures appear in
    execution order; "shapes" are the qualitative paper-vs-measured
    assertions also printed in the shape summary.  v3 adds the per-figure
-   end-to-end write-latency fields; v2 files (without them) are still
+   end-to-end write-latency fields; v4 adds figure-specific extra
+   columns — the overload figure carries
+     "overload": [ { "scenario": str, "goodput_ops_s": float,
+                     "shed_rate": float, "victim_p99_us": float } ]
+   with one row per scenario.  v2/v3 files (without them) are still
    read for "runs_by_scale" carry-over. *)
 let run_record ~scale ~total_wall =
   let figs =
     List.rev_map
       (fun r ->
         J.Obj
-          [
-            ("name", J.Str r.r_name);
-            ("wall_s", J.Num r.r_wall_s);
-            ("virtual_us", J.Num r.r_virtual_us);
-            ("write_ops", J.Num (float_of_int r.r_write_ops));
-            ("write_p50_us", J.Num r.r_write_p50_us);
-            ("write_p99_us", J.Num r.r_write_p99_us);
-            ( "shapes",
-              J.Arr
-                (List.map
-                   (fun (n, ok) -> J.Obj [ ("name", J.Str n); ("ok", J.Bool ok) ])
-                   r.r_shapes) );
-          ])
+          ([
+             ("name", J.Str r.r_name);
+             ("wall_s", J.Num r.r_wall_s);
+             ("virtual_us", J.Num r.r_virtual_us);
+             ("write_ops", J.Num (float_of_int r.r_write_ops));
+             ("write_p50_us", J.Num r.r_write_p50_us);
+             ("write_p99_us", J.Num r.r_write_p99_us);
+           ]
+          @ r.r_extra
+          @ [
+              ( "shapes",
+                J.Arr
+                  (List.map
+                     (fun (n, ok) -> J.Obj [ ("name", J.Str n); ("ok", J.Bool ok) ])
+                     r.r_shapes) );
+            ]))
       !records
   in
   let shapes = List.concat_map (fun r -> r.r_shapes) !records in
@@ -120,7 +137,8 @@ let previous_runs ~except path =
       match J.of_string body with
       | Ok doc
         when J.member "schema" doc = Some (J.Str "wafl-bench/2")
-             || J.member "schema" doc = Some (J.Str "wafl-bench/3") -> (
+             || J.member "schema" doc = Some (J.Str "wafl-bench/3")
+             || J.member "schema" doc = Some (J.Str "wafl-bench/4") -> (
           match J.member "runs_by_scale" doc with
           | Some (J.Obj runs) -> List.filter (fun (k, _) -> k <> except) runs
           | _ -> [])
@@ -132,7 +150,7 @@ let write_json ~scale ~total_wall path =
   let runs = previous_runs ~except:key path @ [ (key, J.Obj this_run) ] in
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
   let doc =
-    J.Obj ((("schema", J.Str "wafl-bench/3") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
+    J.Obj ((("schema", J.Str "wafl-bench/4") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);
@@ -198,6 +216,25 @@ let figures scale =
          let rows = H.Crossover.run ~scale () in
          H.Crossover.print rows;
          H.Crossover.shapes rows);
+  run "overload" "Overload: noisy-neighbor tenant isolation (QoS)" (fun () ->
+         let rows = H.Overload.run ~scale () in
+         H.Overload.print rows;
+         pending_extra :=
+           [
+             ( "overload",
+               J.Arr
+                 (List.map
+                    (fun row ->
+                      J.Obj
+                        [
+                          ("scenario", J.Str (H.Overload.scenario_name row.H.Overload.scenario));
+                          ("goodput_ops_s", J.Num (H.Overload.goodput row));
+                          ("shed_rate", J.Num (H.Overload.shed_rate row));
+                          ("victim_p99_us", J.Num (H.Overload.victim_p99 row));
+                        ])
+                    rows) );
+           ];
+         H.Overload.shapes rows);
   section "Shape summary (paper-vs-measured, qualitative)";
   H.Exp.print_shapes !all;
   let missed = List.filter (fun (_, ok) -> not ok) !all in

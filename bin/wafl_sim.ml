@@ -134,11 +134,16 @@ let crossover scale =
   H.Crossover.print rows;
   H.Crossover.shapes rows
 
+let overload scale =
+  let rows = H.Overload.run ~scale () in
+  H.Overload.print rows;
+  H.Overload.shapes rows
+
 let all scale =
   List.concat
     [
       fig4 scale; fig5 scale; fig6 scale; fig7 scale; fig8 scale; fig9 scale;
-      batching scale; history scale; ablation scale; crossover scale;
+      batching scale; history scale; ablation scale; crossover scale; overload scale;
     ]
 
 (* --- ad-hoc run --- *)
@@ -334,9 +339,9 @@ let analyze_cmd =
 
 (* --- randomized crash-point harness --- *)
 
-let crash_run seeds first_seed ops fbn_space horizon verbose sanitize =
+let crash_run seeds first_seed ops fbn_space horizon verbose sanitize overload =
   let outcomes =
-    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~first_seed ~count:seeds ()
+    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~overload ~first_seed ~count:seeds ()
   in
   if verbose then
     List.iter
@@ -368,11 +373,12 @@ let crash_cmd =
   let fbn_space = Arg.(value & opt int 700 & info [ "fbn-space" ] ~docv:"N" ~doc:"Distinct file blocks written per file.") in
   let horizon = Arg.(value & opt float 60_000.0 & info [ "horizon" ] ~docv:"US" ~doc:"Virtual-time horizon; the crash lands in its back 70%.") in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print one line per seed.") in
+  let overload = Arg.(value & flag & info [ "overload" ] ~doc:"Drive each seed with a bursty open-loop arrival plan against a small watermarked NVRAM, so crash points land inside throttled and back-to-back-CP windows.") in
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(
       ret
         (const crash_run $ seeds $ first_seed $ ops $ fbn_space $ horizon $ verbose
-       $ sanitize_arg))
+       $ sanitize_arg $ overload))
 
 let run_cmd =
   let doc = "Run one ad-hoc configuration and print its measurements." in
@@ -410,6 +416,7 @@ let () =
             run_experiment "history" history;
             run_experiment "ablation" ablation;
             run_experiment "crossover" crossover;
+            run_experiment "overload" overload;
             run_experiment "all" all;
             run_cmd;
             trace_cmd;

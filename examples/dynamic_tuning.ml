@@ -45,7 +45,8 @@ let () =
              | `Ok -> ()
              | `Log_half_full ->
                  Wafl_core.Cp.request (Wafl_core.Walloc.cp walloc);
-                 Aggregate.wait_for_log_space agg);
+                 Aggregate.wait_for_log_space agg
+             | `Log_exhausted -> assert false (* wait_for_log_space throttles first *));
              fbn := (!fbn + 1) mod 262144;
              (* ~6 us of client work per op keeps virtual time moving. *)
              Engine.consume 6.0

@@ -36,6 +36,7 @@ let () =
          for fbn = 0 to 1999 do
            match Aggregate.write agg ~vol:vid ~file:fid ~fbn ~content:(Int64.of_int fbn) with
            | `Ok | `Log_half_full -> ()
+           | `Log_exhausted -> assert false (* 2000 ops fit in NVRAM *)
          done;
          Wafl_core.Cp.run_now (Wafl_core.Walloc.cp walloc);
 

@@ -34,6 +34,7 @@ let () =
                ~content:(Int64.of_int (1000 + fbn))
            with
            | `Ok | `Log_half_full -> ()
+           | `Log_exhausted -> assert false (* 1000 ops fit in NVRAM *)
          done;
          Printf.printf "dirty buffers before CP : %d\n" (File.dirty_front file);
 

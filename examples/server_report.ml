@@ -31,6 +31,7 @@ let () =
            with
            | `Ok -> ()
            | `Log_half_full -> Wafl_core.Cp.run_now (Wafl_core.Walloc.cp walloc)
+           | `Log_exhausted -> assert false (* run_now drains the log first *)
          in
          let mk_files vol n blocks =
            Array.init n (fun _ ->

@@ -11,6 +11,9 @@ type config = {
       (* historical pre-2008 mode: inode cleaning runs as Serial-affinity
          messages with VBN-at-a-time allocation and direct metafile
          access, excluding all client processing (paper SIII-B/C) *)
+  fair_cp : bool;
+      (* round-robin cleaning work across volumes so one hot tenant
+         cannot monopolize the front of a checkpoint (DESIGN.md §4.11) *)
 }
 
 let default_config =
@@ -21,6 +24,7 @@ let default_config =
     segment_buffers = 4096;
     timer_interval = None;
     serial_cleaning = false;
+    fair_cp = false;
   }
 
 type serial_state = {
@@ -50,6 +54,12 @@ type t = {
   m_cps : Wafl_obs.Metrics.counter;
   h_cp : Wafl_obs.Metrics.histo;
   m_cp_buffers : Wafl_obs.Metrics.counter;
+  m_b2b : Wafl_obs.Metrics.counter;
+  m_b2b_episodes : Wafl_obs.Metrics.counter;
+  (* The previous CP committed with the half-full trigger already reached
+     again: the CP starting now is back-to-back (paper §II-C). *)
+  mutable next_is_b2b : bool;
+  mutable in_b2b_run : bool;
   serial : serial_state;
   mutable history : record list; (* newest first, bounded *)
   mutable requested : bool;
@@ -92,7 +102,7 @@ let set_phase t name =
 
 (* --- work distribution (batching + segmentation, §V-C) ------------------ *)
 
-let build_work t snapshot =
+let build_work_seq t snapshot =
   let units = ref [] in
   let batch = ref [] and batch_inodes = ref 0 and batch_buffers = ref 0 in
   let flush_batch () =
@@ -149,6 +159,15 @@ let build_work t snapshot =
     snapshot;
   flush_batch ();
   List.rev !units
+
+(* Fair CP admission: build each volume's work units independently (so
+   batches never span volumes), then round-robin the units across
+   volumes.  Cleaners pull units in submission order, so interleaving the
+   list bounds how long any volume waits behind a hot neighbour. *)
+let build_work t snapshot =
+  if t.cfg.fair_cp then
+    Wafl_qos.Fair.interleave (List.map (fun entry -> build_work_seq t [ entry ]) snapshot)
+  else build_work_seq t snapshot
 
 (* --- metafile pass ------------------------------------------------------ *)
 
@@ -625,6 +644,19 @@ let publish_commit t =
 let run_cp_body t =
   let started = Engine.now t.eng in
   t.is_running <- true;
+  (* Back-to-back bookkeeping: this CP is B2B when the previous one
+     committed with the half-full trigger already re-reached, i.e. demand
+     filled a log half faster than one CP could drain it.  A maximal run
+     of consecutive B2B CPs is one episode. *)
+  if t.next_is_b2b then begin
+    Counters.add (Aggregate.counters t.agg) "b2b_cps" 1;
+    Wafl_obs.Metrics.incr t.m_b2b;
+    if not t.in_b2b_run then begin
+      Counters.add (Aggregate.counters t.agg) "b2b_episodes" 1;
+      Wafl_obs.Metrics.incr t.m_b2b_episodes
+    end
+  end;
+  t.in_b2b_run <- t.next_is_b2b;
   set_phase t "snapshot";
   Engine.consume t.cost.Cost.cp_fixed;
   let snapshot = Aggregate.cp_snapshot t.agg in
@@ -735,6 +767,7 @@ let run_cp_body t =
     }
     :: (if List.length t.history >= 64 then List.filteri (fun i _ -> i < 63) t.history
         else t.history);
+  t.next_is_b2b <- Nvlog.is_half_full (Aggregate.nvlog t.agg);
   t.is_running <- false;
   set_phase t "idle";
   ignore (Sync.Waitq.wake_all t.completion)
@@ -786,6 +819,10 @@ let create ?(obs = Wafl_obs.Trace.disabled) infra pool cfg =
       m_cps = Wafl_obs.Metrics.counter m "cp.count";
       h_cp = Wafl_obs.Metrics.histogram m "cp.duration_us";
       m_cp_buffers = Wafl_obs.Metrics.counter m "cp.buffers_cleaned";
+      m_b2b = Wafl_obs.Metrics.counter m "cp.b2b";
+      m_b2b_episodes = Wafl_obs.Metrics.counter m "cp.b2b_episodes";
+      next_is_b2b = false;
+      in_b2b_run = false;
       serial =
         {
           pvbn_cursor = 0;

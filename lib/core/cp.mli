@@ -21,6 +21,11 @@ type config = {
       (** historical pre-2008 mode (§III-B/C): inode cleaning and metafile
           relocation run as Serial-affinity messages with VBN-at-a-time
           allocation, excluding all client processing while they run *)
+  fair_cp : bool;
+      (** admit cleaning work round-robin across volumes
+          ({!Wafl_qos.Fair.interleave}) so one hot tenant cannot
+          monopolize the front of a checkpoint; off reproduces the
+          historical volume-order walk exactly *)
 }
 
 val default_config : config
@@ -32,7 +37,13 @@ val create : ?obs:Wafl_obs.Trace.t -> Infra.t -> Cleaner_pool.t -> config -> t
     timer fiber.  [obs] (default disabled) records the CP phase timeline:
     one ["cp <phase>"] span per phase, a whole-["CP"] span with
     buffer/metafile counts, per-phase duration histograms
-    (["cp.phase_us.<phase>"]) and CP count/duration metrics. *)
+    (["cp.phase_us.<phase>"]) and CP count/duration metrics.
+
+    Back-to-back CPs — a CP whose predecessor committed with the
+    half-full trigger already re-reached — are counted in the aggregate's
+    {!Wafl_fs.Counters} as ["b2b_cps"] (with maximal runs counted as
+    ["b2b_episodes"]) and as the ["cp.b2b"]/["cp.b2b_episodes"]
+    metrics. *)
 
 val request : t -> unit
 (** Ask for a CP; no-op if one is already running (it will run again

@@ -15,6 +15,7 @@ type config = {
   segment_buffers : int;
   cp_timer : float option;
   serial_cleaning : bool;
+  fair_cp : bool;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     segment_buffers = 4096;
     cp_timer = None;
     serial_cleaning = false;
+    fair_cp = false;
   }
 
 let serialized_config =
@@ -95,8 +97,12 @@ let create ?(obs = Wafl_obs.Trace.disabled) agg cfg =
         segment_buffers = cfg.segment_buffers;
         timer_interval = cfg.cp_timer;
         serial_cleaning = cfg.serial_cleaning;
+        fair_cp = cfg.fair_cp;
       }
   in
+  (* Watermark admission ([Aggregate.wait_for_log_space]) can now start
+     early CPs; a no-op until watermarks are configured on the NVLog. *)
+  Wafl_fs.Aggregate.set_cp_trigger agg (fun () -> Cp.request cp);
   let tuner = if cfg.dynamic_cleaners then Some (Tuner.create pool cfg.tuner) else None in
   { cfg; agg; sched; infra; pool; cp; tuner }
 

@@ -31,6 +31,9 @@ type config = {
   serial_cleaning : bool;
       (** run the historical pre-2008 serial-affinity allocator instead of
           White Alligator (ablation of the §III evolution) *)
+  fair_cp : bool;
+      (** round-robin CP cleaning work across volumes (fair CP admission,
+          DESIGN.md §4.11); off reproduces the volume-order walk *)
 }
 
 val default_config : config
@@ -48,7 +51,11 @@ val create : ?obs:Wafl_obs.Trace.t -> Wafl_fs.Aggregate.t -> config -> t
     scheduler message spans and queue histograms, cleaner-pool work spans
     and utilization, tetris fill, and the CP phase timeline.  Note the
     RAID layer is instrumented separately — pass the same tracer to
-    [Aggregate.create]. *)
+    [Aggregate.create].
+
+    Also installs [Cp.request] as the aggregate's early-CP trigger
+    ({!Wafl_fs.Aggregate.set_cp_trigger}), which NVLog watermark
+    admission uses; a no-op unless watermarks are configured. *)
 
 val config : t -> config
 val aggregate : t -> Wafl_fs.Aggregate.t

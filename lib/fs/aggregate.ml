@@ -57,6 +57,16 @@ type t = {
   mutable generation : int;
   mutable cp_count : int;
   mutable cp_in_progress : bool;
+  (* Overload protection (DESIGN.md §4.11).  [cp_trigger] is installed by
+     the CP engine so watermark admission can start an early CP;
+     [log_inflight] counts writes admitted past [wait_for_log_space] but
+     not yet appended, so admission sees NVRAM slots already spoken for. *)
+  mutable cp_trigger : (unit -> unit) option;
+  mutable log_inflight : int;
+  mutable stall_us : float;
+  stall_cell : int ref;
+  exhausted_cell : int ref;
+  m_stall : Wafl_obs.Metrics.counter;
 }
 
 let free_counter = "agg_free_blocks"
@@ -71,9 +81,16 @@ let init_aa_free geom =
       Array.make (Geometry.aa_count geom)
         (Geometry.aa_stripes geom * Geometry.data_drives geom ~rg))
 
-let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost ~geometry () =
+let create ?(nvlog_half = 16384) ?nvlog_watermarks ?(cache_blocks = 65536) ?queue_depth ?obs eng
+    ~cost ~geometry () =
   let disk = Disk.create geometry in
-  let pers = { p_disk = disk; p_sb = None; p_nvlog = Nvlog.create ~half_capacity:nvlog_half () } in
+  let pers =
+    {
+      p_disk = disk;
+      p_sb = None;
+      p_nvlog = Nvlog.create ~half_capacity:nvlog_half ?watermarks:nvlog_watermarks ();
+    }
+  in
   let counters = Counters.create () in
   let t =
     {
@@ -101,6 +118,15 @@ let create ?(nvlog_half = 16384) ?(cache_blocks = 65536) ?queue_depth ?obs eng ~
       generation = 0;
       cp_count = 0;
       cp_in_progress = false;
+      cp_trigger = None;
+      log_inflight = 0;
+      stall_us = 0.0;
+      stall_cell = Counters.cell counters "nvlog_stall_us";
+      exhausted_cell = Counters.cell counters "nvlog_exhausted_writes";
+      m_stall =
+        Wafl_obs.Metrics.counter
+          (Wafl_obs.Trace.metrics (Option.value obs ~default:Wafl_obs.Trace.disabled))
+          "nvlog.stall_us";
     }
   in
   Counters.set t.counters free_counter (Geometry.total_data_blocks geometry);
@@ -180,13 +206,26 @@ let delete_file t ~vol ~file =
   ignore (log_append t (Nvlog.Delete_file { vol; file }))
 
 let write t ~vol ~file ~fbn ~content =
-  let v = volume_exn t vol in
-  let f = Volume.file_exn v file in
-  File.write f ~fbn ~content;
-  Volume.note_dirty v f;
-  match log_append t (Nvlog.Write { vol; file; fbn; content }) with
-  | `Ok -> `Ok
-  | `Half_full -> `Log_half_full
+  (* Consume this write's admission reservation (watermark mode only;
+     zero and untouched otherwise). *)
+  if t.log_inflight > 0 then t.log_inflight <- t.log_inflight - 1;
+  if Nvlog.is_exhausted (nvlog t) then begin
+    (* Typed graceful shed: nothing was logged or applied, so the client
+       simply never gets an acknowledgement for this op.  Unreachable
+       once watermark back-pressure is on — admission stops at the hard
+       watermark with headroom to spare. *)
+    t.exhausted_cell := !(t.exhausted_cell) + 1;
+    `Log_exhausted
+  end
+  else begin
+    let v = volume_exn t vol in
+    let f = Volume.file_exn v file in
+    File.write f ~fbn ~content;
+    Volume.note_dirty v f;
+    match log_append t (Nvlog.Write { vol; file; fbn; content }) with
+    | `Ok -> `Ok
+    | `Half_full -> `Log_half_full
+  end
 
 let buffer_cache t = t.cache
 
@@ -254,10 +293,66 @@ let read_cached_status t ~vol ~file ~fbn =
 
 let read t ~vol ~file ~fbn = fst (read_cached_status t ~vol ~file ~fbn)
 
+let set_cp_trigger t trigger = t.cp_trigger <- Some trigger
+let request_cp t = match t.cp_trigger with Some trigger -> trigger () | None -> ()
+let stall_time t = t.stall_us
+
+let note_stall t dt =
+  if dt > 0.0 then begin
+    t.stall_us <- t.stall_us +. dt;
+    t.stall_cell := int_of_float t.stall_us;
+    Wafl_obs.Metrics.addf t.m_stall dt
+  end
+
 let wait_for_log_space t =
-  while Nvlog.is_nearly_full (nvlog t) && t.cp_in_progress do
-    Sync.Waitq.wait t.log_space
-  done
+  let nv = nvlog t in
+  match Nvlog.watermarks nv with
+  | None ->
+      (* Legacy blanket throttle: park only while a CP is draining and
+         the filling half is nearly full. *)
+      if Nvlog.is_nearly_full nv && t.cp_in_progress then begin
+        let w0 = Engine.now t.eng in
+        while Nvlog.is_nearly_full nv && t.cp_in_progress do
+          Sync.Waitq.wait t.log_space
+        done;
+        note_stall t (Engine.now t.eng -. w0)
+      end
+  | Some wm ->
+      (* Watermark admission: fill counts NVRAM occupancy plus writes
+         already admitted but not yet appended (their messages are in
+         flight through the scheduler), so a burst cannot slip past the
+         throttle before any of its appends land. *)
+      if Engine.sanitizing t.eng then Engine.probe_atomic t.eng ~shared:"fs.nvlog";
+      let cap = float_of_int (Nvlog.capacity nv) in
+      let fill () = float_of_int (Nvlog.total_pending nv + t.log_inflight) /. cap in
+      if fill () >= wm.Nvlog.soft then begin
+        let w0 = Engine.now t.eng in
+        request_cp t;
+        while
+          fill () >= wm.Nvlog.hard && (t.cp_in_progress || Option.is_some t.cp_trigger)
+        do
+          (* Re-arm the CP request each round: the commit that woke us may
+             have left the log above the hard mark. *)
+          request_cp t;
+          Sync.Waitq.wait t.log_space
+        done;
+        (* Reserve before pacing, with no yield since the hard check: a
+           writer sleeping out its pacing delay must already count
+           against fill, or a wave of simultaneously-woken writers would
+           all pass the hard check and overrun the log together.  With
+           check-and-reserve atomic, admissions stop within one record
+           of the hard mark and exhaustion is unreachable. *)
+        t.log_inflight <- t.log_inflight + 1;
+        (* Soft region: pace the admitted write against CP progress with a
+           deterministic delay growing toward [pace] at the hard mark. *)
+        let f = fill () in
+        if f >= wm.Nvlog.soft then
+          Engine.sleep
+            (wm.Nvlog.pace
+            *. Float.min 1.0 ((f -. wm.Nvlog.soft) /. (wm.Nvlog.hard -. wm.Nvlog.soft)));
+        note_stall t (Engine.now t.eng -. w0)
+      end
+      else t.log_inflight <- t.log_inflight + 1
 
 (* --- physical allocation state --- *)
 
@@ -637,6 +732,15 @@ let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
       generation = 0;
       cp_count = 0;
       cp_in_progress = false;
+      cp_trigger = None;
+      log_inflight = 0;
+      stall_us = 0.0;
+      stall_cell = Counters.cell counters "nvlog_stall_us";
+      exhausted_cell = Counters.cell counters "nvlog_exhausted_writes";
+      m_stall =
+        Wafl_obs.Metrics.counter
+          (Wafl_obs.Trace.metrics (Option.value obs ~default:Wafl_obs.Trace.disabled))
+          "nvlog.stall_us";
     }
   in
   Counters.set t.counters free_counter (Geometry.total_data_blocks geom);

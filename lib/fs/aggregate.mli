@@ -31,6 +31,7 @@ exception Corruption of string
 
 val create :
   ?nvlog_half:int ->
+  ?nvlog_watermarks:Nvlog.watermarks ->
   ?cache_blocks:int ->
   ?queue_depth:int ->
   ?obs:Wafl_obs.Trace.t ->
@@ -40,7 +41,10 @@ val create :
   unit ->
   t
 (** [obs] (default disabled) is handed to each RAID group so device
-    service spans and I/O metrics are recorded. *)
+    service spans and I/O metrics are recorded.  [nvlog_watermarks]
+    (default none) enables watermark back-pressure in
+    {!wait_for_log_space}; the thresholds live with the NVRAM log, so
+    they survive {!crash}/{!recover}. *)
 
 val engine : t -> Wafl_sim.Engine.t
 val cost : t -> Wafl_sim.Cost.t
@@ -64,9 +68,15 @@ val delete_file : t -> vol:int -> file:int -> unit
 (** Log the deletion and queue the file as a zombie; its blocks (data,
     block-map metafile blocks, vvbns) are reclaimed by the next CP. *)
 
-val write : t -> vol:int -> file:int -> fbn:int -> content:int64 -> [ `Ok | `Log_half_full ]
+val write :
+  t -> vol:int -> file:int -> fbn:int -> content:int64 -> [ `Ok | `Log_half_full | `Log_exhausted ]
 (** Log the operation, dirty the buffer and queue the inode for the next
-    CP.  [`Log_half_full] asks the caller to trigger a CP. *)
+    CP.  [`Log_half_full] asks the caller to trigger a CP.
+    [`Log_exhausted] means NVRAM is completely full and the operation was
+    shed {e without} being logged or applied (counted as
+    ["nvlog_exhausted_writes"] in {!counters} and reported by
+    {!Report.faults}); with watermark back-pressure enabled this is
+    unreachable. *)
 
 val read : t -> vol:int -> file:int -> fbn:int -> int64 option
 (** Dirty buffers first, then the on-disk tree.  [None] for holes. *)
@@ -91,8 +101,27 @@ val refresh_fault_counters : t -> unit
     plan. *)
 
 val wait_for_log_space : t -> unit
-(** Parks while the NVRAM filling half is full and a CP is still running
-    (client throttling); returns immediately otherwise. *)
+(** Write-admission throttle; call once before each {!write}.
+
+    Without watermarks (the default): parks while the NVRAM filling half
+    is full and a CP is still running, returns immediately otherwise —
+    the legacy blanket stall.
+
+    With {!Nvlog.watermarks} configured: admission control against NVRAM
+    fill (occupancy plus already-admitted writes).  Crossing the soft
+    watermark triggers an early CP (via {!set_cp_trigger}) and paces the
+    write with a deterministic delay; at the hard watermark admission
+    parks until a CP commit frees space.  Time spent parked or paced
+    accumulates in ["nvlog_stall_us"] ({!counters}) and the
+    ["nvlog.stall_us"] metric. *)
+
+val set_cp_trigger : t -> (unit -> unit) -> unit
+(** Install the early-CP hook used by watermark admission (normally
+    [Cp.request], installed by [Walloc.create]). *)
+
+val stall_time : t -> float
+(** Total virtual µs clients have spent stalled (parked or paced) in
+    {!wait_for_log_space}. *)
 
 (** {1 Physical allocation state (infrastructure side)} *)
 

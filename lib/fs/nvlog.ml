@@ -4,22 +4,47 @@ type op =
   | Write of { vol : int; file : int; fbn : int; content : int64 }
   | Delete_file of { vol : int; file : int }
 
+exception Exhausted
+
+type watermarks = { soft : float; hard : float; pace : float }
+
 type t = {
   half_capacity : int;
   mutable filling : op list; (* newest first *)
   mutable filling_len : int;
   mutable cp_half : op list; (* newest first; [] when no CP active *)
+  mutable cp_len : int; (* List.length cp_half, maintained incrementally *)
   mutable cp_active : bool;
   mutable torn : int; (* newest filling records torn by a crash *)
+  mutable wm : watermarks option;
 }
 
-let create ?(half_capacity = 16384) () =
+let check_watermarks = function
+  | None -> ()
+  | Some { soft; hard; pace } ->
+      if not (0.0 < soft && soft < hard && hard <= 1.0) then
+        invalid_arg "Nvlog: watermarks need 0 < soft < hard <= 1";
+      if pace < 0.0 then invalid_arg "Nvlog: negative pacing delay"
+
+let create ?(half_capacity = 16384) ?watermarks () =
   if half_capacity <= 0 then invalid_arg "Nvlog.create: bad capacity";
-  { half_capacity; filling = []; filling_len = 0; cp_half = []; cp_active = false; torn = 0 }
+  check_watermarks watermarks;
+  {
+    half_capacity;
+    filling = [];
+    filling_len = 0;
+    cp_half = [];
+    cp_len = 0;
+    cp_active = false;
+    torn = 0;
+    wm = watermarks;
+  }
+
+let capacity t = 2 * t.half_capacity
+let is_exhausted t = t.filling_len >= 2 * t.half_capacity
 
 let append t op =
-  if t.filling_len >= 2 * t.half_capacity then
-    failwith "Nvlog.append: NVRAM exhausted (client not throttled against CP)";
+  if is_exhausted t then raise Exhausted;
   t.filling <- op :: t.filling;
   t.filling_len <- t.filling_len + 1;
   if t.filling_len >= t.half_capacity then `Half_full else `Ok
@@ -30,11 +55,18 @@ let is_half_full t = t.filling_len >= t.half_capacity
    scheduler when the throttle check happens in the client thread. *)
 let is_nearly_full t = t.filling_len >= (2 * t.half_capacity) - (t.half_capacity / 8)
 let pending t = t.filling_len
-let in_cp t = List.length t.cp_half
+let in_cp t = t.cp_len
+let total_pending t = t.filling_len + t.cp_len
+let watermarks t = t.wm
+
+let set_watermarks t wm =
+  check_watermarks wm;
+  t.wm <- wm
 
 let cp_begin t =
   if t.cp_active then invalid_arg "Nvlog.cp_begin: CP already active";
   t.cp_half <- t.filling;
+  t.cp_len <- t.filling_len;
   t.filling <- [];
   t.filling_len <- 0;
   t.cp_active <- true
@@ -42,6 +74,7 @@ let cp_begin t =
 let cp_commit t =
   if not t.cp_active then invalid_arg "Nvlog.cp_commit: no CP active";
   t.cp_half <- [];
+  t.cp_len <- 0;
   t.cp_active <- false
 
 (* Tear the newest [records] of the filling half, as a crash would tear
@@ -75,4 +108,5 @@ let recover_reset t =
   t.filling_len <- List.length t.filling;
   t.torn <- 0;
   t.cp_half <- [];
+  t.cp_len <- 0;
   t.cp_active <- false

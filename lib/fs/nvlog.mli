@@ -19,16 +19,34 @@ type op =
 
 type t
 
-val create : ?half_capacity:int -> unit -> t
+exception Exhausted
+(** Raised by {!append} when the whole NVRAM (both halves) is full: the
+    operation was {e not} logged.  The write path converts this into a
+    typed shed ([`Log_exhausted]) counted in {!Counters}; with watermark
+    back-pressure enabled it is unreachable, because admission stops at
+    the hard watermark before the log can fill. *)
+
+type watermarks = {
+  soft : float;  (** fill fraction that triggers an early CP and pacing *)
+  hard : float;  (** fill fraction at which admission parks until a CP commits *)
+  pace : float;  (** max per-write pacing delay (virtual µs) at the hard mark *)
+}
+(** Back-pressure thresholds as fractions of total NVRAM (both halves).
+    Requires [0 < soft < hard <= 1] and [pace >= 0]. *)
+
+val create : ?half_capacity:int -> ?watermarks:watermarks -> unit -> t
 (** [half_capacity] (default 16384) is the number of operations one half
-    can hold before a CP should be triggered. *)
+    can hold before a CP should be triggered.  [watermarks] (default
+    none: legacy nearly-full throttling only) enables watermark
+    back-pressure in {!Aggregate.wait_for_log_space}; it lives with the
+    log so it survives {!Aggregate.crash}/[recover]. *)
 
 val append : t -> op -> [ `Ok | `Half_full ]
 (** Log an operation into the filling half.  Returns [`Half_full] when
     this append reached (or exceeded) the half's capacity — the CP
-    trigger.  Raises [Failure] if the whole NVRAM (both halves) is
-    exhausted — the caller must throttle clients against CP progress
-    before that point. *)
+    trigger.  Raises {!Exhausted} (without logging the operation) if the
+    whole NVRAM (both halves) is full — the caller must throttle clients
+    against CP progress before that point. *)
 
 val is_half_full : t -> bool
 (** CP-trigger threshold reached. *)
@@ -37,11 +55,23 @@ val is_nearly_full : t -> bool
 (** The filling half is close to exhausting NVRAM; clients must park
     until the running CP commits. *)
 
+val is_exhausted : t -> bool
+(** Both halves full: the next {!append} would raise {!Exhausted}. *)
+
+val capacity : t -> int
+(** Total operations NVRAM can hold (both halves). *)
+
 val pending : t -> int
 (** Operations in the filling half (not yet covered by a CP snapshot). *)
 
 val in_cp : t -> int
 (** Operations in the half currently being flushed by a CP. *)
+
+val total_pending : t -> int
+(** [pending + in_cp]: all operations occupying NVRAM. *)
+
+val watermarks : t -> watermarks option
+val set_watermarks : t -> watermarks option -> unit
 
 val cp_begin : t -> unit
 (** Swap halves: everything logged so far is now covered by the starting

@@ -161,6 +161,28 @@ let perf ?elapsed m =
     | Some h when H.count h > 0 -> histo_line buf "nvlog throttle (us)" h
     | _ -> ()
   end;
+  (* Overload & QoS (DESIGN.md §4.11): watermark admission stalls,
+     back-to-back CP episodes, and per-volume admission outcomes. *)
+  let stall = M.counter_value m "nvlog.stall_us" in
+  let b2b = M.counter_value m "cp.b2b" in
+  let admitted = M.counter_value m "qos.admitted_ops" in
+  let shed = M.counter_value m "qos.shed_ops" in
+  if stall > 0.0 || b2b > 0.0 || admitted > 0.0 || shed > 0.0 then begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "overload: %.0f us client stall in nvlog admission, %.0f back-to-back CPs in %.0f \
+          episodes\n"
+         stall b2b
+         (M.counter_value m "cp.b2b_episodes"));
+    if admitted > 0.0 || shed > 0.0 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "qos: %.0f ops admitted (%.0f after a delay), %.0f shed\n" admitted
+           (M.counter_value m "qos.throttled_ops") shed);
+      match M.histo m "qos.queue_wait_us" with
+      | Some h when H.count h > 0 -> histo_line buf "qos queue wait (us)" h
+      | _ -> ()
+    end
+  end;
   Buffer.contents buf
 
 let faults agg =
@@ -183,4 +205,12 @@ let faults agg =
               (Printf.sprintf "  raid group %d: DEGRADED, rebuild %d blocks done\n"
                  (Raid.rg raid) (Raid.rebuild_blocks raid)))
         (Aggregate.raid_groups agg));
+  (* NVRAM exhaustion is a fault even without a disk fault plan: it means
+     admission control failed to hold writes back against CP progress. *)
+  let exhausted = Counters.read (Aggregate.counters agg) "nvlog_exhausted_writes" in
+  if exhausted > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "nvlog: %d writes refused on exhausted NVRAM (admission control failed to throttle)\n"
+         exhausted);
   Buffer.contents buf

@@ -20,9 +20,16 @@ val perf : ?elapsed:float -> Wafl_obs.Metrics.t -> string
     per-phase virtual-time totals, per-affinity-kind queue wait/service
     p50/p99, cleaner-pool activity (utilization when [elapsed] — the
     run's virtual duration — is given), RAID I/O service times and
-    tetris stripe fill.  Sections with no data are omitted. *)
+    tetris stripe fill.  When the run saw overload machinery engage, an
+    overload section reports NVLog admission stall time and back-to-back
+    CP episodes, and a QoS section reports admitted/delayed/shed ops with
+    queue-wait percentiles (DESIGN.md §4.11).  Sections with no data are
+    omitted. *)
 
 val faults : Aggregate.t -> string
 (** Fault-injection counters (media errors, transient retries, degraded
     reads, rebuild progress) and any RAID group currently degraded;
-    refreshes the counters first.  One line when no plan is attached. *)
+    refreshes the counters first.  One line when no plan is attached.
+    Writes refused on an exhausted NVRAM ([Nvlog.Exhausted], counter
+    ["nvlog_exhausted_writes"]) are reported here too — they indicate
+    admission control failed to throttle clients against CP progress. *)

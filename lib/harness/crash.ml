@@ -20,6 +20,9 @@ type outcome = {
   transient_retries : int;
   degraded_reads : int;
   rebuild_blocks : int;
+  b2b_cps : int;  (* back-to-back CPs before the crash (overload mode) *)
+  stall_us : float;  (* client time parked in watermark admission *)
+  exhausted_writes : int;  (* must stay 0: watermarks hold admission back *)
   races : int;
 }
 
@@ -48,15 +51,29 @@ let expected_state surviving =
     surviving;
   expected
 
-let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize = false) ~seed
-    () =
+(* Overload mode: a small NVRAM with watermark admission, driven by a
+   seeded bursty open-loop arrival plan, so crash points land inside
+   throttled and back-to-back-CP windows rather than steady state. *)
+let overload_watermarks = { Nvlog.soft = 0.5; hard = 0.9; pace = 25.0 }
+
+let overload_process =
+  Wafl_workload.Arrival.Bursty
+    { base_rate = 20_000.0; burst_rate = 800_000.0; mean_on_us = 3_000.0; mean_off_us = 8_000.0 }
+
+let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize = false)
+    ?(overload = false) ~seed () =
   let geom = geometry () in
   let plan =
     Fault.random ~seed ~total_vbns:(Geometry.total_data_blocks geom) ~raid_groups ~drive_blocks
       ~horizon
   in
   let eng = Engine.create ~cores:8 ~sanitize () in
-  let agg = Aggregate.create eng ~cost:Cost.default ~geometry:geom ~nvlog_half:2048 () in
+  let agg =
+    Aggregate.create eng ~cost:Cost.default ~geometry:geom
+      ~nvlog_half:(if overload then 512 else 2048)
+      ?nvlog_watermarks:(if overload then Some overload_watermarks else None)
+      ()
+  in
   Disk.set_fault (Aggregate.disk agg) plan;
   let cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 6_000.0 } in
   let walloc = Wafl_core.Walloc.create agg cfg in
@@ -78,19 +95,35 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
                oplog := Nvlog.Create_file { vol = vid; file = File.id f } :: !oplog;
                File.id f)
          in
+         (* Overload mode paces ops by the bursty arrival plan (open
+            loop); otherwise a fixed per-op CPU cost (closed loop). *)
+         let arrival =
+           if overload then
+             Some
+               (Wafl_workload.Arrival.start overload_process
+                  ~rng:(Wafl_util.Rng.create ~seed:(seed lxor 0x51ca7a11)))
+           else None
+         in
          let i = ref 0 in
          while !i < ops && Engine.now eng < horizon do
            incr i;
+           (match arrival with
+           | Some a -> Engine.sleep (Wafl_workload.Arrival.next a ~now:(Engine.now eng))
+           | None -> ());
            Aggregate.wait_for_log_space agg;
            let file = files.(Wafl_util.Rng.int r (Array.length files)) in
            let fbn = Wafl_util.Rng.int r fbn_space in
            let content = Int64.of_int ((!i * 131) + (seed * 7) + fbn) in
+           (* The reply leaves the box when the write lands in the log; a
+              shed write is never acknowledged and never enters the
+              mirror. *)
            (match Aggregate.write agg ~vol:vid ~file ~fbn ~content with
-           | `Ok -> ()
-           | `Log_half_full -> Wafl_core.Cp.request (Wafl_core.Walloc.cp walloc));
-           (* The reply leaves the box here; the write is acknowledged. *)
-           oplog := Nvlog.Write { vol = vid; file; fbn; content } :: !oplog;
-           Engine.consume 3.0
+           | `Ok -> oplog := Nvlog.Write { vol = vid; file; fbn; content } :: !oplog
+           | `Log_half_full ->
+               Wafl_core.Cp.request (Wafl_core.Walloc.cp walloc);
+               oplog := Nvlog.Write { vol = vid; file; fbn; content } :: !oplog
+           | `Log_exhausted -> ());
+           if not overload then Engine.consume 3.0
          done));
   let crash_time = Fault.crash_at plan in
   Engine.run ~until:crash_time eng;
@@ -98,6 +131,9 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
   let mid_cp = Wafl_core.Cp.running cp in
   let cp_phase = Wafl_core.Cp.phase cp in
   let cps_before_crash = Wafl_core.Cp.cps_completed cp in
+  let b2b_cps = Counters.read (Aggregate.counters agg) "b2b_cps" in
+  let stall_us = Aggregate.stall_time agg in
+  let exhausted_writes = Counters.read (Aggregate.counters agg) "nvlog_exhausted_writes" in
   let disk_failure_active = Array.exists Raid.degraded (Aggregate.raid_groups agg) in
   (* The crash tears the scheduled NVRAM tail: those records' DMA was in
      flight, so their acknowledgements never left the box — retract them
@@ -159,13 +195,17 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
     transient_retries = Fault.transient_retries plan;
     degraded_reads = Fault.degraded_reads plan;
     rebuild_blocks = Fault.rebuild_blocks plan;
+    b2b_cps;
+    stall_us;
+    exhausted_writes;
     races = !races;
   }
 
 let passed o = o.lost = 0 && o.fsck_failure = None
 
-let run_seeds ?ops ?fbn_space ?horizon ?sanitize ~first_seed ~count () =
-  List.init count (fun i -> run_one ?ops ?fbn_space ?horizon ?sanitize ~seed:(first_seed + i) ())
+let run_seeds ?ops ?fbn_space ?horizon ?sanitize ?overload ~first_seed ~count () =
+  List.init count (fun i ->
+      run_one ?ops ?fbn_space ?horizon ?sanitize ?overload ~seed:(first_seed + i) ())
 
 let summarize outcomes =
   let n = List.length outcomes in
@@ -188,6 +228,14 @@ let summarize outcomes =
        (sum (fun o -> o.transient_retries))
        (sum (fun o -> o.degraded_reads))
        (sum (fun o -> o.rebuild_blocks)));
+  let b2b = sum (fun o -> o.b2b_cps) in
+  let stall = List.fold_left (fun acc o -> acc +. o.stall_us) 0.0 outcomes in
+  if b2b > 0 || stall > 0.0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "  overload: %d back-to-back CPs, %.1f ms client stall, %d exhausted-write refusals\n"
+         b2b (stall /. 1000.0)
+         (sum (fun o -> o.exhausted_writes)));
   List.iter
     (fun o ->
       Buffer.add_string b

@@ -33,24 +33,40 @@ type outcome = {
   transient_retries : int;
   degraded_reads : int;
   rebuild_blocks : int;
+  b2b_cps : int;  (** back-to-back CPs before the crash (overload mode) *)
+  stall_us : float;  (** client virtual µs parked in watermark admission *)
+  exhausted_writes : int;
+      (** writes refused on exhausted NVRAM before the crash; watermark
+          admission must keep this 0 even in overload mode *)
   races : int;  (** race-detector reports across crash run + recovery (0 unless sanitizing) *)
 }
 
 val run_one :
-  ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> seed:int -> unit -> outcome
+  ?ops:int ->
+  ?fbn_space:int ->
+  ?horizon:float ->
+  ?sanitize:bool ->
+  ?overload:bool ->
+  seed:int ->
+  unit ->
+  outcome
 (** One crash-recover-verify cycle.  [ops] (default 100_000) caps the
     workload; the client keeps writing until the horizon so the crash
     lands mid-activity.  [horizon] (default 60_000 µs) bounds the
     virtual run; the plan crashes in its back 70%.  [sanitize] (default
     false) runs both the crash run and the recovery engine under the
-    race detector and isolation checker. *)
+    race detector and isolation checker.  [overload] (default false)
+    runs a small NVRAM with watermark back-pressure under a seeded
+    bursty open-loop arrival plan, so crash points land inside
+    throttled and back-to-back-CP windows; acknowledged-write read-back
+    is verified the same way (a shed write is never acknowledged). *)
 
 val passed : outcome -> bool
 (** No acknowledged write lost and fsck clean. *)
 
 val run_seeds :
-  ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> first_seed:int ->
-  count:int -> unit -> outcome list
+  ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> ?overload:bool ->
+  first_seed:int -> count:int -> unit -> outcome list
 
 val summarize : outcome list -> string
 (** Multi-line human-readable summary: pass/fail count, how many seeds

@@ -1,0 +1,17 @@
+(* Round-robin interleave: one element from each non-empty list per
+   round, preserving each list's internal order.  Used by the CP engine
+   to admit cleaning work fairly across volumes. *)
+let interleave lists =
+  let rec go acc lists =
+    let lists = List.filter (fun l -> l <> []) lists in
+    if lists = [] then List.rev acc
+    else
+      let acc, rests =
+        List.fold_left
+          (fun (acc, rests) l ->
+            match l with [] -> (acc, rests) | x :: tl -> (x :: acc, tl :: rests))
+          (acc, []) lists
+      in
+      go acc (List.rev rests)
+  in
+  go [] lists

@@ -1,0 +1,5 @@
+val interleave : 'a list list -> 'a list
+(** Round-robin across the lists — one element from each non-empty list
+    per round, preserving each list's internal order.  The CP engine runs
+    per-volume cleaning work through this so one hot volume cannot
+    monopolize the front of a checkpoint. *)

@@ -1,0 +1,40 @@
+type config = { rate_per_s : float; burst : float; queue_depth : int }
+
+let default_config = { rate_per_s = 50_000.0; burst = 64.0; queue_depth = 256 }
+
+type t = {
+  cfg : config;
+  buckets : (int, Token_bucket.t) Hashtbl.t; (* vol id -> bucket; never iterated *)
+  mutable admitted : int;
+  mutable throttled : int;
+  mutable shed : int;
+}
+
+let create cfg =
+  if cfg.queue_depth < 0 then invalid_arg "Qos.create: negative queue depth";
+  { cfg; buckets = Hashtbl.create 16; admitted = 0; throttled = 0; shed = 0 }
+
+let bucket t vol =
+  match Hashtbl.find_opt t.buckets vol with
+  | Some b -> b
+  | None ->
+      let b = Token_bucket.create ~rate_per_s:t.cfg.rate_per_s ~burst:t.cfg.burst in
+      Hashtbl.add t.buckets vol b;
+      b
+
+let admit t ~vol ~now =
+  match Token_bucket.reserve (bucket t vol) ~now ~max_debt:(float_of_int t.cfg.queue_depth) with
+  | Token_bucket.Admit ->
+      t.admitted <- t.admitted + 1;
+      `Admit
+  | Token_bucket.Delay d ->
+      t.throttled <- t.throttled + 1;
+      `Delay d
+  | Token_bucket.Shed ->
+      t.shed <- t.shed + 1;
+      `Shed
+
+let admitted t = t.admitted
+let throttled t = t.throttled
+let shed t = t.shed
+let bucket_state t ~vol = Option.map Token_bucket.state (Hashtbl.find_opt t.buckets vol)

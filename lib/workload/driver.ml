@@ -11,6 +11,14 @@ type workload =
   | Oltp of { file_blocks : int; read_fraction : float }
   | Nfs_mix of { files_per_client : int; file_blocks : int }
 
+(* Open-loop mode: tenants (one per arrival process) issue ops at their
+   own pace regardless of completions, optionally behind per-volume QoS
+   admission.  Pure data so specs stay structurally comparable. *)
+type open_loop = {
+  arrivals : Arrival.process list;
+  qos : Wafl_qos.Qos.config option;
+}
+
 type spec = {
   cores : int;
   workload : workload;
@@ -21,6 +29,8 @@ type spec = {
   cost : Cost.t;
   geometry : Geometry.t;
   nvlog_half : int;
+  watermarks : Nvlog.watermarks option;
+  open_loop : open_loop option;
   cache_blocks : int;
   warmup : float;
   measure : float;
@@ -49,6 +59,8 @@ let default_spec =
     cost = Cost.default;
     geometry = paper_geometry ();
     nvlog_half = 16384;
+    watermarks = None;
+    open_loop = None;
     cache_blocks = 65536;
     warmup = 300_000.0;
     measure = 1_000_000.0;
@@ -56,6 +68,21 @@ let default_spec =
     sanitize = false;
     obs = (fun _ -> Wafl_obs.Trace.disabled);
   }
+
+(* Per-tenant accounting for open-loop runs.  Offered/admitted/shed count
+   arrivals inside the measure window; completed (and the latency
+   histogram) cover those windowed arrivals that finished before the
+   measurement ended, so an overloaded tenant's unbounded backlog shows
+   up as admitted >> completed. *)
+type tenant_stat = {
+  t_rate : float;  (* configured mean offered rate, ops per virtual second *)
+  t_offered : int;
+  t_admitted : int;
+  t_throttled : int;  (* admitted after a QoS queueing delay *)
+  t_shed : int;
+  t_completed : int;
+  t_write_latency : Wafl_util.Histogram.t;
+}
 
 type result = {
   ops : int;
@@ -85,6 +112,14 @@ type result = {
   full_stripes : int;
   partial_stripes : int;
   read_contiguity : float;
+  offered_ops : int;  (** open loop: arrivals in the window; closed loop: = ops *)
+  shed_ops : int;
+  throttled_ops : int;
+  stall_us : float;  (** client time parked/paced in NVLog admission *)
+  b2b_cps : int;
+  b2b_episodes : int;
+  nvlog_exhausted : int;  (** writes refused on an exhausted NVLog (must be 0 with watermarks) *)
+  tenants : tenant_stat array;  (** per-tenant breakdown; [||] for closed-loop runs *)
   races : int;  (** race-detector reports (0 unless [sanitize]; must stay 0) *)
 }
 
@@ -160,6 +195,15 @@ type recorder = {
   whist : Wafl_util.Histogram.t; (* writes only: end-to-end latency *)
 }
 
+type tenant_acc = {
+  mutable a_offered : int;
+  mutable a_admitted : int;
+  mutable a_throttled : int;
+  mutable a_shed : int;
+  mutable a_completed : int;
+  a_whist : Wafl_util.Histogram.t;
+}
+
 let stripe_of_fbn fbn = fbn / 1024 mod 16
 
 (* Suite-level memoization.  A run is a pure function of its spec (the
@@ -186,6 +230,8 @@ let memo_key spec =
       spec.cost ),
     ( spec.geometry,
       spec.nvlog_half,
+      spec.watermarks,
+      spec.open_loop,
       spec.cache_blocks,
       spec.warmup,
       spec.measure,
@@ -199,7 +245,7 @@ let run_uncached spec =
   let obs = spec.obs eng in
   let agg =
     Aggregate.create eng ~cost:spec.cost ~geometry:spec.geometry ~nvlog_half:spec.nvlog_half
-      ~cache_blocks:spec.cache_blocks ~obs ()
+      ?nvlog_watermarks:spec.watermarks ~cache_blocks:spec.cache_blocks ~obs ()
   in
   let walloc = Wafl_core.Walloc.create ~obs agg spec.cfg in
   let cp = Wafl_core.Walloc.cp walloc in
@@ -259,6 +305,10 @@ let run_uncached spec =
                        with
                        | `Ok -> ()
                        | `Log_half_full -> Wafl_core.Cp.run_now cp
+                       | `Log_exhausted ->
+                           (* run_now drains the log synchronously, so the
+                              prefill can never outrun it *)
+                           assert false
                      done)
                    cf.files)
            client_files;
@@ -291,121 +341,230 @@ let run_uncached spec =
   let h_e2e_write = Wafl_obs.Metrics.histogram m "op.e2e_us.write" in
   let h_e2e_meta = Wafl_obs.Metrics.histogram m "op.e2e_us.meta" in
   let h_throttle = Wafl_obs.Metrics.histogram m "op.throttle_us" in
+  let h_qos_wait = Wafl_obs.Metrics.histogram m "qos.queue_wait_us" in
+  let c_qos_admitted = Wafl_obs.Metrics.counter m "qos.admitted_ops" in
+  let c_qos_throttled = Wafl_obs.Metrics.counter m "qos.throttled_ops" in
+  let c_qos_shed = Wafl_obs.Metrics.counter m "qos.shed_ops" in
   let stop = ref false in
   let master_rng = Wafl_util.Rng.create ~seed:spec.seed in
   let active_samples = ref 0 and active_sum = ref 0 in
-  for c = 0 to spec.clients - 1 do
-    let cf = match client_files.(c) with Some cf -> cf | None -> assert false in
-    let rng = Wafl_util.Rng.split master_rng in
-    let cursor = ref (Wafl_util.Rng.int rng (total_blocks cf)) in
-    let token = ref (Int64.of_int ((c + 1) * 1_000_000)) in
-    (* Waiting for NVLog space is where CP back-pressure surfaces in
-       client latency; measure it separately so the decomposition can
-       distinguish throttling from service time. *)
-    let throttled_wait () =
-      if obs_on then begin
-        let w0 = Engine.now eng in
-        Aggregate.wait_for_log_space agg;
-        Wafl_obs.Metrics.observe h_throttle (Engine.now eng -. w0)
-      end
-      else Aggregate.wait_for_log_space agg
-    in
-    ignore
-      (Engine.spawn eng ~label:"client" (fun () ->
-           while not !stop do
-             let started = Engine.now eng in
-             let op = gen_op spec.workload rng cf cursor in
-             (* Each client operation is one causal root: the context
-                follows the op through its Waffinity message (and any
-                downstream handoffs), and the op span below closes the
-                request's end-to-end interval. *)
-             let kind =
-               Wafl_obs.Causal.with_root obs (fun () ->
-               let kind =
-               match op with
-               | Read idx ->
-                   let file, fbn = op_target cf idx in
-                   Sched.post_wait sched
-                     ~affinity:(Aff.Stripe (0, Volume.id cf.vol, stripe_of_fbn fbn))
-                     ~label:"client"
-                     (fun () ->
-                       Engine.consume spec.cost.Cost.client_read;
-                       let _, status =
-                         Aggregate.read_cached_status agg ~vol:(Volume.id cf.vol)
-                           ~file:(File.id file) ~fbn
-                       in
-                       match status with
-                       | `Miss -> Engine.consume spec.cost.Cost.read_miss
-                       | `Hit | `Buffered -> ());
-                   `R
-               | Write idx ->
-                   (* Throttle against CP progress before consuming NVRAM
-                      (the message body itself must never park). *)
-                   throttled_wait ();
-                   let file, fbn = op_target cf idx in
-                   token := Int64.add !token 1L;
-                   let content = !token in
-                   let status =
-                     Sched.post_wait sched
-                       ~affinity:(Aff.Stripe (0, Volume.id cf.vol, stripe_of_fbn fbn))
-                       ~label:"client"
-                       (fun () ->
-                         (let c = spec.cost in
-                          match spec.workload with
-                          | Seq_write _ | Nfs_mix _ -> Engine.consume c.Cost.client_write
-                          | Rand_write _ | Oltp _ -> Engine.consume c.Cost.client_write_random
-                          | Mixed_write { random_fraction; _ } ->
-                              (* Interpolate the client-side cost with the mix. *)
-                              Engine.consume
-                                ((c.Cost.client_write *. (1.0 -. random_fraction))
-                                +. (c.Cost.client_write_random *. random_fraction)));
-                         Aggregate.write agg ~vol:(Volume.id cf.vol) ~file:(File.id file)
-                           ~fbn ~content)
-                   in
-                   (match status with
-                   | `Ok -> ()
-                   | `Log_half_full ->
-                       Wafl_core.Cp.request cp;
-                       throttled_wait ());
-                   `W
-               | Meta ->
-                   Sched.post_wait sched
-                     ~affinity:(Aff.Volume_logical (0, Volume.id cf.vol))
-                     ~label:"client"
-                     (fun () -> Engine.consume spec.cost.Cost.client_meta);
-                   `M
-               in
-               if obs_on then begin
-                 (* Recorded inside the root so the op span carries its
-                    request context. *)
-                 let name, h =
-                   match kind with
-                   | `R -> ("read", h_e2e_read)
-                   | `W -> ("write", h_e2e_write)
-                   | `M -> ("meta", h_e2e_meta)
+  (* Waiting for NVLog space is where CP back-pressure surfaces in
+     client latency; measure it separately so the decomposition can
+     distinguish throttling from service time. *)
+  let throttled_wait () =
+    if obs_on then begin
+      let w0 = Engine.now eng in
+      Aggregate.wait_for_log_space agg;
+      Wafl_obs.Metrics.observe h_throttle (Engine.now eng -. w0)
+    end
+    else Aggregate.wait_for_log_space agg
+  in
+  (* One client operation, executed as one causal root: the context
+     follows the op through its Waffinity message (and any downstream
+     handoffs), and the op span below closes the request's end-to-end
+     interval.  Shared by the closed- and open-loop paths; [started] is
+     the op's arrival time (for open loop, before any QoS delay). *)
+  let exec_op ~cf ~content ~started op =
+    Wafl_obs.Causal.with_root obs (fun () ->
+        let kind =
+          match op with
+          | Read idx ->
+              let file, fbn = op_target cf idx in
+              Sched.post_wait sched
+                ~affinity:(Aff.Stripe (0, Volume.id cf.vol, stripe_of_fbn fbn))
+                ~label:"client"
+                (fun () ->
+                  Engine.consume spec.cost.Cost.client_read;
+                  let _, status =
+                    Aggregate.read_cached_status agg ~vol:(Volume.id cf.vol)
+                      ~file:(File.id file) ~fbn
+                  in
+                  match status with
+                  | `Miss -> Engine.consume spec.cost.Cost.read_miss
+                  | `Hit | `Buffered -> ());
+              `R
+          | Write idx ->
+              (* Throttle against CP progress before consuming NVRAM
+                 (the message body itself must never park). *)
+              throttled_wait ();
+              let file, fbn = op_target cf idx in
+              let status =
+                Sched.post_wait sched
+                  ~affinity:(Aff.Stripe (0, Volume.id cf.vol, stripe_of_fbn fbn))
+                  ~label:"client"
+                  (fun () ->
+                    (let c = spec.cost in
+                     match spec.workload with
+                     | Seq_write _ | Nfs_mix _ -> Engine.consume c.Cost.client_write
+                     | Rand_write _ | Oltp _ -> Engine.consume c.Cost.client_write_random
+                     | Mixed_write { random_fraction; _ } ->
+                         (* Interpolate the client-side cost with the mix. *)
+                         Engine.consume
+                           ((c.Cost.client_write *. (1.0 -. random_fraction))
+                           +. (c.Cost.client_write_random *. random_fraction)));
+                    Aggregate.write agg ~vol:(Volume.id cf.vol) ~file:(File.id file) ~fbn
+                      ~content)
+              in
+              (match status with
+              | `Ok -> ()
+              | `Log_half_full ->
+                  Wafl_core.Cp.request cp;
+                  (* Watermark admission already paced this write before
+                     it consumed NVRAM; the legacy post-hoc wait applies
+                     only to the historical throttle. *)
+                  if spec.watermarks = None then throttled_wait ()
+              | `Log_exhausted ->
+                  (* Unreachable under watermarks (the regression suite
+                     asserts so); the op is simply not acknowledged. *)
+                  ());
+              `W
+          | Meta ->
+              Sched.post_wait sched
+                ~affinity:(Aff.Volume_logical (0, Volume.id cf.vol))
+                ~label:"client"
+                (fun () -> Engine.consume spec.cost.Cost.client_meta);
+              `M
+        in
+        if obs_on then begin
+          (* Recorded inside the root so the op span carries its
+             request context. *)
+          let name, h =
+            match kind with
+            | `R -> ("read", h_e2e_read)
+            | `W -> ("write", h_e2e_write)
+            | `M -> ("meta", h_e2e_meta)
+          in
+          let dur = Engine.now eng -. started in
+          Wafl_obs.Metrics.observe h dur;
+          Wafl_obs.Trace.complete obs ~cat:"op" ~name ~ts:started ~dur ()
+        end;
+        kind)
+  in
+  let n_tenants = match spec.open_loop with None -> 0 | Some ol -> List.length ol.arrivals in
+  let tstats =
+    Array.init n_tenants (fun _ ->
+        {
+          a_offered = 0;
+          a_admitted = 0;
+          a_throttled = 0;
+          a_shed = 0;
+          a_completed = 0;
+          a_whist = Wafl_util.Histogram.create ();
+        })
+  in
+  (match spec.open_loop with
+  | None ->
+      (* Closed loop: each client keeps one op outstanding. *)
+      for c = 0 to spec.clients - 1 do
+        let cf = match client_files.(c) with Some cf -> cf | None -> assert false in
+        let rng = Wafl_util.Rng.split master_rng in
+        let cursor = ref (Wafl_util.Rng.int rng (total_blocks cf)) in
+        let token = ref (Int64.of_int ((c + 1) * 1_000_000)) in
+        ignore
+          (Engine.spawn eng ~label:"client" (fun () ->
+               while not !stop do
+                 let started = Engine.now eng in
+                 let op = gen_op spec.workload rng cf cursor in
+                 let content =
+                   match op with
+                   | Write _ ->
+                       token := Int64.add !token 1L;
+                       !token
+                   | Read _ | Meta -> 0L
                  in
-                 let dur = Engine.now eng -. started in
-                 Wafl_obs.Metrics.observe h dur;
-                 Wafl_obs.Trace.complete obs ~cat:"op" ~name ~ts:started ~dur ()
-               end;
-               kind)
-             in
-             if rec_.recording then begin
-               rec_.ops <- rec_.ops + 1;
-               let e2e = Engine.now eng -. started in
-               (match kind with
-               | `R -> rec_.reads <- rec_.reads + 1
-               | `W ->
-                   rec_.writes <- rec_.writes + 1;
-                   Wafl_util.Histogram.add rec_.whist e2e
-               | `M -> rec_.metas <- rec_.metas + 1);
-               Wafl_util.Histogram.add rec_.hist e2e
-             end;
-             if spec.think_time > 0.0 then
-               Engine.sleep (Wafl_util.Rng.exponential rng ~mean:spec.think_time)
-             else Engine.yield ()
-           done))
-  done;
+                 let kind = exec_op ~cf ~content ~started op in
+                 if rec_.recording then begin
+                   rec_.ops <- rec_.ops + 1;
+                   let e2e = Engine.now eng -. started in
+                   (match kind with
+                   | `R -> rec_.reads <- rec_.reads + 1
+                   | `W ->
+                       rec_.writes <- rec_.writes + 1;
+                       Wafl_util.Histogram.add rec_.whist e2e
+                   | `M -> rec_.metas <- rec_.metas + 1);
+                   Wafl_util.Histogram.add rec_.hist e2e
+                 end;
+                 if spec.think_time > 0.0 then
+                   Engine.sleep (Wafl_util.Rng.exponential rng ~mean:spec.think_time)
+                 else Engine.yield ()
+               done))
+      done
+  | Some ol ->
+      (* Open loop: tenant i's arrival fiber issues ops on its own clock
+         (each op runs in a freshly spawned fiber), optionally behind
+         per-volume QoS admission.  An op arriving inside the measure
+         window is recorded at completion — including after the window
+         closes — so queueing inflicted by overload is visible rather
+         than censored; ops still in flight when the measurement ends
+         show up as admitted - completed backlog. *)
+      let qos = Option.map Wafl_qos.Qos.create ol.qos in
+      List.iteri
+        (fun i proc ->
+          let cf =
+            match client_files.(i mod spec.clients) with Some cf -> cf | None -> assert false
+          in
+          let rng = Wafl_util.Rng.split master_rng in
+          let arr = Arrival.start proc ~rng in
+          let cursor = ref (Wafl_util.Rng.int rng (total_blocks cf)) in
+          let token = ref (Int64.of_int ((i + 1) * 1_000_000)) in
+          let st = tstats.(i) in
+          ignore
+            (Engine.spawn eng ~label:"arrival" (fun () ->
+                 while not !stop do
+                   Engine.sleep (Arrival.next arr ~now:(Engine.now eng));
+                   if not !stop then begin
+                     let windowed = rec_.recording in
+                     if windowed then st.a_offered <- st.a_offered + 1;
+                     let op = gen_op spec.workload rng cf cursor in
+                     let content =
+                       match op with
+                       | Write _ ->
+                           token := Int64.add !token 1L;
+                           !token
+                       | Read _ | Meta -> 0L
+                     in
+                     let verdict =
+                       match qos with
+                       | None -> `Admit
+                       | Some q ->
+                           Wafl_qos.Qos.admit q ~vol:(Volume.id cf.vol) ~now:(Engine.now eng)
+                     in
+                     match verdict with
+                     | `Shed ->
+                         if windowed then st.a_shed <- st.a_shed + 1;
+                         Wafl_obs.Metrics.incr c_qos_shed
+                     | (`Admit | `Delay _) as verdict ->
+                         let delay = match verdict with `Delay d -> d | `Admit -> 0.0 in
+                         if windowed then begin
+                           st.a_admitted <- st.a_admitted + 1;
+                           if delay > 0.0 then st.a_throttled <- st.a_throttled + 1
+                         end;
+                         Wafl_obs.Metrics.incr c_qos_admitted;
+                         if delay > 0.0 then begin
+                           Wafl_obs.Metrics.incr c_qos_throttled;
+                           Wafl_obs.Metrics.observe h_qos_wait delay
+                         end;
+                         let started = Engine.now eng in
+                         ignore
+                           (Engine.spawn eng ~label:"client" (fun () ->
+                                if delay > 0.0 then Engine.sleep delay;
+                                let kind = exec_op ~cf ~content ~started op in
+                                let e2e = Engine.now eng -. started in
+                                if windowed then begin
+                                  st.a_completed <- st.a_completed + 1;
+                                  rec_.ops <- rec_.ops + 1;
+                                  (match kind with
+                                  | `R -> rec_.reads <- rec_.reads + 1
+                                  | `W ->
+                                      rec_.writes <- rec_.writes + 1;
+                                      Wafl_util.Histogram.add rec_.whist e2e;
+                                      Wafl_util.Histogram.add st.a_whist e2e
+                                  | `M -> rec_.metas <- rec_.metas + 1);
+                                  Wafl_util.Histogram.add rec_.hist e2e
+                                end))
+                   end
+                 done)))
+        ol.arrivals);
   (* Sample the active cleaner-thread count through the measurement. *)
   ignore
     (Engine.spawn eng ~label:"sampler" (fun () ->
@@ -431,6 +590,11 @@ let run_uncached spec =
   let stripes_of f = Array.fold_left (fun acc r -> acc + f r) 0 (Aggregate.raid_groups agg) in
   let base_full = stripes_of Wafl_storage.Raid.full_stripes in
   let base_partial = stripes_of Wafl_storage.Raid.partial_stripes in
+  let ctrs = Aggregate.counters agg in
+  let base_stall = Aggregate.stall_time agg in
+  let base_b2b = Counters.read ctrs "b2b_cps" in
+  let base_b2b_ep = Counters.read ctrs "b2b_episodes" in
+  let base_exh = Counters.read ctrs "nvlog_exhausted_writes" in
   (* --- measurement --- *)
   let t0 = Engine.now eng in
   Engine.run ~until:(t0 +. spec.measure) eng;
@@ -483,6 +647,32 @@ let run_uncached spec =
                    cf.files)
            client_files;
          if !n = 0 then 0.0 else !total /. float_of_int !n);
+      offered_ops =
+        (if n_tenants = 0 then rec_.ops
+         else Array.fold_left (fun a st -> a + st.a_offered) 0 tstats);
+      shed_ops = Array.fold_left (fun a st -> a + st.a_shed) 0 tstats;
+      throttled_ops = Array.fold_left (fun a st -> a + st.a_throttled) 0 tstats;
+      stall_us = Aggregate.stall_time agg -. base_stall;
+      b2b_cps = Counters.read ctrs "b2b_cps" - base_b2b;
+      b2b_episodes = Counters.read ctrs "b2b_episodes" - base_b2b_ep;
+      nvlog_exhausted = Counters.read ctrs "nvlog_exhausted_writes" - base_exh;
+      tenants =
+        (match spec.open_loop with
+        | None -> [||]
+        | Some ol ->
+            let procs = Array.of_list ol.arrivals in
+            Array.mapi
+              (fun i st ->
+                {
+                  t_rate = Arrival.mean_rate procs.(i);
+                  t_offered = st.a_offered;
+                  t_admitted = st.a_admitted;
+                  t_throttled = st.a_throttled;
+                  t_shed = st.a_shed;
+                  t_completed = st.a_completed;
+                  t_write_latency = st.a_whist;
+                })
+              tstats);
       races = Engine.race_report_count eng;
     }
   in

@@ -26,6 +26,19 @@ type workload =
       (** many small files; mix of reads, small writes and metadata ops —
           large numbers of dirty inodes with few dirty buffers (§V-C) *)
 
+type open_loop = {
+  arrivals : Arrival.process list;
+      (** one tenant per process; tenant [i] issues ops against client
+          slot [i mod clients]'s files (so its volume is
+          [i mod clients mod volumes] — give each tenant its own volume
+          by setting [clients = volumes = length arrivals]) *)
+  qos : Wafl_qos.Qos.config option;
+      (** per-volume admission control; [None] admits everything *)
+}
+(** Open-loop overload mode (DESIGN.md §4.11): arrivals keep coming at
+    the configured rates no matter how slow the server gets, so offered
+    load, goodput and shedding become distinct observables. *)
+
 type spec = {
   cores : int;
   workload : workload;
@@ -36,6 +49,12 @@ type spec = {
   cost : Wafl_sim.Cost.t;
   geometry : Wafl_storage.Geometry.t;
   nvlog_half : int;
+  watermarks : Wafl_fs.Nvlog.watermarks option;
+      (** NVLog watermark back-pressure ({!Wafl_fs.Nvlog.watermarks});
+          [None] (default) keeps the historical half-full throttle and is
+          bit-identical to the pre-watermark driver *)
+  open_loop : open_loop option;
+      (** [None] (default) runs the closed-loop clients *)
   cache_blocks : int;  (** read buffer cache capacity *)
   warmup : float;  (** virtual µs *)
   measure : float;
@@ -53,6 +72,22 @@ val default_spec : spec
 (** 20 cores, the paper-scale SSD aggregate (2 RAID groups of 10+2,
     256 Ki-block drives), sequential write, 32 clients, full White
     Alligator configuration, 0.5 s warmup and 2 s measurement. *)
+
+type tenant_stat = {
+  t_rate : float;  (** configured mean offered rate, ops per virtual second *)
+  t_offered : int;  (** arrivals inside the measure window *)
+  t_admitted : int;
+  t_throttled : int;  (** admitted after a QoS queueing delay *)
+  t_shed : int;  (** refused deterministically (queue full) *)
+  t_completed : int;
+      (** windowed arrivals that finished before measurement ended;
+          [t_admitted - t_completed] is the tenant's end-of-window
+          backlog — unbounded under overload without QoS *)
+  t_write_latency : Wafl_util.Histogram.t;
+      (** end-to-end (arrival to reply, including QoS queueing) latency
+          of the tenant's completed windowed writes *)
+}
+(** Per-tenant accounting for open-loop runs. *)
 
 type result = {
   ops : int;
@@ -86,6 +121,21 @@ type result = {
   read_contiguity : float;
       (** average physically-contiguous run length walking files in fbn
           order — the sequential-read quality of the final layout *)
+  offered_ops : int;
+      (** open loop: arrivals inside the measure window (so
+          [ops /. duration] is goodput and [offered_ops - ops] the
+          backlog + shed); closed loop: = [ops] *)
+  shed_ops : int;  (** QoS-refused arrivals in the window *)
+  throttled_ops : int;  (** QoS-delayed admissions in the window *)
+  stall_us : float;
+      (** client virtual µs parked or paced in NVLog admission
+          ({!Wafl_fs.Aggregate.wait_for_log_space}) during the window *)
+  b2b_cps : int;  (** back-to-back CPs started in the window *)
+  b2b_episodes : int;  (** maximal runs of consecutive back-to-back CPs *)
+  nvlog_exhausted : int;
+      (** writes refused because NVRAM was exhausted; watermark
+          back-pressure must keep this at 0 *)
+  tenants : tenant_stat array;  (** open-loop runs only; [[||]] otherwise *)
   races : int;  (** race-detector reports (0 unless [sanitize]; must stay 0) *)
 }
 

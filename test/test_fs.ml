@@ -246,9 +246,12 @@ let test_nvlog_exhaustion () =
   (* nearly_full leaves headroom (capacity/8) before the hard limit. *)
   Alcotest.(check bool) "nearly full before hard limit" true (Nvlog.is_nearly_full log);
   ignore (Nvlog.append log (wop 15));
-  Alcotest.check_raises "NVRAM exhausted"
-    (Failure "Nvlog.append: NVRAM exhausted (client not throttled against CP)") (fun () ->
-      ignore (Nvlog.append log (wop 16)))
+  Alcotest.(check bool) "exhausted at capacity" true (Nvlog.is_exhausted log);
+  Alcotest.check_raises "NVRAM exhausted" Nvlog.Exhausted (fun () ->
+      ignore (Nvlog.append log (wop 16)));
+  (* The refused op is not logged: pending is unchanged and the log still
+     replays cleanly. *)
+  Alcotest.(check int) "refused op not logged" 16 (Nvlog.pending log)
 
 let test_nvlog_replay_order () =
   let log = Nvlog.create ~half_capacity:10 () in

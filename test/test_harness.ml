@@ -41,6 +41,14 @@ let synthetic ?(throughput = 100_000.0) ?(cores_cleaner = 1.0) ?(cores_infra = 0
     full_stripes = 1000;
     partial_stripes = 10;
     read_contiguity = 50.0;
+    offered_ops = int_of_float (throughput /. 10.0);
+    shed_ops = 0;
+    throttled_ops = 0;
+    stall_us = 0.0;
+    b2b_cps = 0;
+    b2b_episodes = 0;
+    nvlog_exhausted = 0;
+    tenants = [||];
     races = 0;
   }
 

@@ -53,6 +53,7 @@ let write_file env ~file ~blocks ~gen =
         ~content:(content_token ~file ~fbn ~gen)
     with
     | `Ok | `Log_half_full -> ()
+    | `Log_exhausted -> failwith "unexpected NVRAM exhaustion"
   done
 
 let check_file env ~file ~blocks ~gen =
@@ -428,7 +429,8 @@ let prop_crash_anywhere_loses_nothing =
                     ~content
                 with
                | `Ok -> ()
-               | `Log_half_full -> Wafl_core.Cp.request (Wafl_core.Walloc.cp env.walloc));
+               | `Log_half_full -> Wafl_core.Cp.request (Wafl_core.Walloc.cp env.walloc)
+               | `Log_exhausted -> failwith "unexpected NVRAM exhaustion");
                (* The reply leaves the box here; the write is acknowledged. *)
                Hashtbl.replace journal fbn content;
                Engine.consume 3.0
