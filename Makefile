@@ -1,4 +1,4 @@
-.PHONY: all build test lint sanitize trace-smoke analyze-smoke overload-smoke check bench bench-quick bench-gate bench-gate-fast clean
+.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -23,6 +23,25 @@ lint:
 	  exit 1; \
 	else \
 	  echo "lint self-check OK: negative fixture flagged"; \
+	fi
+
+ANALYZER = ./_build/default/tools/wafl_analyzer/main.exe
+
+# Whole-program static analysis over the typedtrees (.cmt files):
+# probe coverage for shared mutable state on scheduler-reachable paths,
+# blocking calls under held mutexes, lock-order cycles, and the
+# probe_locked-domain / Isolation-owner cross-check.  `dune build @all`
+# first so every .cmt exists.  The second invocation is a self-check:
+# the defect fixtures under test/fixtures/analyzer must be flagged
+# (exit non-zero), otherwise the analyzer has gone blind.
+analyze:
+	dune build @all
+	$(ANALYZER) _build/default/lib _build/default/bin
+	@if $(ANALYZER) _build/default/test/fixtures/analyzer >/dev/null 2>&1; then \
+	  echo "analyzer self-check FAILED: defect fixtures produced no findings"; \
+	  exit 1; \
+	else \
+	  echo "analyzer self-check OK: defect fixtures flagged"; \
 	fi
 
 # Sanitized smoke: an ad-hoc run plus the 5-seed crash harness under the
@@ -78,6 +97,7 @@ check:
 	dune build @all
 	dune runtest
 	$(MAKE) lint
+	$(MAKE) analyze
 	$(MAKE) sanitize
 	$(MAKE) trace-smoke
 	$(MAKE) analyze-smoke

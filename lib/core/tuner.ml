@@ -39,6 +39,9 @@ let create pool cfg =
     (Engine.spawn eng ~label:"tuner" (fun () ->
          let rec loop () =
            Engine.sleep cfg.interval;
+           (* decision counters are read back by the report while this
+              fiber updates them *)
+           Engine.probe_atomic eng ~shared:"tuner.state";
            tick t;
            loop ()
          in

@@ -4,15 +4,16 @@ let default_config = { rate_per_s = 50_000.0; burst = 64.0; queue_depth = 256 }
 
 type t = {
   cfg : config;
+  eng : Wafl_sim.Engine.t option; (* sanitizer probe target; None in unit tests *)
   buckets : (int, Token_bucket.t) Hashtbl.t; (* vol id -> bucket; never iterated *)
   mutable admitted : int;
   mutable throttled : int;
   mutable shed : int;
 }
 
-let create cfg =
+let create ?eng cfg =
   if cfg.queue_depth < 0 then invalid_arg "Qos.create: negative queue depth";
-  { cfg; buckets = Hashtbl.create 16; admitted = 0; throttled = 0; shed = 0 }
+  { cfg; eng; buckets = Hashtbl.create 16; admitted = 0; throttled = 0; shed = 0 }
 
 let bucket t vol =
   match Hashtbl.find_opt t.buckets vol with
@@ -23,6 +24,12 @@ let bucket t vol =
       b
 
 let admit t ~vol ~now =
+  (* The bucket table, each bucket's token/debt state and the admission
+     counters are touched by every arrival fiber: in the real system an
+     atomic per-volume structure, declared as such to the sanitizer. *)
+  (match t.eng with
+  | Some e -> Wafl_sim.Engine.probe_atomic e ~shared:"qos.buckets"
+  | None -> ());
   match Token_bucket.reserve (bucket t vol) ~now ~max_debt:(float_of_int t.cfg.queue_depth) with
   | Token_bucket.Admit ->
       t.admitted <- t.admitted + 1;

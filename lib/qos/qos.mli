@@ -21,7 +21,12 @@ val default_config : config
 
 type t
 
-val create : config -> t
+val create : ?eng:Wafl_sim.Engine.t -> config -> t
+(** [eng] is the sanitizer probe target: when given, every {!admit}
+    declares its touch of the shared bucket/counter state
+    ([probe_atomic], never reported — admission order is fixed by the
+    deterministic arrival process, not by affinity ownership).  Omit it
+    in engine-less unit tests. *)
 
 val admit : t -> vol:int -> now:float -> [ `Admit | `Delay of float | `Shed ]
 (** Classify an op arriving at virtual time [now] for volume [vol].

@@ -64,6 +64,9 @@ let rebuild_fiber t fault (failure : Fault.disk_failure) () =
   let nblocks = Geometry.drive_blocks (Disk.geometry t.disk) in
   while failure.Fault.rebuilt_to < nblocks do
     Engine.sleep t.cost.Cost.rebuild_block;
+    (* rebuild progress lives in the shared fault plan, also read by the
+       service fiber and the crash harness *)
+    Engine.probe_atomic t.eng ~shared:"raid.fault";
     t.busy <- t.busy +. t.cost.Cost.rebuild_block;
     failure.Fault.rebuilt_to <- failure.Fault.rebuilt_to + 1;
     t.rebuilt <- t.rebuilt + 1;
@@ -103,6 +106,11 @@ let service_fiber t () =
         let wait = Engine.now t.eng -. submitted_at in
         if t.obs_on then Wafl_obs.Metrics.observe t.m_wait wait;
         check_failure t;
+        (* the device block map and the fault plan's bookkeeping are
+           touched from this service fiber, client read paths and the
+           crash harness; the real device serializes them *)
+        Engine.probe_atomic t.eng ~shared:"disk.blocks";
+        Engine.probe_atomic t.eng ~shared:"raid.fault";
         let fault = Disk.fault t.disk in
         (* Transient failures: bounded exponential backoff in virtual
            time, so retry latency shows up in CP duration. *)

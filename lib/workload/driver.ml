@@ -474,6 +474,9 @@ let run_uncached spec =
                  in
                  let kind = exec_op ~cf ~content ~started op in
                  if rec_.recording then begin
+                   (* the recorder is shared by every client fiber; the
+                      real system's stats counters are atomics *)
+                   Engine.probe_atomic eng ~shared:"driver.recorder";
                    rec_.ops <- rec_.ops + 1;
                    let e2e = Engine.now eng -. started in
                    (match kind with
@@ -497,7 +500,7 @@ let run_uncached spec =
          closes — so queueing inflicted by overload is visible rather
          than censored; ops still in flight when the measurement ends
          show up as admitted - completed backlog. *)
-      let qos = Option.map Wafl_qos.Qos.create ol.qos in
+      let qos = Option.map (Wafl_qos.Qos.create ~eng) ol.qos in
       List.iteri
         (fun i proc ->
           let cf =
@@ -513,6 +516,9 @@ let run_uncached spec =
                  while not !stop do
                    Engine.sleep (Arrival.next arr ~now:(Engine.now eng));
                    if not !stop then begin
+                     (* per-tenant accounting is updated from this
+                        arrival fiber and every op-completion fiber *)
+                     Engine.probe_atomic eng ~shared:"driver.tenants";
                      let windowed = rec_.recording in
                      if windowed then st.a_offered <- st.a_offered + 1;
                      let op = gen_op spec.workload rng cf cursor in
@@ -551,6 +557,8 @@ let run_uncached spec =
                                 let kind = exec_op ~cf ~content ~started op in
                                 let e2e = Engine.now eng -. started in
                                 if windowed then begin
+                                  Engine.probe_atomic eng ~shared:"driver.tenants";
+                                  Engine.probe_atomic eng ~shared:"driver.recorder";
                                   st.a_completed <- st.a_completed + 1;
                                   rec_.ops <- rec_.ops + 1;
                                   (match kind with
@@ -571,6 +579,7 @@ let run_uncached spec =
          while not !stop do
            Engine.sleep 10_000.0;
            if rec_.recording then begin
+             Engine.probe_atomic eng ~shared:"driver.recorder";
              incr active_samples;
              active_sum := !active_sum + Wafl_core.Cleaner_pool.active pool
            end

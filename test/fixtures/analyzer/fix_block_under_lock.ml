@@ -1,0 +1,16 @@
+(* Positive fixture: blocking primitives reached while a mutex is held —
+   directly (Engine.sleep between lock and unlock) and transitively
+   (a helper that sleeps, called under the lock). *)
+open Wafl_sim
+
+let slow_path () = Engine.sleep 5.0
+
+let direct m =
+  Sync.Mutex.lock m;
+  Engine.sleep 1.0;
+  Sync.Mutex.unlock m
+
+let indirect m =
+  Sync.Mutex.lock m;
+  slow_path ();
+  Sync.Mutex.unlock m

@@ -1,0 +1,27 @@
+(* Positive fixture: shared mutable state reached from two spawned
+   fibers with no Engine.probe declaration anywhere in the unit.  The
+   analyzer must flag the module-level ref, the mutable record field,
+   and the local ref captured by both closures. *)
+open Wafl_sim
+
+let hits = ref 0
+
+type acc = { mutable total : int }
+
+let shared = { total = 0 }
+
+let start eng =
+  ignore
+    (Engine.spawn eng ~label:"a" (fun () ->
+         incr hits;
+         shared.total <- shared.total + 1));
+  ignore
+    (Engine.spawn eng ~label:"b" (fun () ->
+         incr hits;
+         shared.total <- shared.total + 1))
+
+let start_captured eng =
+  let local = ref 0 in
+  ignore (Engine.spawn eng ~label:"a" (fun () -> incr local));
+  ignore (Engine.spawn eng ~label:"b" (fun () -> incr local));
+  fun () -> !local

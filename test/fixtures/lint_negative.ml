@@ -15,3 +15,12 @@ let _bad_raw_reset t = Wafl_obs.Trace.fiber_reset t
 
 (* Suppressed: the fold result is sorted before use. lint-ok *)
 let _ok_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let _bad_catch_all f = try f () with _ -> ()
+let _bad_catch_alias f = try f () with _ as _e -> ()
+let _bad_catch_or f = try f () with Not_found | _ -> ()
+let _bad_match_exception f = match f () with x -> x | exception _ -> 0
+
+(* Suppressed: the caller re-checks the invariant. lint-ok *)
+let _ok_catch_all f = try f () with _ -> ()
+let _ok_specific f = try f () with Not_found -> ()

@@ -1,0 +1,83 @@
+(* Intermediate representation shared by the collection walk and the
+   analysis passes: one [node] per top-level function (or spawned
+   lambda), carrying its accesses to shared mutable state, probe
+   declarations, call edges, blocking sites and lock operations. *)
+
+type loc = { file : string; line : int }
+
+let loc_of (l : Location.t) =
+  { file = l.loc_start.Lexing.pos_fname; line = l.loc_start.Lexing.pos_lnum }
+
+type mode = Read | Write
+
+let mode_name = function Read -> "read" | Write -> "write"
+
+(* A family of shared mutable state: a mutable record field, a
+   module-level ref / array / hashtbl, or a local captured by a spawned
+   lambda — keyed by declaring unit and name. *)
+type fam = { f_unit : string; f_name : string; f_captured : bool }
+
+let fam_id f = f.f_unit ^ "." ^ f.f_name
+
+type access = { a_fam : fam; a_mode : mode; a_loc : loc }
+
+(* What a probe declared: its literal shared name, or the function that
+   generates the name (for the ownership cross-check). *)
+type probe = {
+  p_kind : string; (* probe | probe_atomic | probe_locked *)
+  p_literal : string option;
+  p_gen : (string * string) option; (* (unit, fn) generating the name *)
+  p_loc : loc;
+}
+
+type call = { c_unit : string; c_name : string; c_loc : loc }
+
+(* A blocking-primitive call or an outgoing call made while holding at
+   least one lock. *)
+type lock_site = {
+  ls_held : string list; (* lock classes held, innermost first *)
+  ls_target : [ `Block of string | `Call of string * string | `Acquire of string ];
+  ls_loc : loc;
+}
+
+type node = {
+  n_unit : string;
+  n_name : string; (* dotted for nested modules; host$spawnN for roots *)
+  n_loc : loc;
+  mutable n_root : bool;
+  mutable n_multi : bool; (* spawned inside a loop or closure: many instances *)
+  mutable n_calls : call list;
+  mutable n_accesses : access list;
+  mutable n_probes : probe list;
+  mutable n_blocking : (string * loc) list; (* unconditional may-block markers *)
+  mutable n_lock_sites : lock_site list;
+  mutable n_acquires : (string * loc) list; (* lock classes this node acquires *)
+  mutable n_strings : string list; (* string literals, for name-generator resolution *)
+}
+
+let node_id n = n.n_unit ^ "." ^ n.n_name
+
+type program = {
+  units : (string, string) Hashtbl.t; (* normalized unit -> source file *)
+  nodes : (string, node) Hashtbl.t; (* node_id -> node *)
+  mutable node_order : node list; (* reverse collection order *)
+  mutable owners_declared : probe list; (* Isolation.register_owner sites *)
+}
+
+let create_program () =
+  { units = Hashtbl.create 64; nodes = Hashtbl.create 256; node_order = []; owners_declared = [] }
+
+let add_node p n =
+  Hashtbl.replace p.nodes (node_id n) n;
+  p.node_order <- n :: p.node_order
+
+let nodes_in_order p = List.rev p.node_order
+let find_node p ~unit_ ~name = Hashtbl.find_opt p.nodes (unit_ ^ "." ^ name)
+
+type finding = {
+  pass : string; (* probe-coverage | blocking | lock-order | ownership *)
+  loc : loc;
+  subject : string; (* family id, lock cycle, ... *)
+  message : string;
+  detail : string list; (* extra lines: roots, call chains, cycle members *)
+}

@@ -1,0 +1,73 @@
+(* wafl_analyzer: whole-program static analysis over the typedtrees
+   (.cmt files) dune produces.
+
+   Usage: wafl_analyzer [--json] [--src-root DIR] [--verbose] BUILD_DIR...
+
+   Passes (see tools/wafl_analyzer/passes.ml and DESIGN.md §4.12):
+     probe-coverage  shared mutable state reachable from several
+                     scheduler roots in units with no Engine.probe gate
+     blocking        blocking primitives reachable while a Sync.Mutex
+                     is held
+     lock-order      cycles in the static lock-acquisition graph
+     ownership       probe_locked domains with no registered affinity
+                     owner in the Isolation registry
+
+   Exit status 1 when any finding survives `lint-ok` suppression, like
+   tools/wafl_lint. *)
+
+open Wafl_analyzer_lib
+
+let usage = "usage: wafl_analyzer [--json] [--src-root DIR] [--verbose] BUILD_DIR..."
+
+let () =
+  let json = ref false in
+  let src_root = ref "." in
+  let verbose = ref false in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--src-root" :: d :: rest ->
+        src_root := d;
+        parse rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | d :: rest ->
+        dirs := d :: !dirs;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let dirs =
+    if !dirs <> [] then List.rev !dirs
+    else [ "_build/default/lib"; "_build/default/bin" ]
+  in
+  let prog, units = Load.load_program dirs in
+  if units = [] then (
+    prerr_endline "wafl_analyzer: no .cmt files found (build with dune first)";
+    exit 2);
+  if !verbose then (
+    let nodes = Ir.nodes_in_order prog in
+    let roots = List.filter (fun n -> n.Ir.n_root) nodes in
+    Printf.eprintf "analyzed %d units, %d nodes, %d scheduler roots\n%!" (List.length units)
+      (List.length nodes) (List.length roots);
+    List.iter
+      (fun r ->
+        Printf.eprintf "  root %s%s\n%!" (Ir.node_id r)
+          (if r.Ir.n_multi then " (many instances)" else ""))
+      roots;
+    let probed, owned = Passes.ownership_sets prog in
+    Printf.eprintf "probe_locked domains: %s\n%!" (String.concat " " probed);
+    Printf.eprintf "registered owners:    %s\n%!" (String.concat " " owned));
+  let findings = Passes.run_all prog in
+  let findings = Report.filter_suppressed ~src_root:!src_root findings in
+  if !json then Report.print_json ~units:(List.length units) findings
+  else if findings = [] then
+    Printf.printf "wafl_analyzer: %d units analyzed, no findings\n" (List.length units)
+  else Report.print_text findings;
+  exit (if findings = [] then 0 else 1)

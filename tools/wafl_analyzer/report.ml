@@ -1,0 +1,96 @@
+(* Finding output: text or JSON, with the same line-level `lint-ok`
+   suppression convention as tools/wafl_lint — a finding whose source
+   line (or the line above it) carries "lint-ok" is acknowledged and
+   dropped. *)
+
+open Ir
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> [||]
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Array.of_list (List.rev !lines)
+
+let file_cache : (string, string array) Hashtbl.t = Hashtbl.create 16
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* .cmt locations name sources relative to the dune build context root
+   (e.g. "lib/qos/qos.ml"); resolve them against --src-root. *)
+let suppressed ~src_root (f : finding) =
+  let path = Filename.concat src_root f.loc.file in
+  let lines =
+    match Hashtbl.find_opt file_cache path with
+    | Some l -> l
+    | None ->
+        let l = read_lines path in
+        Hashtbl.replace file_cache path l;
+        l
+  in
+  let has n = n >= 1 && n <= Array.length lines && contains_sub lines.(n - 1) "lint-ok" in
+  has f.loc.line || has (f.loc.line - 1)
+
+let filter_suppressed ~src_root findings =
+  List.filter (fun f -> not (suppressed ~src_root f)) findings
+
+let print_text findings =
+  let by_pass p = List.filter (fun f -> f.pass = p) findings in
+  List.iter
+    (fun pass ->
+      match by_pass pass with
+      | [] -> ()
+      | fs ->
+          Printf.printf "== %s: %d finding%s ==\n" pass (List.length fs)
+            (if List.length fs = 1 then "" else "s");
+          List.iter
+            (fun f ->
+              Printf.printf "%s:%d: [%s] %s\n" f.loc.file f.loc.line f.pass f.message;
+              List.iter (fun d -> Printf.printf "    %s\n" d) f.detail)
+            fs)
+    [ "probe-coverage"; "blocking"; "lock-order"; "ownership" ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string ~units findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"wafl-analyzer/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"units_analyzed\": %d,\n" units);
+  Buffer.add_string buf (Printf.sprintf "  \"findings\": [");
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"pass\": \"%s\", \"file\": \"%s\", \"line\": %d, \"subject\": \"%s\", \
+            \"message\": \"%s\", \"detail\": [%s]}"
+           (json_escape f.pass) (json_escape f.loc.file) f.loc.line (json_escape f.subject)
+           (json_escape f.message)
+           (String.concat ", " (List.map (fun d -> "\"" ^ json_escape d ^ "\"") f.detail))))
+    findings;
+  Buffer.add_string buf (if findings = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf (Printf.sprintf "  \"count\": %d\n}\n" (List.length findings));
+  Buffer.contents buf
+
+let print_json ~units findings = print_string (json_string ~units findings)

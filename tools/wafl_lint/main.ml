@@ -110,6 +110,33 @@ let check_path src loc path =
                  field)
       | _ -> ())
 
+(* A handler pattern that swallows every exception: [_], possibly
+   aliased or in an or-pattern arm. *)
+let rec catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) -> catch_all p
+  | Ppat_or (a, b) -> catch_all a || catch_all b
+  | _ -> false
+
+let check_catch_all src (cases : Parsetree.case list) ~in_try =
+  List.iter
+    (fun (c : Parsetree.case) ->
+      let flag loc =
+        report src loc
+          "catch-all exception handler swallows typed faults (e.g. Nvlog.Exhausted); match \
+           the exceptions you mean, or mark lint-ok with a reason"
+      in
+      if in_try then begin
+        if catch_all c.pc_lhs then flag c.pc_lhs.ppat_loc
+      end
+      else
+        (* [match ... with exception _ ->] is a try in disguise *)
+        match c.pc_lhs.ppat_desc with
+        | Ppat_exception p when catch_all p -> flag c.pc_lhs.ppat_loc
+        | _ -> ())
+    cases
+
 let iterator src =
   let open Ast_iterator in
   let expr it (e : Parsetree.expression) =
@@ -118,6 +145,8 @@ let iterator src =
     | Pexp_open ({ popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ }, _) ->
         (* [let open Random in ...] smuggles the module in unqualified. *)
         check_path src loc (Longident.flatten txt)
+    | Pexp_try (_, cases) -> check_catch_all src cases ~in_try:true
+    | Pexp_match (_, cases) -> check_catch_all src cases ~in_try:false
     | _ -> ());
     default_iterator.expr it e
   in
