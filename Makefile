@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke check bench bench-quick bench-gate bench-gate-fast clean
+.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke flash-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -87,6 +87,16 @@ overload-smoke:
 	dune exec --no-build bin/wafl_sim.exe -- overload --scale 0.25
 	dune exec --no-build bin/wafl_sim.exe -- crash --overload --seeds 5
 
+# Flash smoke: the quarter-scale NAND media-model experiment (WAF vs
+# device fill / OP / multi-stream write allocation; exits non-zero on
+# any shape miss, e.g. streaming-on failing to beat streaming-off at
+# high fill) plus a 5-seed crash run on a nearly-full device where
+# crashes land mid-GC-cycle and the volatile L2P is rebuilt on recovery.
+flash-smoke:
+	dune build bin/wafl_sim.exe
+	dune exec --no-build bin/wafl_sim.exe -- flash --scale 0.25
+	dune exec --no-build bin/wafl_sim.exe -- crash --flash --seeds 5
+
 # Full gate: build everything (lib/ with warnings as errors), run the
 # whole test suite (including the Wafl_obs suite: span nesting, trace
 # parse-back, byte-identical same-seed traces, off-vs-on bit-identity),
@@ -102,6 +112,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) analyze-smoke
 	$(MAKE) overload-smoke
+	$(MAKE) flash-smoke
 	dune exec bin/wafl_sim.exe -- crash --seeds 5
 	$(MAKE) bench-gate-fast
 

@@ -66,7 +66,7 @@ let timed name f =
   shapes
 
 (* BENCH_paper.json schema (all times in the named unit):
-     { "schema": "wafl-bench/4",
+     { "schema": "wafl-bench/5",
        "scale": float,            -- WAFL_SCALE factor of THIS run
        "total_wall_s": float,
        "total_virtual_us": float, -- simulated time of actually-executed
@@ -90,8 +90,11 @@ let timed name f =
    columns — the overload figure carries
      "overload": [ { "scenario": str, "goodput_ops_s": float,
                      "shed_rate": float, "victim_p99_us": float } ]
-   with one row per scenario.  v2/v3 files (without them) are still
-   read for "runs_by_scale" carry-over. *)
+   with one row per scenario; v5 adds the flash media-model figure with
+     "flash": [ { "scenario": str, "waf": float, "gc_stall_ms": float,
+                  "write_p99_us": float } ]
+   per scenario.  Older files (without them) are still read for
+   "runs_by_scale" carry-over. *)
 let run_record ~scale ~total_wall =
   let figs =
     List.rev_map
@@ -138,7 +141,8 @@ let previous_runs ~except path =
       | Ok doc
         when J.member "schema" doc = Some (J.Str "wafl-bench/2")
              || J.member "schema" doc = Some (J.Str "wafl-bench/3")
-             || J.member "schema" doc = Some (J.Str "wafl-bench/4") -> (
+             || J.member "schema" doc = Some (J.Str "wafl-bench/4")
+             || J.member "schema" doc = Some (J.Str "wafl-bench/5") -> (
           match J.member "runs_by_scale" doc with
           | Some (J.Obj runs) -> List.filter (fun (k, _) -> k <> except) runs
           | _ -> [])
@@ -150,7 +154,7 @@ let write_json ~scale ~total_wall path =
   let runs = previous_runs ~except:key path @ [ (key, J.Obj this_run) ] in
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
   let doc =
-    J.Obj ((("schema", J.Str "wafl-bench/4") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
+    J.Obj ((("schema", J.Str "wafl-bench/5") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);
@@ -235,6 +239,25 @@ let figures scale =
                     rows) );
            ];
          H.Overload.shapes rows);
+  run "flash" "Flash media model: WAF / GC push-back vs fill, OP, streaming" (fun () ->
+         let rows = H.Flash.run ~scale () in
+         H.Flash.print rows;
+         pending_extra :=
+           [
+             ( "flash",
+               J.Arr
+                 (List.map
+                    (fun row ->
+                      J.Obj
+                        [
+                          ("scenario", J.Str (H.Flash.scenario_name row.H.Flash.scenario));
+                          ("waf", J.Num (H.Flash.waf row));
+                          ("gc_stall_ms", J.Num (H.Flash.gc_stall_us row /. 1000.0));
+                          ("write_p99_us", J.Num (H.Flash.write_p99 row));
+                        ])
+                    rows) );
+           ];
+         H.Flash.shapes rows);
   section "Shape summary (paper-vs-measured, qualitative)";
   H.Exp.print_shapes !all;
   let missed = List.filter (fun (_, ok) -> not ok) !all in

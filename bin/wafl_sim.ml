@@ -139,11 +139,17 @@ let overload scale =
   H.Overload.print rows;
   H.Overload.shapes rows
 
+let flash scale =
+  let rows = H.Flash.run ~scale () in
+  H.Flash.print rows;
+  H.Flash.shapes rows
+
 let all scale =
   List.concat
     [
       fig4 scale; fig5 scale; fig6 scale; fig7 scale; fig8 scale; fig9 scale;
       batching scale; history scale; ablation scale; crossover scale; overload scale;
+      flash scale;
     ]
 
 (* --- ad-hoc run --- *)
@@ -339,9 +345,10 @@ let analyze_cmd =
 
 (* --- randomized crash-point harness --- *)
 
-let crash_run seeds first_seed ops fbn_space horizon verbose sanitize overload =
+let crash_run seeds first_seed ops fbn_space horizon verbose sanitize overload flash =
   let outcomes =
-    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~overload ~first_seed ~count:seeds ()
+    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~overload ~flash ~first_seed
+      ~count:seeds ()
   in
   if verbose then
     List.iter
@@ -374,11 +381,12 @@ let crash_cmd =
   let horizon = Arg.(value & opt float 60_000.0 & info [ "horizon" ] ~docv:"US" ~doc:"Virtual-time horizon; the crash lands in its back 70%.") in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print one line per seed.") in
   let overload = Arg.(value & flag & info [ "overload" ] ~doc:"Drive each seed with a bursty open-loop arrival plan against a small watermarked NVRAM, so crash points land inside throttled and back-to-back-CP windows.") in
+  let flash = Arg.(value & flag & info [ "flash" ] ~doc:"Attach a nearly-full NAND/FTL media model to every RAID group, so crashes routinely land mid-GC-cycle; the volatile L2P table is rebuilt on recovery and acked-write read-back must still hold.") in
   Cmd.v (Cmd.info "crash" ~doc)
     Term.(
       ret
         (const crash_run $ seeds $ first_seed $ ops $ fbn_space $ horizon $ verbose
-       $ sanitize_arg $ overload))
+       $ sanitize_arg $ overload $ flash))
 
 let run_cmd =
   let doc = "Run one ad-hoc configuration and print its measurements." in
@@ -417,6 +425,7 @@ let () =
             run_experiment "ablation" ablation;
             run_experiment "crossover" crossover;
             run_experiment "overload" overload;
+            run_experiment "flash" flash;
             run_experiment "all" all;
             run_cmd;
             trace_cmd;

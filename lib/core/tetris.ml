@@ -69,3 +69,33 @@ let bucket_done t =
 
 let ios_submitted t = t.ios
 let blocks_submitted t = t.blocks
+
+(* Temperature classifier for the flash [streams] policy: every metafile
+   class is hot (re-dirtied each CP), and a data block is hot when its
+   observed rewrite interval — CP-placement count since this (vol, file,
+   fbn) was last written — is shorter than the number of tracked blocks,
+   i.e. shorter than the interval a uniformly-rewritten block would show.
+   Segregating short-lived from long-lived pages keeps erase blocks
+   death-time-homogeneous, which is what lowers GC write amplification
+   ("Enlightening Flash Storage to Stream Writes by Objects").  The
+   tracker is the write-allocator's equivalent of the per-write stream
+   hints a host passes to a multi-stream SSD; it is deterministic, so a
+   seeded run classifies identically on replay. *)
+let make_temperature_stream () : Wafl_fs.Layout.block -> int =
+  let last = Hashtbl.create 4096 in
+  let n = ref 0 in
+  function
+  | Wafl_fs.Layout.Data { vol; file; fbn; _ } ->
+      incr n;
+      let key = (vol, file, fbn) in
+      let tracked = Hashtbl.length last in
+      let hot =
+        match Hashtbl.find_opt last key with
+        | Some prev -> !n - prev < tracked
+        | None -> false
+      in
+      Hashtbl.replace last key !n;
+      if hot then 1 else 0
+  | Wafl_fs.Layout.Bmap _ | Wafl_fs.Layout.Inode_chunk _ | Wafl_fs.Layout.Container _
+  | Wafl_fs.Layout.Vol_map _ | Wafl_fs.Layout.Agg_map _ ->
+      1

@@ -33,3 +33,12 @@ val submit_now : t -> unit
 
 val ios_submitted : t -> int
 val blocks_submitted : t -> int
+
+val make_temperature_stream : unit -> Wafl_fs.Layout.block -> int
+(** Build a flash write-stream classifier for {!Walloc}'s [streams]
+    policy: stream 1 (hot) for every metafile class (re-dirtied each CP)
+    and for data blocks whose observed rewrite interval is shorter than a
+    uniformly-rewritten block's would be; stream 0 (cold) otherwise.  The
+    classifier is stateful (per-block last-write tracking) but
+    deterministic.  Keeping erase blocks death-time-homogeneous is what
+    lowers GC write amplification. *)

@@ -16,6 +16,7 @@ type config = {
   cp_timer : float option;
   serial_cleaning : bool;
   fair_cp : bool;
+  streams : [ `Off | `Temperature ];
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     cp_timer = None;
     serial_cleaning = false;
     fair_cp = false;
+    streams = `Off;
   }
 
 let serialized_config =
@@ -103,6 +105,13 @@ let create ?(obs = Wafl_obs.Trace.disabled) agg cfg =
   (* Watermark admission ([Aggregate.wait_for_log_space]) can now start
      early CPs; a no-op until watermarks are configured on the NVLog. *)
   Wafl_fs.Aggregate.set_cp_trigger agg (fun () -> Cp.request cp);
+  (* Multi-stream write allocation: route tetris payloads to flash write
+     streams by temperature.  Only consulted when a media model is
+     attached, so `Off vs `Temperature is behavior-identical without
+     flash. *)
+  (match cfg.streams with
+  | `Off -> ()
+  | `Temperature -> Wafl_fs.Aggregate.set_stream_classifier agg (Tetris.make_temperature_stream ()));
   let tuner = if cfg.dynamic_cleaners then Some (Tuner.create pool cfg.tuner) else None in
   { cfg; agg; sched; infra; pool; cp; tuner }
 

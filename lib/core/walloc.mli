@@ -34,6 +34,12 @@ type config = {
   fair_cp : bool;
       (** round-robin CP cleaning work across volumes (fair CP admission,
           DESIGN.md §4.11); off reproduces the volume-order walk *)
+  streams : [ `Off | `Temperature ];
+      (** flash multi-stream routing: [`Temperature] sends metafile
+          payloads and frequently-rewritten data blocks to a hot write
+          stream and long-lived data to a cold one
+          ({!Tetris.make_temperature_stream}).  Only meaningful with a
+          {!Wafl_flash.Ftl} media model attached to the aggregate. *)
 }
 
 val default_config : config

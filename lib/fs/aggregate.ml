@@ -13,6 +13,10 @@ type persist = {
   p_disk : Layout.block Disk.t;
   mutable p_sb : Layout.superblock option;
   p_nvlog : Nvlog.t;
+  p_flash : Wafl_flash.Ftl.config option;
+      (* media model config; the FTL state itself is volatile (the real
+         device rebuilds its L2P from NAND metadata on power-on, modeled
+         by re-deriving fill from the recovered activemap) *)
 }
 
 exception Corruption of string
@@ -36,6 +40,7 @@ type t = {
   geom : Geometry.t;
   pers : persist;
   raids : Layout.block Raid.t array;
+  flash_on : bool; (* hoisted: any raid has an FTL attached *)
   agg_map : Bitmap_file.t;
   aa_free_tbl : int array array; (* rg -> aa -> free blocks *)
   mutable vols : (int * Volume.t) list; (* ascending ids; volumes are few *)
@@ -72,23 +77,31 @@ type t = {
 let free_counter = "agg_free_blocks"
 let vol_free_counter vid = Printf.sprintf "vol%d_free_vvbns" vid
 
-let make_raids eng cost disk geom queue_depth obs =
+let make_raids eng cost disk geom queue_depth obs flash_cfg =
   Array.init (Geometry.raid_group_count geom) (fun rg ->
-      Raid.create ?queue_depth ?obs eng ~cost ~disk ~rg)
+      let flash =
+        Option.map
+          (fun cfg ->
+            let lpns = Geometry.data_drives geom ~rg * Geometry.drive_blocks geom in
+            Wafl_flash.Ftl.create ?obs eng ~cfg ~lpns ~rg)
+          flash_cfg
+      in
+      Raid.create ?queue_depth ?obs ?flash eng ~cost ~disk ~rg)
 
 let init_aa_free geom =
   Array.init (Geometry.raid_group_count geom) (fun rg ->
       Array.make (Geometry.aa_count geom)
         (Geometry.aa_stripes geom * Geometry.data_drives geom ~rg))
 
-let create ?(nvlog_half = 16384) ?nvlog_watermarks ?(cache_blocks = 65536) ?queue_depth ?obs eng
-    ~cost ~geometry () =
+let create ?(nvlog_half = 16384) ?nvlog_watermarks ?(cache_blocks = 65536) ?queue_depth ?obs
+    ?flash eng ~cost ~geometry () =
   let disk = Disk.create geometry in
   let pers =
     {
       p_disk = disk;
       p_sb = None;
       p_nvlog = Nvlog.create ~half_capacity:nvlog_half ?watermarks:nvlog_watermarks ();
+      p_flash = flash;
     }
   in
   let counters = Counters.create () in
@@ -98,7 +111,8 @@ let create ?(nvlog_half = 16384) ?nvlog_watermarks ?(cache_blocks = 65536) ?queu
       cost;
       geom = geometry;
       pers;
-      raids = make_raids eng cost disk geometry queue_depth obs;
+      raids = make_raids eng cost disk geometry queue_depth obs flash;
+      flash_on = flash <> None;
       agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geometry);
       aa_free_tbl = init_aa_free geometry;
       vols = [];
@@ -242,6 +256,32 @@ let read_pvbn t pvbn =
       raise
         (Corruption
            (Printf.sprintf "pvbn %d unrecoverable: media error in a degraded RAID group" pvbn))
+
+let flash_enabled t = t.flash_on
+let ftls t = Array.to_list t.raids |> List.filter_map Raid.flash
+
+(* Route tetris payloads to flash write streams (no-op without a media
+   model; installed by Walloc when the [streams] policy is on). *)
+let set_stream_classifier t f = Array.iter (fun r -> Raid.set_stream_of r f) t.raids
+
+(* Mirror the per-group FTL counters into the global counter table so
+   operators and tests read them through Counters / Report. *)
+let refresh_flash_counters t =
+  if t.flash_on then begin
+    let sum f = List.fold_left (fun acc ftl -> acc + f ftl) 0 (ftls t) in
+    let sumf f = List.fold_left (fun acc ftl -> acc +. f ftl) 0.0 (ftls t) in
+    Counters.set t.counters "flash_host_pages" (sum Wafl_flash.Ftl.host_pages);
+    Counters.set t.counters "flash_gc_pages" (sum Wafl_flash.Ftl.gc_pages);
+    Counters.set t.counters "flash_erases" (sum Wafl_flash.Ftl.erases);
+    Counters.set t.counters "flash_gc_runs" (sum Wafl_flash.Ftl.gc_runs);
+    Counters.set t.counters "flash_trims" (sum Wafl_flash.Ftl.trims);
+    Counters.set t.counters "flash_gc_stall_us"
+      (int_of_float (sumf Wafl_flash.Ftl.gc_stall_us));
+    (* WAF scaled by 100 (the counter table is integers). *)
+    let host = sum Wafl_flash.Ftl.host_pages and gc = sum Wafl_flash.Ftl.gc_pages in
+    if host > 0 then
+      Counters.set t.counters "flash_waf_x100" (100 * (host + gc) / host)
+  end
 
 (* Mirror the fault-plan counters into the global counter table so
    operators and tests read them through Counters / Report. *)
@@ -406,7 +446,12 @@ let commit_free_pvbn t pvbn =
     t.free_cell := !(t.free_cell) + 1
   end;
   let w = pvbn lsr 6 in
-  t.recently_freed.(w) <- Int64.logor t.recently_freed.(w) (Int64.shift_left 1L (pvbn land 63))
+  t.recently_freed.(w) <- Int64.logor t.recently_freed.(w) (Int64.shift_left 1L (pvbn land 63));
+  (* TRIM: the flash page backing a freed block is dead — without this
+     the FTL's GC would keep relocating pages the file system no longer
+     references, and the device-fill axis would only ever grow. *)
+  if t.flash_on then
+    Raid.trim t.raids.((Geometry.locate t.geom pvbn).Geometry.rg) pvbn
 
 let pvbn_allocatable t pvbn =
   (not (Bitmap_file.mem t.agg_map pvbn))
@@ -712,7 +757,8 @@ let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
       cost;
       geom;
       pers;
-      raids = make_raids eng cost pers.p_disk geom queue_depth obs;
+      raids = make_raids eng cost pers.p_disk geom queue_depth obs pers.p_flash;
+      flash_on = pers.p_flash <> None;
       agg_map = Bitmap_file.create ~bits:(Geometry.total_data_blocks geom);
       aa_free_tbl = init_aa_free geom;
       vols = [];
@@ -842,6 +888,27 @@ let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
   let ops = Nvlog.replay_ops pers.p_nvlog in
   Nvlog.recover_reset pers.p_nvlog;
   List.iter (apply_op t) ops;
+  (* The FTL's L2P is volatile: re-derive device fill from the recovered
+     activemap, as the real device rebuilds its map from NAND metadata.
+     (Create-time prefill was already re-applied by Ftl.create; mapping a
+     used pvbn over an aged page just remaps it.) *)
+  if t.flash_on then begin
+    let per_rg = Array.map (fun _ -> ref []) t.raids in
+    for pvbn = Geometry.total_data_blocks geom - 1 downto 0 do
+      if Bitmap_file.mem t.agg_map pvbn then begin
+        let loc = Geometry.locate geom pvbn in
+        let lpn = (loc.Geometry.drive * Geometry.drive_blocks geom) + loc.Geometry.dbn in
+        let cell = per_rg.(loc.Geometry.rg) in
+        cell := lpn :: !cell
+      end
+    done;
+    Array.iteri
+      (fun rg cell ->
+        match Raid.flash t.raids.(rg) with
+        | Some ftl -> Wafl_flash.Ftl.preload ftl !cell
+        | None -> ())
+      per_rg
+  end;
   t
 
 (* --- integrity checking --- *)

@@ -35,6 +35,7 @@ val create :
   ?cache_blocks:int ->
   ?queue_depth:int ->
   ?obs:Wafl_obs.Trace.t ->
+  ?flash:Wafl_flash.Ftl.config ->
   Wafl_sim.Engine.t ->
   cost:Wafl_sim.Cost.t ->
   geometry:Wafl_storage.Geometry.t ->
@@ -44,7 +45,12 @@ val create :
     service spans and I/O metrics are recorded.  [nvlog_watermarks]
     (default none) enables watermark back-pressure in
     {!wait_for_log_space}; the thresholds live with the NVRAM log, so
-    they survive {!crash}/{!recover}. *)
+    they survive {!crash}/{!recover}.  [flash] (default none) attaches a
+    {!Wafl_flash.Ftl} media model to every RAID group: writes program
+    NAND pages (with GC push-back), frees are TRIMmed, and the config
+    survives {!crash}/{!recover} (the L2P itself is re-derived from the
+    recovered activemap).  Off means the device is the flat slab it was
+    before — bit-identical behavior. *)
 
 val engine : t -> Wafl_sim.Engine.t
 val cost : t -> Wafl_sim.Cost.t
@@ -55,6 +61,22 @@ val raid_groups : t -> Layout.block Wafl_storage.Raid.t array
 val nvlog : t -> Nvlog.t
 val counters : t -> Counters.t
 val agg_map : t -> Bitmap_file.t
+
+val flash_enabled : t -> bool
+
+val ftls : t -> Wafl_flash.Ftl.t list
+(** The per-RAID-group FTLs, in group order; empty without a media
+    model. *)
+
+val set_stream_classifier : t -> (Layout.block -> int) -> unit
+(** Route tetris payloads to flash write streams (hot metafiles vs cold
+    user data).  No-op without a media model; installed by
+    {!Wafl_core.Walloc} when its [streams] policy is on. *)
+
+val refresh_flash_counters : t -> unit
+(** Mirror the FTL counters (host/GC pages written, erases, GC runs,
+    TRIMs, accumulated GC stall, WAF×100) into {!counters} under the
+    ["flash_"] prefix.  No-op without a media model. *)
 
 (** {1 Client operations} *)
 

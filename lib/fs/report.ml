@@ -150,6 +150,21 @@ let perf ?elapsed m =
   (match M.histo m "tetris.fill_blocks" with
   | Some h when H.count h > 0 -> histo_line buf "tetris fill (blocks)" h
   | _ -> ());
+  (* Flash media model (DESIGN.md §4.13): write amplification and the GC
+     push-back behind it.  Absent entirely without an FTL attached. *)
+  let host_pages = M.counter_value m "flash.host_pages" in
+  if host_pages > 0.0 then begin
+    let gc_pages = M.counter_value m "flash.gc_pages" in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "flash: %.0f host pages, %.0f gc relocations (waf %.2f), %.0f erases in %.0f gc \
+          runs, %.0f us host stall\n"
+         host_pages gc_pages
+         ((host_pages +. gc_pages) /. host_pages)
+         (M.counter_value m "flash.erases")
+         (M.counter_value m "flash.gc_runs")
+         (M.counter_value m "flash.gc_stall_us"))
+  end;
   (* Write path: end-to-end client latency per op kind plus the CP
      back-pressure component (DESIGN.md §4.10). *)
   let e2e = with_prefix "op.e2e_us." (M.histograms m) in

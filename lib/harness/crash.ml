@@ -23,6 +23,8 @@ type outcome = {
   b2b_cps : int;  (* back-to-back CPs before the crash (overload mode) *)
   stall_us : float;  (* client time parked in watermark admission *)
   exhausted_writes : int;  (* must stay 0: watermarks hold admission back *)
+  flash_gc_pages : int;  (* FTL GC relocations before the crash (flash mode) *)
+  flash_erases : int;
   races : int;
 }
 
@@ -60,8 +62,21 @@ let overload_process =
   Wafl_workload.Arrival.Bursty
     { base_rate = 20_000.0; burst_rate = 800_000.0; mean_on_us = 3_000.0; mean_off_us = 8_000.0 }
 
+(* Flash mode: a nearly-full FTL so the background GC is active for most
+   of the run and the crash routinely lands mid-GC-cycle.  The FTL's L2P
+   table is volatile — recovery rebuilds the mapping from the recovered
+   aggregate — so acked-write read-back must hold regardless of where in
+   a GC relocation the crash hit. *)
+let flash_config =
+  {
+    Wafl_flash.Ftl.default_config with
+    Wafl_flash.Ftl.prefill = 0.85;
+    op_ratio = 0.10;
+    streams = 2;
+  }
+
 let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize = false)
-    ?(overload = false) ~seed () =
+    ?(overload = false) ?(flash = false) ~seed () =
   let geom = geometry () in
   let plan =
     Fault.random ~seed ~total_vbns:(Geometry.total_data_blocks geom) ~raid_groups ~drive_blocks
@@ -72,6 +87,7 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
     Aggregate.create eng ~cost:Cost.default ~geometry:geom
       ~nvlog_half:(if overload then 512 else 2048)
       ?nvlog_watermarks:(if overload then Some overload_watermarks else None)
+      ?flash:(if flash then Some flash_config else None)
       ()
   in
   Disk.set_fault (Aggregate.disk agg) plan;
@@ -134,6 +150,9 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
   let b2b_cps = Counters.read (Aggregate.counters agg) "b2b_cps" in
   let stall_us = Aggregate.stall_time agg in
   let exhausted_writes = Counters.read (Aggregate.counters agg) "nvlog_exhausted_writes" in
+  let ftls = Aggregate.ftls agg in
+  let flash_gc_pages = List.fold_left (fun a f -> a + Wafl_flash.Ftl.gc_pages f) 0 ftls in
+  let flash_erases = List.fold_left (fun a f -> a + Wafl_flash.Ftl.erases f) 0 ftls in
   let disk_failure_active = Array.exists Raid.degraded (Aggregate.raid_groups agg) in
   (* The crash tears the scheduled NVRAM tail: those records' DMA was in
      flight, so their acknowledgements never left the box — retract them
@@ -198,14 +217,16 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
     b2b_cps;
     stall_us;
     exhausted_writes;
+    flash_gc_pages;
+    flash_erases;
     races = !races;
   }
 
 let passed o = o.lost = 0 && o.fsck_failure = None
 
-let run_seeds ?ops ?fbn_space ?horizon ?sanitize ?overload ~first_seed ~count () =
+let run_seeds ?ops ?fbn_space ?horizon ?sanitize ?overload ?flash ~first_seed ~count () =
   List.init count (fun i ->
-      run_one ?ops ?fbn_space ?horizon ?sanitize ?overload ~seed:(first_seed + i) ())
+      run_one ?ops ?fbn_space ?horizon ?sanitize ?overload ?flash ~seed:(first_seed + i) ())
 
 let summarize outcomes =
   let n = List.length outcomes in
@@ -236,6 +257,15 @@ let summarize outcomes =
          "  overload: %d back-to-back CPs, %.1f ms client stall, %d exhausted-write refusals\n"
          b2b (stall /. 1000.0)
          (sum (fun o -> o.exhausted_writes)));
+  let gc_pages = sum (fun o -> o.flash_gc_pages) in
+  if gc_pages > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "  flash: %d GC relocations, %d erases before crash (%d seeds crashed with GC \
+          underway)\n"
+         gc_pages
+         (sum (fun o -> o.flash_erases))
+         (count (fun o -> o.flash_gc_pages > 0)));
   List.iter
     (fun o ->
       Buffer.add_string b

@@ -38,6 +38,10 @@ type outcome = {
   exhausted_writes : int;
       (** writes refused on exhausted NVRAM before the crash; watermark
           admission must keep this 0 even in overload mode *)
+  flash_gc_pages : int;
+      (** FTL GC relocations before the crash (flash mode); > 0 means
+          the crash landed on a device with GC underway *)
+  flash_erases : int;  (** erase-block reclaims before the crash *)
   races : int;  (** race-detector reports across crash run + recovery (0 unless sanitizing) *)
 }
 
@@ -47,6 +51,7 @@ val run_one :
   ?horizon:float ->
   ?sanitize:bool ->
   ?overload:bool ->
+  ?flash:bool ->
   seed:int ->
   unit ->
   outcome
@@ -59,14 +64,18 @@ val run_one :
     runs a small NVRAM with watermark back-pressure under a seeded
     bursty open-loop arrival plan, so crash points land inside
     throttled and back-to-back-CP windows; acknowledged-write read-back
-    is verified the same way (a shed write is never acknowledged). *)
+    is verified the same way (a shed write is never acknowledged).
+    [flash] (default false) attaches a nearly-full {!Wafl_flash.Ftl} to
+    every RAID group so the crash routinely lands mid-GC-cycle; the
+    volatile L2P table is rebuilt on recovery and read-back must still
+    hold. *)
 
 val passed : outcome -> bool
 (** No acknowledged write lost and fsck clean. *)
 
 val run_seeds :
   ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> ?overload:bool ->
-  first_seed:int -> count:int -> unit -> outcome list
+  ?flash:bool -> first_seed:int -> count:int -> unit -> outcome list
 
 val summarize : outcome list -> string
 (** Multi-line human-readable summary: pass/fail count, how many seeds

@@ -1,0 +1,34 @@
+(** Flash media-model experiment (DESIGN.md §4.13).
+
+    Attaches a {!Wafl_flash.Ftl} to every RAID group and measures write
+    amplification (WAF), erase-block GC activity and GC-induced host
+    stalls under a skewed random-overwrite workload, sweeping device fill,
+    over-provisioning and the multi-stream [streams] policy of
+    {!Wafl_core.Walloc}.  One row adds the PR-6 overload substrate
+    (bursty open-loop arrivals under NVLog watermarks) so back-to-back
+    CPs interfere with flash GC. *)
+
+type scenario = Steady of { fill : float; op : float; streaming : bool } | B2b_interference
+
+val scenario_name : scenario -> string
+
+val scenarios : scenario list
+(** The canonical row order: fill {50, 85}% x streaming {off, on} at 10%
+    OP, one 25%-OP point, and the B2B-interference row. *)
+
+type row = { scenario : scenario; r : Wafl_workload.Driver.result }
+
+val run : ?scale:float -> unit -> row list
+(** All scenarios, deterministic per seed (the spec seed comes from
+    {!Exp.spec_base}). *)
+
+val find : row list -> scenario -> row
+
+val waf : row -> float
+(** Measured write amplification over the window. *)
+
+val gc_stall_us : row -> float
+val write_p99 : row -> float
+
+val print : row list -> unit
+val shapes : row list -> (string * bool) list

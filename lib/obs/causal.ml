@@ -111,6 +111,10 @@ let class_of_span ~cat ~name =
   match cat with
   | "cleaner" -> "cleaner pool"
   | "raid" | "tetris" -> "raid"
+  | "flash" ->
+      (* GC runs and the host stalls they cause are one resource (the
+         device's background cleaning); page programs are the media. *)
+      if name = "flash gc" || name = "flash stall" then "flash gc" else "flash media"
   | "op" -> "client"
   | "cp" ->
       if name = "CP" then "cp orchestration"
@@ -454,7 +458,7 @@ let analyze doc =
       Array.iter
         (fun sp ->
           match sp.sp_cat with
-          | "sched" | "cleaner" | "raid" | "tetris" ->
+          | "sched" | "cleaner" | "raid" | "tetris" | "flash" ->
               let svc, wait =
                 match Hashtbl.find_opt stage_tbl sp.sp_name with
                 | Some cell -> cell

@@ -14,6 +14,8 @@ type 'b t = {
   cost : Cost.t;
   disk : 'b Disk.t;
   rg : int;
+  flash : Wafl_flash.Ftl.t option; (* FTL media model, None = flat slab *)
+  mutable stream_of : 'b -> int; (* payload -> flash write stream *)
   obs : Wafl_obs.Trace.t;
   obs_on : bool; (* Trace.enabled obs, hoisted off the hot path *)
   causal_on : bool; (* Causal.enabled obs, hoisted likewise *)
@@ -156,19 +158,31 @@ let service_fiber t () =
                in
                if t.causal_on then ("wait_us", wait) :: base else base)
             ();
-        let failed =
+        let failed, ok =
           match outcome with
-          | `Give_up -> writes (* retries exhausted: nothing became durable *)
+          | `Give_up -> (writes, []) (* retries exhausted: nothing became durable *)
           | `Proceed ->
-              List.filter
-                (fun (vbn, payload) ->
-                  match fault with
-                  | Some f when Fault.write_fails f vbn -> true
-                  | _ ->
-                      Disk.write t.disk vbn payload;
-                      false)
+              List.partition
+                (fun (vbn, _) ->
+                  match fault with Some f when Fault.write_fails f vbn -> true | _ -> false)
                 writes
         in
+        List.iter (fun (vbn, payload) -> Disk.write t.disk vbn payload) ok;
+        (* With a flash model attached, the durable writes also program
+           NAND pages: this charges program time and any GC-induced stall
+           before on_complete, so media push-back shows up in CP write
+           latency. *)
+        (match t.flash with
+        | None -> ()
+        | Some ftl ->
+            let geom = Disk.geometry t.disk in
+            let db = Geometry.drive_blocks geom in
+            Wafl_flash.Ftl.host_write ftl
+              (List.map
+                 (fun (vbn, payload) ->
+                   let loc = Geometry.locate geom vbn in
+                   ((loc.Geometry.drive * db) + loc.Geometry.dbn, t.stream_of payload))
+                 ok));
         if failed <> [] then t.failed_writes <- List.rev_append failed t.failed_writes;
         t.ios <- t.ios + 1;
         t.blocks <- t.blocks + nblocks;
@@ -185,7 +199,7 @@ let service_fiber t () =
   in
   loop ()
 
-let create ?(queue_depth = 4) ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~disk ~rg =
+let create ?(queue_depth = 4) ?(obs = Wafl_obs.Trace.disabled) ?flash eng ~cost ~disk ~rg =
   if queue_depth <= 0 then invalid_arg "Raid.create: queue_depth must be positive";
   let m = Wafl_obs.Trace.metrics obs in
   let t =
@@ -194,6 +208,8 @@ let create ?(queue_depth = 4) ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~disk ~
       cost;
       disk;
       rg;
+      flash;
+      stream_of = (fun _ -> 0);
       obs;
       obs_on = Wafl_obs.Trace.enabled obs;
       causal_on = Wafl_obs.Causal.enabled obs;
@@ -228,6 +244,19 @@ let create ?(queue_depth = 4) ?(obs = Wafl_obs.Trace.disabled) eng ~cost ~disk ~
   t
 
 let rg t = t.rg
+let flash t = t.flash
+let set_stream_of t f = t.stream_of <- f
+
+(* FTL logical page number of a VBN: RG-local, one page per data block. *)
+let lpn_of t vbn =
+  let geom = Disk.geometry t.disk in
+  let loc = Geometry.locate geom vbn in
+  (loc.Geometry.drive * Geometry.drive_blocks geom) + loc.Geometry.dbn
+
+let trim t vbn =
+  match t.flash with
+  | None -> ()
+  | Some ftl -> Wafl_flash.Ftl.trim ftl ~lpn:(lpn_of t vbn)
 
 let read t vbn =
   let geom = Disk.geometry t.disk in

@@ -24,6 +24,7 @@ type 'b t
 val create :
   ?queue_depth:int ->
   ?obs:Wafl_obs.Trace.t ->
+  ?flash:Wafl_flash.Ftl.t ->
   Wafl_sim.Engine.t ->
   cost:Wafl_sim.Cost.t ->
   disk:'b Disk.t ->
@@ -32,9 +33,24 @@ val create :
 (** Spawns [queue_depth] (default 4) service fibers labelled ["io"].
     [obs] (default disabled) records a ["raid io"] span per serviced I/O
     with stripe mix args, plus service-time histogram and I/O counters
-    under the ["raid."] metric prefix. *)
+    under the ["raid."] metric prefix.  [flash] (default none) attaches an
+    FTL media model: durable writes additionally program NAND pages —
+    charging program time and GC-induced stalls to the I/O before its
+    completion is signalled — and freed blocks should be {!trim}med. *)
 
 val rg : 'b t -> int
+
+val flash : 'b t -> Wafl_flash.Ftl.t option
+(** The attached FTL media model, if any. *)
+
+val set_stream_of : 'b t -> ('b -> int) -> unit
+(** Install the payload -> flash-write-stream classifier (default: all
+    payloads to stream 0).  Only consulted when a flash model is
+    attached. *)
+
+val trim : 'b t -> Geometry.vbn -> unit
+(** Tell the FTL this block's previous contents are dead (no-op without a
+    flash model).  Callable outside fiber context. *)
 
 val read : 'b t -> Geometry.vbn -> [ `Ok of 'b | `Degraded of 'b | `Absent | `Lost ]
 (** Fault-aware read path.  [`Degraded] means the payload was

@@ -7,6 +7,7 @@ module Aff = Wafl_waffinity.Affinity
 type workload =
   | Seq_write of { file_blocks : int }
   | Rand_write of { file_blocks : int }
+  | Skewed_write of { file_blocks : int; hot_fraction : float; hot_rate : float }
   | Mixed_write of { file_blocks : int; random_fraction : float }
   | Oltp of { file_blocks : int; read_fraction : float }
   | Nfs_mix of { files_per_client : int; file_blocks : int }
@@ -31,6 +32,7 @@ type spec = {
   nvlog_half : int;
   watermarks : Nvlog.watermarks option;
   open_loop : open_loop option;
+  flash : Wafl_flash.Ftl.config option;
   cache_blocks : int;
   warmup : float;
   measure : float;
@@ -61,6 +63,7 @@ let default_spec =
     nvlog_half = 16384;
     watermarks = None;
     open_loop = None;
+    flash = None;
     cache_blocks = 65536;
     warmup = 300_000.0;
     measure = 1_000_000.0;
@@ -121,6 +124,13 @@ type result = {
   nvlog_exhausted : int;  (** writes refused on an exhausted NVLog (must be 0 with watermarks) *)
   tenants : tenant_stat array;  (** per-tenant breakdown; [||] for closed-loop runs *)
   races : int;  (** race-detector reports (0 unless [sanitize]; must stay 0) *)
+  (* flash media model, measured over the window; all zero / 1.0 without
+     a media model attached *)
+  flash_host_pages : int;
+  flash_gc_pages : int;
+  flash_erases : int;
+  flash_gc_stall_us : float;
+  waf : float;  (** (host + gc pages) / host pages over the window; 1.0 when idle *)
 }
 
 let cores_write_alloc r = r.cores_cleaner +. r.cores_infra
@@ -166,6 +176,14 @@ let gen_op workload rng cf cursor =
       cursor := (idx + 1) mod total_blocks cf;
       Write idx
   | Rand_write _ -> Write (Wafl_util.Rng.int rng (total_blocks cf))
+  | Skewed_write { hot_fraction; hot_rate; _ } ->
+      (* The first [hot_fraction] of the blocks takes [hot_rate] of the
+         writes — the hot/cold lifetime skew the flash streaming policy
+         exploits. *)
+      let total = total_blocks cf in
+      let hot = max 1 (min (total - 1) (int_of_float (hot_fraction *. float_of_int total))) in
+      if Wafl_util.Rng.float rng 1.0 < hot_rate then Write (Wafl_util.Rng.int rng hot)
+      else Write (hot + Wafl_util.Rng.int rng (total - hot))
   | Mixed_write { random_fraction; _ } ->
       if Wafl_util.Rng.float rng 1.0 < random_fraction then
         Write (Wafl_util.Rng.int rng (total_blocks cf))
@@ -232,6 +250,7 @@ let memo_key spec =
       spec.nvlog_half,
       spec.watermarks,
       spec.open_loop,
+      spec.flash,
       spec.cache_blocks,
       spec.warmup,
       spec.measure,
@@ -245,7 +264,8 @@ let run_uncached spec =
   let obs = spec.obs eng in
   let agg =
     Aggregate.create eng ~cost:spec.cost ~geometry:spec.geometry ~nvlog_half:spec.nvlog_half
-      ?nvlog_watermarks:spec.watermarks ~cache_blocks:spec.cache_blocks ~obs ()
+      ?nvlog_watermarks:spec.watermarks ?flash:spec.flash ~cache_blocks:spec.cache_blocks ~obs
+      ()
   in
   let walloc = Wafl_core.Walloc.create ~obs agg spec.cfg in
   let cp = Wafl_core.Walloc.cp walloc in
@@ -255,6 +275,7 @@ let run_uncached spec =
     match spec.workload with
     | Seq_write { file_blocks }
     | Rand_write { file_blocks }
+    | Skewed_write { file_blocks; _ }
     | Mixed_write { file_blocks; _ }
     | Oltp { file_blocks; _ } ->
         (1, file_blocks)
@@ -396,7 +417,8 @@ let run_uncached spec =
                     (let c = spec.cost in
                      match spec.workload with
                      | Seq_write _ | Nfs_mix _ -> Engine.consume c.Cost.client_write
-                     | Rand_write _ | Oltp _ -> Engine.consume c.Cost.client_write_random
+                     | Rand_write _ | Skewed_write _ | Oltp _ ->
+                         Engine.consume c.Cost.client_write_random
                      | Mixed_write { random_fraction; _ } ->
                          (* Interpolate the client-side cost with the mix. *)
                          Engine.consume
@@ -601,6 +623,13 @@ let run_uncached spec =
   let base_partial = stripes_of Wafl_storage.Raid.partial_stripes in
   let ctrs = Aggregate.counters agg in
   let base_stall = Aggregate.stall_time agg in
+  let ftls = Aggregate.ftls agg in
+  let flash_sum f = List.fold_left (fun acc ftl -> acc + f ftl) 0 ftls in
+  let flash_sumf f = List.fold_left (fun acc ftl -> acc +. f ftl) 0.0 ftls in
+  let base_fhost = flash_sum Wafl_flash.Ftl.host_pages in
+  let base_fgc = flash_sum Wafl_flash.Ftl.gc_pages in
+  let base_ferase = flash_sum Wafl_flash.Ftl.erases in
+  let base_fstall = flash_sumf Wafl_flash.Ftl.gc_stall_us in
   let base_b2b = Counters.read ctrs "b2b_cps" in
   let base_b2b_ep = Counters.read ctrs "b2b_episodes" in
   let base_exh = Counters.read ctrs "nvlog_exhausted_writes" in
@@ -683,8 +712,30 @@ let run_uncached spec =
                 })
               tstats);
       races = Engine.race_report_count eng;
+      flash_host_pages = flash_sum Wafl_flash.Ftl.host_pages - base_fhost;
+      flash_gc_pages = flash_sum Wafl_flash.Ftl.gc_pages - base_fgc;
+      flash_erases = flash_sum Wafl_flash.Ftl.erases - base_ferase;
+      flash_gc_stall_us = flash_sumf Wafl_flash.Ftl.gc_stall_us -. base_fstall;
+      waf =
+        (let host = flash_sum Wafl_flash.Ftl.host_pages - base_fhost in
+         let gc = flash_sum Wafl_flash.Ftl.gc_pages - base_fgc in
+         if host = 0 then 1.0 else float_of_int (host + gc) /. float_of_int host);
     }
   in
+  Aggregate.refresh_flash_counters agg;
+  (match Sys.getenv_opt "WAFL_FLASH_DEBUG" with
+  | Some _ when ftls <> [] ->
+      List.iter
+        (fun f ->
+          Printf.eprintf
+            "[flash dbg] blocks %d free %d valid %d host %d gc %d erases %d trims %d streams [%s]\n%!"
+            (Wafl_flash.Ftl.block_count f) (Wafl_flash.Ftl.free_blocks f)
+            (Wafl_flash.Ftl.valid_pages f) (Wafl_flash.Ftl.host_pages f)
+            (Wafl_flash.Ftl.gc_pages f) (Wafl_flash.Ftl.erases f) (Wafl_flash.Ftl.trims f)
+            (String.concat ";"
+               (Array.to_list (Array.map string_of_int (Wafl_flash.Ftl.stream_appended f)))))
+        ftls
+  | _ -> ());
   stop := true;
   (* Per-run virtual time accumulates in the process-wide registry so the
      bench harness can report simulated seconds next to wall seconds. *)

@@ -16,6 +16,10 @@ type workload =
           file, wrapping (every write is an overwrite) *)
   | Rand_write of { file_blocks : int }
       (** uniformly random overwrites within each client's file *)
+  | Skewed_write of { file_blocks : int; hot_fraction : float; hot_rate : float }
+      (** random overwrites with lifetime skew: the first [hot_fraction]
+          of each file's blocks takes [hot_rate] of the writes — the
+          hot/cold mix the flash multi-stream policy segregates *)
   | Mixed_write of { file_blocks : int; random_fraction : float }
       (** a blend: each op is random with probability [random_fraction],
           else the next sequential block — used to locate the crossover
@@ -55,6 +59,10 @@ type spec = {
           bit-identical to the pre-watermark driver *)
   open_loop : open_loop option;
       (** [None] (default) runs the closed-loop clients *)
+  flash : Wafl_flash.Ftl.config option;
+      (** attach a {!Wafl_flash.Ftl} media model to every RAID group;
+          [None] (default) keeps the flat device and is bit-identical to
+          the pre-flash driver *)
   cache_blocks : int;  (** read buffer cache capacity *)
   warmup : float;  (** virtual µs *)
   measure : float;
@@ -137,6 +145,15 @@ type result = {
           back-pressure must keep this at 0 *)
   tenants : tenant_stat array;  (** open-loop runs only; [[||]] otherwise *)
   races : int;  (** race-detector reports (0 unless [sanitize]; must stay 0) *)
+  flash_host_pages : int;  (** NAND pages programmed for host writes in the window *)
+  flash_gc_pages : int;  (** pages relocated by the FTL's GC in the window *)
+  flash_erases : int;
+  flash_gc_stall_us : float;
+      (** host service time lost waiting for the GC to free erase blocks *)
+  waf : float;
+      (** measured write amplification over the window,
+          [(host + gc) / host]; 1.0 without a media model or without host
+          writes *)
 }
 
 val cores_write_alloc : result -> float

@@ -108,6 +108,8 @@ let test_repo_lib_clean () =
   let prog, units = Load.load_program [ Filename.concat test_dir "../lib" ] in
   if List.length units < 30 then
     Alcotest.failf "expected the full library set, found only %d units" (List.length units);
+  if not (List.mem "Ftl" units) then
+    Alcotest.fail "expected the flash FTL unit (lib/flash) among the analyzed units";
   match Passes.run_all prog with
   | [] -> ()
   | f :: _ as fs ->

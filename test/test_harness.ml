@@ -50,6 +50,11 @@ let synthetic ?(throughput = 100_000.0) ?(cores_cleaner = 1.0) ?(cores_infra = 0
     nvlog_exhausted = 0;
     tenants = [||];
     races = 0;
+    flash_host_pages = 0;
+    flash_gc_pages = 0;
+    flash_erases = 0;
+    flash_gc_stall_us = 0.0;
+    waf = 1.0;
   }
 
 let all_ok shapes = List.for_all snd shapes
