@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke flash-smoke check bench bench-quick bench-gate bench-gate-fast clean
+.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke shard-smoke flash-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -46,11 +46,13 @@ analyze:
 
 # Sanitized smoke: an ad-hoc run plus the 5-seed crash harness under the
 # race detector and affinity-isolation checker.  Any race report or
-# isolation violation fails the target.
+# isolation violation fails the target.  The crash seeds fan over two
+# worker domains — explicitly, so the pool path is exercised even on a
+# single-core host where the default would serialize.
 sanitize:
 	dune build bin/wafl_sim.exe
 	dune exec bin/wafl_sim.exe -- run --measure 0.5 --sanitize
-	dune exec bin/wafl_sim.exe -- crash --seeds 5 --sanitize
+	dune exec bin/wafl_sim.exe -- crash --seeds 5 --sanitize --domains 2
 
 # Observability smoke: a tiny traced run must export a trace file that
 # is valid Chrome trace-event JSON (the obs test suite checks the JSON
@@ -66,9 +68,12 @@ trace-smoke:
 # connected critical path from an acyclic DAG.  The figure run's exit
 # code is ignored (shape checks can MISS at reduced scale); the greps
 # are the gate.
+# (--domains 2 routes the figure's runs through the worker pool; a
+# traced/causal run serializes them again internally so the single
+# trace ring stays ordered — the flag still exercises the pool setup.)
 analyze-smoke:
 	dune build bin/wafl_sim.exe
-	-dune exec --no-build bin/wafl_sim.exe -- fig6 --scale 0.1 --causal _build/causal_smoke.json > _build/analyze_smoke_run.txt 2>&1
+	-dune exec --no-build bin/wafl_sim.exe -- fig6 --scale 0.1 --domains 2 --causal _build/causal_smoke.json > _build/analyze_smoke_run.txt 2>&1
 	@grep -q "0 dropped" _build/analyze_smoke_run.txt || { echo "analyze smoke FAILED: causal run dropped trace events"; exit 1; }
 	dune exec --no-build bin/wafl_sim.exe -- analyze _build/causal_smoke.json > _build/analyze_smoke.txt
 	@grep -q "dropped events: 0" _build/analyze_smoke.txt || { echo "analyze smoke FAILED: analyzer saw dropped events"; exit 1; }
@@ -84,8 +89,17 @@ analyze-smoke:
 # (victim p99 within 2x baseline with QoS on, no NVRAM exhaustion, ...).
 overload-smoke:
 	dune build bin/wafl_sim.exe
-	dune exec --no-build bin/wafl_sim.exe -- overload --scale 0.25
-	dune exec --no-build bin/wafl_sim.exe -- crash --overload --seeds 5
+	dune exec --no-build bin/wafl_sim.exe -- overload --scale 0.25 --domains 2
+	dune exec --no-build bin/wafl_sim.exe -- crash --overload --seeds 5 --domains 2
+
+# Shard smoke: a quarter-scale fleet run on the conservative-lookahead
+# partitioned engine — 3 aggregate shards coupled through the global
+# CP-epoch barrier and fleet telemetry, windows executed on 2 worker
+# domains.  The command exits non-zero on any shape miss and prints a
+# run digest that is byte-identical at any domain count.
+shard-smoke:
+	dune build bin/wafl_sim.exe
+	dune exec --no-build bin/wafl_sim.exe -- shard --scale 0.25 --shards 3 --domains 2
 
 # Flash smoke: the quarter-scale NAND media-model experiment (WAF vs
 # device fill / OP / multi-stream write allocation; exits non-zero on
@@ -94,8 +108,8 @@ overload-smoke:
 # crashes land mid-GC-cycle and the volatile L2P is rebuilt on recovery.
 flash-smoke:
 	dune build bin/wafl_sim.exe
-	dune exec --no-build bin/wafl_sim.exe -- flash --scale 0.25
-	dune exec --no-build bin/wafl_sim.exe -- crash --flash --seeds 5
+	dune exec --no-build bin/wafl_sim.exe -- flash --scale 0.25 --domains 2
+	dune exec --no-build bin/wafl_sim.exe -- crash --flash --seeds 5 --domains 2
 
 # Full gate: build everything (lib/ with warnings as errors), run the
 # whole test suite (including the Wafl_obs suite: span nesting, trace
@@ -113,7 +127,8 @@ check:
 	$(MAKE) analyze-smoke
 	$(MAKE) overload-smoke
 	$(MAKE) flash-smoke
-	dune exec bin/wafl_sim.exe -- crash --seeds 5
+	$(MAKE) shard-smoke
+	dune exec bin/wafl_sim.exe -- crash --seeds 5 --domains 2
 	$(MAKE) bench-gate-fast
 
 bench:

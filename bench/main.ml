@@ -66,36 +66,41 @@ let timed name f =
   shapes
 
 (* BENCH_paper.json schema (all times in the named unit):
-     { "schema": "wafl-bench/5",
+     { "schema": "wafl-bench/6",
        "scale": float,            -- WAFL_SCALE factor of THIS run
+       "domains": int,            -- worker domains the harness fanned over
        "total_wall_s": float,
        "total_virtual_us": float, -- simulated time of actually-executed
                                   -- runs (memoized cache hits add none)
+       "speedup_vs_d1": float,    -- present when the file holds a 1-domain
+                                  -- run at the same scale: its wall / ours
        "shapes_ok": int, "shapes_total": int,
        "figures": [ { "name": str, "wall_s": float, "virtual_us": float,
                       "write_ops": int,        -- client writes, cache hits included
                       "write_p50_us": float,   -- end-to-end write latency
                       "write_p99_us": float,
                       "shapes": [ { "name": str, "ok": bool } ] } ],
-       "runs_by_scale": { "0.25": { scale, total_wall_s, total_virtual_us,
-                                    shapes_ok, shapes_total, figures },
-                          "1.00": { ... } } }
+       "runs_by_config": { "0.25/d1": { scale, domains, total_wall_s, ... },
+                           "0.25/d4": { ... }, "1.00/d1": { ... } } }
    The top-level fields describe the run that last wrote the file (v1
-   compatibility, and what `make bench-gate` compares); "runs_by_scale"
-   keeps the latest run per scale so one file records both the
-   quarter-scale smoke and the full-scale suite.  Figures appear in
-   execution order; "shapes" are the qualitative paper-vs-measured
-   assertions also printed in the shape summary.  v3 adds the per-figure
-   end-to-end write-latency fields; v4 adds figure-specific extra
-   columns — the overload figure carries
+   compatibility, and what `make bench-gate` compares); "runs_by_config"
+   keeps the latest run per (scale, domains) pair so one file records
+   the quarter-scale smoke, the full-scale suite, and serial-vs-parallel
+   pairs whose results are byte-identical by construction (only wall
+   time differs).  Figures appear in execution order; "shapes" are the
+   qualitative paper-vs-measured assertions also printed in the shape
+   summary.  v3 adds the per-figure end-to-end write-latency fields; v4
+   adds figure-specific extra columns — the overload figure carries
      "overload": [ { "scenario": str, "goodput_ops_s": float,
                      "shed_rate": float, "victim_p99_us": float } ]
    with one row per scenario; v5 adds the flash media-model figure with
      "flash": [ { "scenario": str, "waf": float, "gc_stall_ms": float,
                   "write_p99_us": float } ]
-   per scenario.  Older files (without them) are still read for
-   "runs_by_scale" carry-over. *)
-let run_record ~scale ~total_wall =
+   per scenario; v6 adds "domains", "speedup_vs_d1" and renames
+   "runs_by_scale" to the (scale, domains)-keyed "runs_by_config" —
+   legacy v2..v5 entries are carried over under "SCALE/d1".  Older
+   files (without these fields) are still read for carry-over. *)
+let run_record ~scale ~domains ~total_wall =
   let figs =
     List.rev_map
       (fun r ->
@@ -121,6 +126,7 @@ let run_record ~scale ~total_wall =
   let shapes = List.concat_map (fun r -> r.r_shapes) !records in
   [
     ("scale", J.Num scale);
+    ("domains", J.Num (float_of_int domains));
     ("total_wall_s", J.Num total_wall);
     ("total_virtual_us", J.Num (virtual_total ()));
     ("shapes_ok", J.Num (float_of_int (List.length (List.filter snd shapes))));
@@ -128,8 +134,10 @@ let run_record ~scale ~total_wall =
     ("figures", J.Arr figs);
   ]
 
-(* Latest run per scale from an existing v2/v3 file, minus the scale
-   being rewritten; a v1 file (or no file) contributes nothing. *)
+(* Latest run per (scale, domains) config from an existing file, minus
+   the key being rewritten; a v1 file (or no file) contributes nothing.
+   Pre-v6 files carried one run per scale in "runs_by_scale" — those
+   runs were all single-domain, so they carry over as "SCALE/d1". *)
 let previous_runs ~except path =
   match open_in path with
   | exception Sys_error _ -> []
@@ -138,28 +146,52 @@ let previous_runs ~except path =
       let body = really_input_string ic len in
       close_in ic;
       match J.of_string body with
-      | Ok doc
-        when J.member "schema" doc = Some (J.Str "wafl-bench/2")
-             || J.member "schema" doc = Some (J.Str "wafl-bench/3")
-             || J.member "schema" doc = Some (J.Str "wafl-bench/4")
-             || J.member "schema" doc = Some (J.Str "wafl-bench/5") -> (
-          match J.member "runs_by_scale" doc with
-          | Some (J.Obj runs) -> List.filter (fun (k, _) -> k <> except) runs
-          | _ -> [])
+      | Ok doc -> (
+          let runs =
+            match (J.member "schema" doc, J.member "runs_by_config" doc) with
+            | Some (J.Str "wafl-bench/6"), Some (J.Obj runs) -> runs
+            | Some (J.Str ("wafl-bench/2" | "wafl-bench/3" | "wafl-bench/4" | "wafl-bench/5")), _
+              -> (
+                match J.member "runs_by_scale" doc with
+                | Some (J.Obj runs) -> List.map (fun (k, v) -> (k ^ "/d1", v)) runs
+                | _ -> [])
+            | _ -> []
+          in
+          List.filter (fun (k, _) -> k <> except) runs)
       | _ -> [])
 
-let write_json ~scale ~total_wall path =
-  let this_run = run_record ~scale ~total_wall in
-  let key = Printf.sprintf "%.2f" scale in
-  let runs = previous_runs ~except:key path @ [ (key, J.Obj this_run) ] in
+let config_key ~scale ~domains = Printf.sprintf "%.2f/d%d" scale domains
+
+let write_json ~scale ~domains ~total_wall path =
+  let this_run = run_record ~scale ~domains ~total_wall in
+  let key = config_key ~scale ~domains in
+  let prev = previous_runs ~except:key path in
+  (* Like-for-like speedup: the stored single-domain run at the same
+     scale, if the file has one (this run itself when domains = 1). *)
+  let speedup =
+    if domains = 1 then []
+    else
+      match List.assoc_opt (config_key ~scale ~domains:1) prev with
+      | Some base -> (
+          match J.member "total_wall_s" base with
+          | Some (J.Num base_wall) when total_wall > 0.0 ->
+              [ ("speedup_vs_d1", J.Num (base_wall /. total_wall)) ]
+          | _ -> [])
+      | None -> []
+  in
+  let this_run = this_run @ speedup in
+  let runs = prev @ [ (key, J.Obj this_run) ] in
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
   let doc =
-    J.Obj ((("schema", J.Str "wafl-bench/5") :: this_run) @ [ ("runs_by_scale", J.Obj runs) ])
+    J.Obj ((("schema", J.Str "wafl-bench/6") :: this_run) @ [ ("runs_by_config", J.Obj runs) ])
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
+  (match speedup with
+  | [ (_, J.Num s) ] -> Printf.printf "speedup vs 1-domain run at scale %.2f: %.2fx\n%!" scale s
+  | _ -> ());
   Printf.printf "wrote %s\n%!" path
 
 (* WAFL_BENCH_ONLY="fig4,history" restricts the suite to the named
@@ -380,11 +412,19 @@ let () =
      deterministic, so let the driver return cached results for them.
      Per-figure virtual time then counts only actually-executed runs. *)
   Wafl_workload.Driver.memoize := true;
-  Printf.printf "WAFL White Alligator reproduction benchmark harness (scale %.2f)\n" scale;
+  (* Fan independent runs within each figure over the host's cores
+     (WAFL_DOMAINS overrides).  Results are byte-identical at any
+     count — only wall time changes — so the recorded domain count
+     matters only for like-for-like wall-time comparison. *)
+  let domains = Wafl_util.Pool.default_domains () in
+  H.Exp.domains := domains;
+  Printf.printf "WAFL White Alligator reproduction benchmark harness (scale %.2f, %d domain%s)\n"
+    scale domains
+    (if domains = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
   figures scale;
   if want "micro" then micro ();
   let total_wall = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal wall time: %.1fs\n" total_wall;
   let out = Option.value ~default:"BENCH_paper.json" (Sys.getenv_opt "WAFL_BENCH_OUT") in
-  write_json ~scale ~total_wall out
+  write_json ~scale ~domains ~total_wall out

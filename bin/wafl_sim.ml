@@ -9,6 +9,17 @@ let scale_arg =
   let doc = "Scale factor for measurement windows and working sets (1.0 = paper scale)." in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker-domain count for host-parallel execution of independent runs (experiment rows, \
+     crash seeds, partition windows). Results are byte-identical at any value; the default \
+     comes from WAFL_DOMAINS or the host core count. Tracing forces serial execution."
+  in
+  Arg.(
+    value
+    & opt int (Wafl_util.Pool.default_domains ())
+    & info [ "domains" ] ~docv:"N" ~doc)
+
 let sanitize_arg =
   let doc =
     "Run under the race detector and affinity-isolation checker. Any report aborts with a \
@@ -45,8 +56,9 @@ let report_drops t =
 
 let run_experiment name runner =
   let doc = Printf.sprintf "Reproduce %s." name in
-  let action scale sanitize trace_out causal_out =
+  let action scale sanitize domains trace_out causal_out =
     H.Exp.sanitize := sanitize;
+    H.Exp.domains := max 1 domains;
     let last = ref Wafl_obs.Trace.disabled in
     let out =
       match (causal_out, trace_out) with
@@ -80,7 +92,7 @@ let run_experiment name runner =
     if List.for_all snd shapes then `Ok () else `Error (false, "some shape checks missed")
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(ret (const action $ scale_arg $ sanitize_arg $ trace_arg $ causal_arg))
+    Term.(ret (const action $ scale_arg $ sanitize_arg $ domains_arg $ trace_arg $ causal_arg))
 
 let fig4 scale =
   let rows = H.Fig4.run ~scale () in
@@ -345,10 +357,10 @@ let analyze_cmd =
 
 (* --- randomized crash-point harness --- *)
 
-let crash_run seeds first_seed ops fbn_space horizon verbose sanitize overload flash =
+let crash_run seeds first_seed ops fbn_space horizon verbose sanitize overload flash domains =
   let outcomes =
-    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~overload ~flash ~first_seed
-      ~count:seeds ()
+    H.Crash.run_seeds ~ops ~fbn_space ~horizon ~sanitize ~overload ~flash
+      ~domains:(max 1 domains) ~first_seed ~count:seeds ()
   in
   if verbose then
     List.iter
@@ -386,7 +398,30 @@ let crash_cmd =
     Term.(
       ret
         (const crash_run $ seeds $ first_seed $ ops $ fbn_space $ horizon $ verbose
-       $ sanitize_arg $ overload $ flash))
+       $ sanitize_arg $ overload $ flash $ domains_arg))
+
+(* --- fleet shard on the partitioned engine --- *)
+
+let shard_run scale shards domains seed =
+  let shards = max 1 shards and domains = max 1 domains in
+  let o = H.Shard.run ~scale ~shards ~domains ~seed () in
+  H.Shard.print ~shards ~domains o;
+  let shapes = H.Shard.shapes o in
+  H.Exp.print_shapes shapes;
+  if List.for_all snd shapes then `Ok () else `Error (false, "some shape checks missed")
+
+let shard_cmd =
+  let doc =
+    "Fleet-sharded run on the conservative-lookahead partitioned engine: $(b,--shards) \
+     independent aggregate stacks advance on independently-clocked engine partitions \
+     (concurrently across $(b,--domains) worker domains), coupled through a global \
+     CP-epoch barrier and fleet telemetry messages. Output is byte-identical at any \
+     domain count; the printed digest makes that easy to check."
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Aggregate shards (engine partitions).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "shard" ~doc)
+    Term.(ret (const shard_run $ scale_arg $ shards $ domains_arg $ seed))
 
 let run_cmd =
   let doc = "Run one ad-hoc configuration and print its measurements." in
@@ -431,4 +466,5 @@ let () =
             trace_cmd;
             analyze_cmd;
             crash_cmd;
+            shard_cmd;
           ]))

@@ -18,7 +18,7 @@ let run_chunk ?(scale = 1.0) ?(chunks = [ 1; 8; 64; 128; 256 ]) () =
       measure = Float.max 100_000.0 (400_000.0 *. scale);
     }
   in
-  List.map
+  Exp.par_map
     (fun chunk ->
       let cfg = { (Exp.wa_config ~cleaners:6 ~max_cleaners:6 ()) with Wafl_core.Walloc.chunk } in
       { chunk; result = Driver.run { spec with Driver.cfg } })
@@ -84,7 +84,7 @@ let run_ranges ?(scale = 1.0) ?(range_counts = [ 1; 2; 4; 8; 16 ]) () =
       Driver.workload = Driver.Rand_write { file_blocks = max 2048 (int_of_float (16384.0 *. scale)) };
     }
   in
-  List.map
+  Exp.par_map
     (fun ranges ->
       let cfg = { (Exp.wa_config ~cleaners:6 ~max_cleaners:6 ()) with Wafl_core.Walloc.ranges } in
       { ranges; result = Driver.run { spec with Driver.cfg } })

@@ -12,7 +12,7 @@ let run ?(scale = 1.0) () =
       nvlog_half = 4096;
     }
   in
-  List.map
+  Exp.par_map
     (fun batching ->
       let cfg = Exp.wa_config ~cleaners:4 ~batching () in
       { batching; result = Driver.run { spec with Driver.cfg } })

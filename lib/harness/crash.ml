@@ -224,9 +224,14 @@ let run_one ?(ops = 100_000) ?(fbn_space = 700) ?(horizon = 60_000.0) ?(sanitize
 
 let passed o = o.lost = 0 && o.fsck_failure = None
 
-let run_seeds ?ops ?fbn_space ?horizon ?sanitize ?overload ?flash ~first_seed ~count () =
-  List.init count (fun i ->
-      run_one ?ops ?fbn_space ?horizon ?sanitize ?overload ?flash ~seed:(first_seed + i) ())
+(* Seeds are fully independent runs (each builds its own engines), so
+   they fan out over worker domains; the outcome list keeps seed order,
+   byte-identical to a serial sweep at any [domains]. *)
+let run_seeds ?ops ?fbn_space ?horizon ?sanitize ?overload ?flash ?(domains = 1) ~first_seed
+    ~count () =
+  Wafl_util.Pool.map ~domains
+    (fun seed -> run_one ?ops ?fbn_space ?horizon ?sanitize ?overload ?flash ~seed ())
+    (List.init count (fun i -> first_seed + i))
 
 let summarize outcomes =
   let n = List.length outcomes in

@@ -75,7 +75,11 @@ val passed : outcome -> bool
 
 val run_seeds :
   ?ops:int -> ?fbn_space:int -> ?horizon:float -> ?sanitize:bool -> ?overload:bool ->
-  ?flash:bool -> first_seed:int -> count:int -> unit -> outcome list
+  ?flash:bool -> ?domains:int -> first_seed:int -> count:int -> unit -> outcome list
+(** [count] outcomes for consecutive seeds from [first_seed], in seed
+    order.  [domains] (default 1) fans the seeds out over that many
+    worker domains ({!Wafl_util.Pool}); outcomes are byte-identical at
+    any domain count. *)
 
 val summarize : outcome list -> string
 (** Multi-line human-readable summary: pass/fail count, how many seeds

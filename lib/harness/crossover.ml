@@ -6,7 +6,7 @@ type row = { random_fraction : float; result : Driver.result }
 let run ?(scale = 1.0) ?(fractions = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) () =
   let file_blocks = max 2048 (int_of_float (16384.0 *. scale)) in
   let spec = Exp.spec_base ~scale in
-  List.map
+  Exp.par_map
     (fun random_fraction ->
       let workload = Driver.Mixed_write { file_blocks; random_fraction } in
       {

@@ -13,6 +13,21 @@ let sanitize = ref false
    [spec_base] attaches a tracer built by this factory. *)
 let trace : (Wafl_sim.Engine.t -> Wafl_obs.Trace.t) option ref = ref None
 
+(* Worker-domain fan-out for experiment sweep points (the CLI's
+   --domains flag; the bench harness and Makefile smoke targets set it
+   from WAFL_DOMAINS / the host core count).  1 = serial. *)
+let domains = ref 1
+
+(* Experiment rows are independent seeded runs, so they execute
+   concurrently and merge in input order — byte-identical to a serial
+   sweep (tested in test_domains.ml).  Tracing forces the serial path:
+   the CLI's tracer factory captures the tracer of the *last started*
+   run through a ref, which only means something when rows start in
+   order. *)
+let par_map f xs =
+  let domains = if !trace <> None then 1 else !domains in
+  Wafl_util.Pool.map ~domains f xs
+
 let spec_base ~scale =
   let d = Driver.default_spec in
   {

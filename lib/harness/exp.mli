@@ -19,6 +19,19 @@ val trace : (Wafl_sim.Engine.t -> Wafl_obs.Trace.t) option ref
     tracer via a [ref] inside the closure to export it after the run.
     Tracing never changes results. *)
 
+val domains : int ref
+(** Worker-domain count for experiment fan-out (the CLI's --domains
+    flag).  1 (the default) runs sweeps serially; [n > 1] lets
+    {!par_map} execute up to [n] rows concurrently. *)
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** Map over independent sweep points (experiment rows, scenario
+    matrices), executing up to [!domains] of them concurrently on
+    worker domains ({!Wafl_util.Pool}).  Results keep input order, so
+    the sweep is byte-identical to [List.map] at any domain count.
+    When a tracer factory is installed ({!trace}), falls back to
+    serial: trace capture is start-order-dependent. *)
+
 val spec_base : scale:float -> Wafl_workload.Driver.spec
 (** The common 20-core paper-platform spec: SSD aggregate of 2 RAID
     groups x (10 + 2) drives, 40 Fibre-Channel-style clients, 2 volumes,

@@ -5,7 +5,7 @@ type row = { threads : int; result : Driver.result }
 
 let run ?(scale = 1.0) ?(thread_counts = [ 1; 2; 3; 4; 6; 8 ]) () =
   let spec = Exp.spec_base ~scale in
-  List.map
+  Exp.par_map
     (fun threads ->
       let cfg = Exp.wa_config ~cleaners:threads ~max_cleaners:threads () in
       { threads; result = Driver.run { spec with Driver.cfg } })

@@ -29,7 +29,7 @@ let run ?(scale = 1.0) () =
   let configs = [ Static 1; Static 2; Static 3; Static 4; Dynamic ] in
   (* Peak: closed loop at full tilt. *)
   let peaks =
-    List.map (fun c -> (c, Driver.run { spec with Driver.cfg = walloc_config c })) configs
+    Exp.par_map (fun c -> (c, Driver.run { spec with Driver.cfg = walloc_config c })) configs
   in
   let best_peak =
     List.fold_left (fun acc (_, r) -> Float.max acc r.Driver.throughput) 0.0 peaks
@@ -43,7 +43,7 @@ let run ?(scale = 1.0) () =
   let think =
     Float.max 20.0 ((float_of_int spec.Driver.clients /. target *. 1_000_000.0) -. 60.0)
   in
-  List.map
+  Exp.par_map
     (fun (c, peak) ->
       let knee =
         Driver.run { spec with Driver.cfg = walloc_config c; think_time = think }

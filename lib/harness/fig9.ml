@@ -18,7 +18,9 @@ let think_of_level ~levels level =
 
 let run ?(scale = 1.0) ?(levels = 4) () =
   let spec = Exp.spec_base ~scale in
-  List.map
+  (* Fan out across configs; the load levels within one series stay
+     serial (one level of parallelism — see Wafl_util.Pool). *)
+  Exp.par_map
     (fun config ->
       let cfg = walloc_config config in
       let points =

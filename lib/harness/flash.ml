@@ -127,7 +127,7 @@ let spec ~scale ~scenario =
       }
 
 let run_one ~scale scenario = { scenario; r = Driver.run (spec ~scale ~scenario) }
-let run ?(scale = 1.0) () = List.map (run_one ~scale) scenarios
+let run ?(scale = 1.0) () = Exp.par_map (run_one ~scale) scenarios
 let find rows scenario = List.find (fun row -> row.scenario = scenario) rows
 
 (* --- bench accessors ---------------------------------------------------- *)

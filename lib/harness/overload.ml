@@ -89,7 +89,7 @@ let run_one ~scale scenario =
     (victims row);
   row
 
-let run ?(scale = 1.0) () = List.map (run_one ~scale) [ Isolated; Noisy_off; Noisy_on ]
+let run ?(scale = 1.0) () = Exp.par_map (run_one ~scale) [ Isolated; Noisy_off; Noisy_on ]
 
 let find rows scenario = List.find (fun row -> row.scenario = scenario) rows
 

@@ -14,13 +14,19 @@ let run ?(cleaners = 6) ~workload ~scale () =
       ("white alligator (both)", Exp.wa_config ~cleaners ~max_cleaners:cleaners ~parallel_infra:true ());
     ]
   in
-  let baseline = ref 0.0 in
+  (* Rows run concurrently (Exp.par_map), so the serialized baseline is
+     taken from the first row's result afterwards, not via a ref inside
+     the loop. *)
+  let results =
+    Exp.par_map (fun (name, cfg) -> (name, Driver.run { base_spec with Driver.cfg })) configs
+  in
+  let baseline =
+    match results with (_, r) :: _ -> r.Driver.throughput | [] -> 0.0
+  in
   List.map
-    (fun (name, cfg) ->
-      let result = Driver.run { base_spec with Driver.cfg } in
-      if !baseline = 0.0 then baseline := result.Driver.throughput;
-      { name; result; gain = Exp.gain_pct ~baseline:!baseline result.Driver.throughput })
-    configs
+    (fun (name, result) ->
+      { name; result; gain = Exp.gain_pct ~baseline result.Driver.throughput })
+    results
 
 let print ~title rows =
   Printf.printf "\n%s\n" title;

@@ -47,9 +47,12 @@ let disabled = { state = None }
 let enabled t = t.state <> None
 
 (* Writes to this registry are lost by design: disabled instrumentation
-   that registers instruments anyway lands here. *)
-let null_metrics = Metrics.create ()
-let metrics t = match t.state with Some s -> s.metrics | None -> null_metrics
+   that registers instruments anyway lands here.  One registry per
+   domain (not one per process): concurrent untraced runs on worker
+   domains (Wafl_util.Pool) would otherwise race on the registry's
+   hash tables. *)
+let null_metrics_key : Metrics.t Domain.DLS.key = Domain.DLS.new_key Metrics.create
+let metrics t = match t.state with Some s -> s.metrics | None -> Domain.DLS.get null_metrics_key
 let engine t = Option.map (fun s -> s.eng) t.state
 
 (* --- metric sampling ----------------------------------------------------- *)

@@ -1,8 +1,9 @@
-(* Effects carry no payload: the float operand travels through [pending]
-   (a flat one-field float record, so the write never allocates).  The
-   handler reads it synchronously before any other perform can run, so a
-   single shared cell is safe in this single-threaded simulation.  This
-   keeps a consume/sleep perform allocation-free. *)
+(* Effects carry no payload: the float operand travels through the
+   domain-local [pending] field (a flat float field, so the write never
+   allocates).  The handler reads it synchronously before any other
+   perform can run on the same domain, so one cell per domain is safe —
+   each domain runs at most one engine at a time, strictly
+   sequentially.  This keeps a consume/sleep perform allocation-free. *)
 type _ Effect.t +=
   | Consume_e : unit Effect.t
   | Sleep_e : unit Effect.t
@@ -13,8 +14,6 @@ type _ Effect.t +=
    single-field float record is flat, so [x.v <- ...] allocates nothing.
    Used for the clock and the per-label busy accumulators. *)
 type fbox = { mutable v : float }
-
-let pending : fbox = { v = 0.0 }
 
 type state = Created | Runnable | Running | Sleeping | Parked | Done
 
@@ -77,9 +76,19 @@ and obs_hooks = {
   on_spawn : parent:int -> child:int -> now:float -> unit;
 }
 
-(* The engine currently executing [run], for the consume fast path.
-   Saved/restored around [run] so nested engines behave. *)
-let cur : t option ref = ref None
+(* Per-domain scheduler context: the engine currently executing [run]
+   on this domain (for the consume fast path; saved/restored around
+   [run] so nested engines behave) and the operand of an in-flight
+   consume/sleep perform.  Domain-local rather than process-global so
+   independent engines running concurrently on worker domains
+   (Wafl_util.Pool) never share scheduler state; within a domain the
+   simulation stays strictly sequential, exactly as before. *)
+type dctx = { mutable pending : float; mutable running : t option }
+
+let dctx_key : dctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { pending = 0.0; running = None })
+
+let dctx () = Domain.DLS.get dctx_key
 
 (* --- binary min-heap on (time, seq), struct-of-arrays --- *)
 
@@ -321,7 +330,7 @@ let finish_fiber t f =
 let start_fiber t f body =
   let consume_k (k : (unit, unit) Effect.Deep.continuation) =
     f.cont <- Some k;
-    let d = pending.v in
+    let d = (dctx ()).pending in
     charge t f d;
     (match t.obs_hooks with
     | Some h -> h.on_consume ~fid:f.fid ~label:f.label ~amount:d ~now:t.clock.v
@@ -332,7 +341,7 @@ let start_fiber t f body =
     f.cont <- Some k;
     f.state <- Sleeping;
     release_core t;
-    schedule t (t.clock.v +. pending.v) f ~resume:false
+    schedule t (t.clock.v +. (dctx ()).pending) f ~resume:false
   in
   let yield_k (k : (unit, unit) Effect.Deep.continuation) =
     f.cont <- Some k;
@@ -430,11 +439,12 @@ let spawn t ?(label = "other") ?(daemon = false) ?at body =
   f
 
 let run ?until t =
-  let saved = !cur in
-  cur := Some t;
+  let dc = dctx () in
+  let saved = dc.running in
+  dc.running <- Some t;
   t.run_limit <- (match until with Some l -> l | None -> infinity);
   Fun.protect
-    ~finally:(fun () -> cur := saved)
+    ~finally:(fun () -> dc.running <- saved)
     (fun () ->
       let stop = ref false in
       while not !stop do
@@ -484,6 +494,7 @@ let stalled_fibers t =
       t.all_fibers
 
 let live_fibers t = t.live
+let pending_work t = t.heap_len > 0 || not (Queue.is_empty t.runnable)
 
 (* --- fiber-context operations --- *)
 
@@ -498,7 +509,8 @@ let live_fibers t = t.live
    queued with the clock pinned at the limit, so that case suspends. *)
 let consume d =
   if d > 0.0 then begin
-    match !cur with
+    let dc = dctx () in
+    match dc.running with
     | Some t
       when t.current != dummy_fiber
            && Queue.is_empty t.runnable
@@ -512,13 +524,13 @@ let consume d =
         t.next_seq <- t.next_seq + 1;
         t.clock.v <- t.clock.v +. d
     | _ ->
-        pending.v <- d;
+        dc.pending <- d;
         Effect.perform Consume_e
   end
 
 let sleep d =
   if d > 0.0 then begin
-    pending.v <- d;
+    (dctx ()).pending <- d;
     Effect.perform Sleep_e
   end
   else Effect.perform Yield

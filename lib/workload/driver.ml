@@ -257,7 +257,18 @@ let memo_key spec =
       spec.seed,
       spec.sanitize ) )
 
-let memo_tbl = Hashtbl.create 32
+(* A memo entry is either a finished result or a claim by the run that
+   is currently executing the spec: with the harness fanning runs out
+   over worker domains (Wafl_util.Pool), two rows can ask for the same
+   spec concurrently, and both executing would double-count suite-level
+   accumulators (the virtual-time total below).  The second caller
+   waits on [memo_cond] for the first to publish.  [memo_lock] also
+   guards the other process-wide accumulators at the bottom of this
+   file ([latency_sink], the bench virtual-time counter): host-side
+   locking only, never held across simulated time. *)
+let memo_lock = Mutex.create ()
+let memo_cond = Condition.create ()
+let memo_tbl : (_, [ `Done of result | `Running ]) Hashtbl.t = Hashtbl.create 32
 
 let run_uncached spec =
   let eng = Engine.create ~cores:spec.cores ~sanitize:spec.sanitize () in
@@ -738,10 +749,14 @@ let run_uncached spec =
   | _ -> ());
   stop := true;
   (* Per-run virtual time accumulates in the process-wide registry so the
-     bench harness can report simulated seconds next to wall seconds. *)
+     bench harness can report simulated seconds next to wall seconds.
+     Registry lookup and add run under the host lock: concurrent runs on
+     worker domains share this registry. *)
+  Mutex.lock memo_lock;
   Wafl_obs.Metrics.addf
     (Wafl_obs.Metrics.counter Wafl_obs.Metrics.default "virtual_time_us")
     (Engine.now eng);
+  Mutex.unlock memo_lock;
   result
 
 (* When set, every run — including memoized cache hits, whose results
@@ -750,19 +765,50 @@ let run_uncached spec =
    per figure to report write p50/p99 next to wall time. *)
 let latency_sink : Wafl_util.Histogram.t option ref = ref None
 
-let run spec =
-  let r =
-    if not !memoize then run_uncached spec
-    else
-      let key = memo_key spec in
-      match Hashtbl.find_opt memo_tbl key with
-      | Some r -> r
-      | None ->
-          let r = run_uncached spec in
-          Hashtbl.add memo_tbl key r;
-          r
+(* Memoized run with in-flight dedup: exactly one caller executes each
+   unique spec; concurrent callers of the same spec wait for its result
+   rather than re-simulating (which would be correct but would
+   double-count the virtual-time total above).  If the executing run
+   raises, the claim is withdrawn so a waiter can retry. *)
+let run_memoized spec =
+  let key = memo_key spec in
+  Mutex.lock memo_lock;
+  let rec claim () =
+    match Hashtbl.find_opt memo_tbl key with
+    | Some (`Done r) -> `Hit r
+    | Some `Running ->
+        Condition.wait memo_cond memo_lock;
+        claim ()
+    | None ->
+        Hashtbl.add memo_tbl key `Running;
+        `Mine
   in
+  let claimed = claim () in
+  Mutex.unlock memo_lock;
+  match claimed with
+  | `Hit r -> r
+  | `Mine ->
+      let publish outcome =
+        Mutex.lock memo_lock;
+        (match outcome with
+        | Some r -> Hashtbl.replace memo_tbl key (`Done r)
+        | None -> Hashtbl.remove memo_tbl key);
+        Condition.broadcast memo_cond;
+        Mutex.unlock memo_lock
+      in
+      (match run_uncached spec with
+      | r ->
+          publish (Some r);
+          r
+      | exception e ->
+          publish None;
+          raise e)
+
+let run spec =
+  let r = if !memoize then run_memoized spec else run_uncached spec in
+  Mutex.lock memo_lock;
   (match !latency_sink with
   | Some dst -> Wafl_util.Histogram.merge_into ~dst r.write_latency
   | None -> ());
+  Mutex.unlock memo_lock;
   r

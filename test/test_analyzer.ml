@@ -99,6 +99,30 @@ let test_lock_cycle () =
         (List.exists (mentions "Fix_lock_cycle.b -> Fix_lock_cycle.a") f.Ir.detail)
   | fs -> Alcotest.failf "expected exactly one lock-order finding, got %d" (List.length fs)
 
+(* --- domain-safety ------------------------------------------------------- *)
+
+let test_domain_unsafe_flagged () =
+  Alcotest.(check bool)
+    "module-level ref written from pool closure flagged" true
+    (has_finding ~pass:"domain-safety" ~subject_sub:"Fix_domain_unsafe.racy_hits"
+       ~message_sub:"pool-executed closure" ());
+  Alcotest.(check bool)
+    "named worker function flagged" true
+    (has_finding ~pass:"domain-safety" ~subject_sub:"Fix_domain_unsafe.named_total" ())
+
+let test_domain_captured_flagged () =
+  Alcotest.(check bool)
+    "accumulator captured across the domain boundary flagged" true
+    (has_finding ~pass:"domain-safety" ~subject_sub:"Fix_domain_unsafe.run_captured.acc"
+       ~message_sub:"captured across the domain boundary" ())
+
+let test_domain_guarded_silent () =
+  (* The mutex-guarded twin follows the sanctioned discipline; the pass
+     must see the held lock and stay silent. *)
+  Alcotest.(check bool)
+    "mutex-guarded counter not flagged" false
+    (has_finding ~pass:"domain-safety" ~subject_sub:"guarded_total" ())
+
 (* --- clean repo --------------------------------------------------------- *)
 
 let test_repo_lib_clean () =
@@ -159,6 +183,12 @@ let () =
           Alcotest.test_case "transitive block under lock" `Quick test_blocking_transitive;
         ] );
       ("lock-order", [ Alcotest.test_case "AB/BA cycle" `Quick test_lock_cycle ]);
+      ( "domain-safety",
+        [
+          Alcotest.test_case "unguarded pool writes flagged" `Quick test_domain_unsafe_flagged;
+          Alcotest.test_case "captured accumulator flagged" `Quick test_domain_captured_flagged;
+          Alcotest.test_case "guarded twin silent" `Quick test_domain_guarded_silent;
+        ] );
       ("clean-repo", [ Alcotest.test_case "lib analyzes clean" `Quick test_repo_lib_clean ]);
       ("json", [ Alcotest.test_case "round trip" `Quick test_json_parses_back ]);
     ]

@@ -11,7 +11,16 @@
    15% rule bites on the long ones, where real regressions show.  Only
    figures
    present in both files are compared, so a fast-subset run gates just
-   the figures it measured.  Exit status 1 on any regression. *)
+   the figures it measured.  Exit status 1 on any regression.
+
+   Wall time scales with the worker-domain count (results don't — runs
+   are byte-identical at any count), so the comparison must be
+   like-for-like: when the fresh run's "domains" differs from the
+   baseline's top-level run, the gate looks for a baseline
+   "runs_by_config" entry at the fresh (scale, domains) pair and
+   compares against that.  With no matching entry there is nothing
+   honest to compare — the gate prints a notice and exits 0 rather
+   than fail builds on the first run at a new core count. *)
 
 module J = Wafl_obs.Json
 
@@ -41,6 +50,10 @@ let scale_of doc path =
   | Some (J.Num s) -> s
   | _ -> fail "bench_gate: %s: no scale" path
 
+(* Pre-v6 files have no "domains" field; those runs were single-domain. *)
+let domains_of doc =
+  match J.member "domains" doc with Some (J.Num d) -> int_of_float d | _ -> 1
+
 let () =
   let baseline_path, fresh_path =
     match Sys.argv with
@@ -51,6 +64,23 @@ let () =
   let bs = scale_of baseline baseline_path and fs = scale_of fresh fresh_path in
   if bs <> fs then
     fail "bench_gate: scale mismatch (baseline %.2f vs fresh %.2f): not comparable" bs fs;
+  let fd = domains_of fresh in
+  let baseline =
+    if domains_of baseline = fd then baseline
+    else begin
+      let key = Printf.sprintf "%.2f/d%d" fs fd in
+      match J.member "runs_by_config" baseline with
+      | Some (J.Obj runs) when List.mem_assoc key runs ->
+          Printf.printf "bench gate: baseline is %d-domain, fresh is %d-domain; comparing against baseline entry %s\n"
+            (domains_of baseline) fd key;
+          List.assoc key runs
+      | _ ->
+          Printf.printf
+            "bench gate: skipped — baseline has no %d-domain run at scale %.2f (wall time is not comparable across domain counts)\n"
+            fd fs;
+          exit 0
+    end
+  in
   let base_figs = figures baseline baseline_path in
   let fresh_figs = figures fresh fresh_path in
   let slack_abs = 2.0 and slack_rel = 1.15 in

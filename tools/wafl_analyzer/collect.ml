@@ -38,9 +38,11 @@ type ctx = {
   mutable lambda_depth : int;
   mutable loop_depth : int;
   mutable spawn_count : int;
+  mutable domain_arg : bool; (* walking an argument of a domain spawner *)
 }
 
 let pending_roots : (string * string * bool) Queue.t = Queue.create ()
+let pending_domain_roots : (string * string) Queue.t = Queue.create ()
 
 (* --- path normalization ------------------------------------------------- *)
 
@@ -124,7 +126,8 @@ let unit_of_type ctx (ty : Types.type_expr) =
   | _ -> ctx.unit_
 
 let fam_of_label ctx (lbl : Types.label_description) =
-  { f_unit = unit_of_type ctx lbl.lbl_res; f_name = lbl.lbl_name; f_captured = false }
+  { f_unit = unit_of_type ctx lbl.lbl_res; f_name = lbl.lbl_name; f_captured = false;
+    f_global = false }
 
 (* The family named by a container / ref argument: a record field, a
    module-level binding, or a local captured across a spawn boundary.
@@ -136,11 +139,14 @@ let family_of ctx (e : expression) =
       let name = Ident.name id in
       if Hashtbl.mem ctx.bound name then None
       else if Hashtbl.mem ctx.toplevels name then
-        Some { f_unit = ctx.unit_; f_name = name; f_captured = false }
-      else Some { f_unit = ctx.unit_; f_name = ctx.host ^ "." ^ name; f_captured = true }
+        Some { f_unit = ctx.unit_; f_name = name; f_captured = false; f_global = true }
+      else
+        Some
+          { f_unit = ctx.unit_; f_name = ctx.host ^ "." ^ name; f_captured = true;
+            f_global = false }
   | Texp_ident (p, _, _) -> (
       match resolve ctx (path_parts p) with
-      | Some (u, n) -> Some { f_unit = u; f_name = n; f_captured = false }
+      | Some (u, n) -> Some { f_unit = u; f_name = n; f_captured = false; f_global = true }
       | None -> None)
   | _ -> None
 
@@ -148,7 +154,8 @@ let record_access ctx fam mode loc =
   match fam with
   | None -> ()
   | Some f ->
-      ctx.node.n_accesses <- { a_fam = f; a_mode = mode; a_loc = loc } :: ctx.node.n_accesses
+      ctx.node.n_accesses <-
+        { a_fam = f; a_mode = mode; a_loc = loc; a_held = ctx.held } :: ctx.node.n_accesses
 
 (* --- lock classes ------------------------------------------------------- *)
 
@@ -202,6 +209,7 @@ let fresh_node ctx ~name ~root ~multi loc =
       n_loc = loc;
       n_root = root;
       n_multi = multi;
+      n_domain = false;
       n_calls = [];
       n_accesses = [];
       n_probes = [];
@@ -223,7 +231,10 @@ let rec walk ctx (e : expression) =
       match resolve ctx (path_parts p) with
       | Some (u, n) ->
           ctx.node.n_calls <-
-            { c_unit = u; c_name = n; c_loc = loc_of e.exp_loc } :: ctx.node.n_calls
+            { c_unit = u; c_name = n; c_loc = loc_of e.exp_loc } :: ctx.node.n_calls;
+          (* a named function handed to a domain spawner executes on
+             worker domains: mark it once all units are collected *)
+          if ctx.domain_arg then Queue.add (u, n) pending_domain_roots
       | None -> ())
   | Texp_apply (f, args) -> handle_apply ctx e f args
   | Texp_sequence _ -> walk_seq ctx e
@@ -243,9 +254,12 @@ let rec walk ctx (e : expression) =
         vbs;
       walk ctx body
   | Texp_function { cases; _ } ->
-      ctx.lambda_depth <- ctx.lambda_depth + 1;
-      walk_cases ctx cases;
-      ctx.lambda_depth <- ctx.lambda_depth - 1
+      if ctx.domain_arg then domain_root ctx e cases
+      else begin
+        ctx.lambda_depth <- ctx.lambda_depth + 1;
+        walk_cases ctx cases;
+        ctx.lambda_depth <- ctx.lambda_depth - 1
+      end
   | Texp_match (scrut, cases, _) ->
       walk ctx scrut;
       walk_cases ctx cases
@@ -355,6 +369,15 @@ and handle_apply ctx (e : expression) f args =
               spawn_root ctx body;
               walk_args ~skip:[ body ] ()
           | [] -> walk_args ())
+      | _ when is_domain_spawner res (m2, fn2) ->
+          (* every function value among the arguments runs on a worker
+             domain: walk them in domain context so lambdas become
+             domain roots and named functions are queued *)
+          record_call ();
+          let saved = ctx.domain_arg in
+          ctx.domain_arg <- true;
+          walk_args ();
+          ctx.domain_arg <- saved
       | _ when Config.is_with_lock (m2, fn2) -> (
           match positional args with
           | m :: rest ->
@@ -420,6 +443,13 @@ and handle_apply ctx (e : expression) f args =
           | (":=" | "incr" | "decr"), a :: _ -> record_access ctx (family_of ctx a) Write loc
           | _ -> ());
           record_call ();
+          (* a partial application in a domain spawner's argument list
+             (Exp.par_map (run_one ~scale) xs) hands the named function
+             to the pool *)
+          (if ctx.domain_arg then
+             match res with
+             | Some (u, n) -> Queue.add (u, n) pending_domain_roots
+             | None -> ());
           (if ctx.held <> [] then
              match res with
              | Some (u, n) ->
@@ -433,6 +463,33 @@ and is_spawner res m2fn2 =
   (match res with Some (u, n) -> List.mem (u, n) Config.spawners | None -> false)
   || match m2fn2 with _, ("spawn" | "post" | "post_wait") -> true | _ -> false
 
+and is_domain_spawner res m2fn2 =
+  (match res with Some uf -> List.mem uf Config.domain_spawners | None -> false)
+  || List.mem m2fn2 Config.domain_spawners
+
+(* A lambda in a domain spawner's argument list: its body executes
+   concurrently on pool worker domains, once per task/item, so it gets
+   its own many-instance node flagged [n_domain].  Bindings of the
+   enclosing node are captures smuggled across the domain boundary. *)
+and domain_root ctx (body : expression) cases =
+  ctx.spawn_count <- ctx.spawn_count + 1;
+  let name = Printf.sprintf "%s$domain%d" ctx.host ctx.spawn_count in
+  let root = fresh_node ctx ~name ~root:false ~multi:true (loc_of body.exp_loc) in
+  root.n_domain <- true;
+  let saved_node = ctx.node and saved_bound = ctx.bound in
+  let saved_lam = ctx.lambda_depth and saved_loop = ctx.loop_depth in
+  ctx.node <- root;
+  ctx.bound <- Hashtbl.create 16;
+  ctx.lambda_depth <- 0;
+  ctx.loop_depth <- 0;
+  ctx.domain_arg <- false;
+  walk_cases ctx cases;
+  ctx.node <- saved_node;
+  ctx.bound <- saved_bound;
+  ctx.lambda_depth <- saved_lam;
+  ctx.loop_depth <- saved_loop;
+  ctx.domain_arg <- true
+
 (* A function value reaching a spawner becomes a root node: a literal
    lambda gets its own node; a named function (or partial application)
    is marked as a root in place once all units are collected. *)
@@ -445,17 +502,20 @@ and spawn_root ctx (body : expression) =
       let root = fresh_node ctx ~name ~root:true ~multi (loc_of body.exp_loc) in
       let saved_node = ctx.node and saved_bound = ctx.bound in
       let saved_lam = ctx.lambda_depth and saved_loop = ctx.loop_depth in
+      let saved_dom = ctx.domain_arg in
       ctx.node <- root;
       (* bindings of the enclosing node are *captured*, not local: track
          only what the lambda itself binds *)
       ctx.bound <- Hashtbl.create 16;
       ctx.lambda_depth <- 0;
       ctx.loop_depth <- 0;
+      ctx.domain_arg <- false;
       walk_cases ctx cases;
       ctx.node <- saved_node;
       ctx.bound <- saved_bound;
       ctx.lambda_depth <- saved_lam;
-      ctx.loop_depth <- saved_loop
+      ctx.loop_depth <- saved_loop;
+      ctx.domain_arg <- saved_dom
   | _ -> (
       let target =
         match body.exp_desc with
@@ -572,7 +632,8 @@ and start_node ctx node name =
   ctx.held <- [];
   ctx.lambda_depth <- 0;
   ctx.loop_depth <- 0;
-  ctx.spawn_count <- 0
+  ctx.spawn_count <- 0;
+  ctx.domain_arg <- false
 
 and collect_module ctx prefix mb =
   let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
@@ -595,6 +656,7 @@ let collect_unit prog ~known_units ~unit_ (str : structure) =
           n_loc = { file = ""; line = 0 };
           n_root = false;
           n_multi = false;
+          n_domain = false;
           n_calls = [];
           n_accesses = [];
           n_probes = [];
@@ -609,6 +671,7 @@ let collect_unit prog ~known_units ~unit_ (str : structure) =
       lambda_depth = 0;
       loop_depth = 0;
       spawn_count = 0;
+      domain_arg = false;
     }
   in
   register_toplevels ctx "" str;
@@ -625,4 +688,13 @@ let drain_pending_roots prog =
           if multi then node.n_multi <- true
       | None -> ())
     pending_roots;
-  Queue.clear pending_roots
+  Queue.clear pending_roots;
+  Queue.iter
+    (fun (u, n) ->
+      match find_node prog ~unit_:u ~name:n with
+      | Some node ->
+          node.n_domain <- true;
+          node.n_multi <- true
+      | None -> ())
+    pending_domain_roots;
+  Queue.clear pending_domain_roots

@@ -14,9 +14,15 @@
    in the tree. *)
 let exempt_units =
   [ "Engine"; "Race"; "Sync"; "Cost"; (* lib/sim: the substrate *)
+    "Partition"; (* lib/sim: the partitioned-engine coordinator — its
+                    outbox/inbox/horizon state is the window-barrier
+                    machinery itself, mutated only between barriers or by
+                    the owning partition's fibers *)
     "Trace"; "Sink"; "Metrics"; "Causal"; "Json"; (* lib/obs: host-side, never schedules *)
     "Isolation"; (* the affinity checker itself *)
-    "Counters" (* relaxed counters, see above *) ]
+    "Counters"; (* relaxed counters, see above *)
+    "Pool" (* the worker-domain pool: its team barrier is built from
+              host Mutex/Condition/Atomic, below the model *) ]
 
 (* Passive containers: mutable data structures with no identity of their
    own.  An access inside them is attributed to the *caller's* argument
@@ -61,6 +67,13 @@ let is_probe ~unit_ ~fn = unit_ = "Engine" && List.mem fn probe_fns
    scheduler root.  (unit, function, nth positional argument counting
    only unlabeled arguments — the body closure.) *)
 let spawners = [ ("Engine", "spawn"); ("Scheduler", "post"); ("Scheduler", "post_wait") ]
+
+(* Worker-domain fan-out points: closures handed to these run
+   concurrently on OCaml 5 domains (real parallelism, unlike fibers).
+   The collector marks every function value in their argument lists as a
+   domain root for the domain-safety pass. *)
+let domain_spawners =
+  [ ("Pool", "run"); ("Pool", "map"); ("Pool", "team_run"); ("Exp", "par_map") ]
 
 (* Blocking primitives for the blocking-while-holding-lock pass.
    [Sync.Mutex.lock] is deliberately absent: acquiring a second lock is

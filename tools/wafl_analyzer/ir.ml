@@ -14,12 +14,19 @@ let mode_name = function Read -> "read" | Write -> "write"
 
 (* A family of shared mutable state: a mutable record field, a
    module-level ref / array / hashtbl, or a local captured by a spawned
-   lambda — keyed by declaring unit and name. *)
-type fam = { f_unit : string; f_name : string; f_captured : bool }
+   lambda — keyed by declaring unit and name.  [f_global] marks a
+   module-level binding (as opposed to a record field of some
+   possibly-local value): the domain-safety pass only examines globals
+   and captures, because per-run records allocated inside a
+   pool-executed closure are domain-local by construction. *)
+type fam = { f_unit : string; f_name : string; f_captured : bool; f_global : bool }
 
 let fam_id f = f.f_unit ^ "." ^ f.f_name
 
-type access = { a_fam : fam; a_mode : mode; a_loc : loc }
+(* [a_held]: lock classes held at the access site (syntactic
+   [lock m; ...; unlock m] scope), for the guarded-write check of the
+   domain-safety pass. *)
+type access = { a_fam : fam; a_mode : mode; a_loc : loc; a_held : string list }
 
 (* What a probe declared: its literal shared name, or the function that
    generates the name (for the ownership cross-check). *)
@@ -46,6 +53,7 @@ type node = {
   n_loc : loc;
   mutable n_root : bool;
   mutable n_multi : bool; (* spawned inside a loop or closure: many instances *)
+  mutable n_domain : bool; (* closure executed on a worker domain (Pool) *)
   mutable n_calls : call list;
   mutable n_accesses : access list;
   mutable n_probes : probe list;
@@ -75,7 +83,7 @@ let nodes_in_order p = List.rev p.node_order
 let find_node p ~unit_ ~name = Hashtbl.find_opt p.nodes (unit_ ^ "." ^ name)
 
 type finding = {
-  pass : string; (* probe-coverage | blocking | lock-order | ownership *)
+  pass : string; (* probe-coverage | blocking | lock-order | ownership | domain-safety *)
   loc : loc;
   subject : string; (* family id, lock cycle, ... *)
   message : string;

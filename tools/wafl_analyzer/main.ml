@@ -11,6 +11,8 @@
      lock-order      cycles in the static lock-acquisition graph
      ownership       probe_locked domains with no registered affinity
                      owner in the Isolation registry
+     domain-safety   module-level mutable state written without a mutex
+                     from closures executed on pool worker domains
 
    Exit status 1 when any finding survives `lint-ok` suppression, like
    tools/wafl_lint. *)
@@ -61,6 +63,9 @@ let () =
         Printf.eprintf "  root %s%s\n%!" (Ir.node_id r)
           (if r.Ir.n_multi then " (many instances)" else ""))
       roots;
+    let droots = List.filter (fun n -> n.Ir.n_domain) nodes in
+    Printf.eprintf "%d pool-executed domain roots\n%!" (List.length droots);
+    List.iter (fun r -> Printf.eprintf "  domain root %s\n%!" (Ir.node_id r)) droots;
     let probed, owned = Passes.ownership_sets prog in
     Printf.eprintf "probe_locked domains: %s\n%!" (String.concat " " probed);
     Printf.eprintf "registered owners:    %s\n%!" (String.concat " " owned));

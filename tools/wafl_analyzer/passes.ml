@@ -1,4 +1,4 @@
-(* The three whole-program analyses over the collected IR:
+(* The whole-program analyses over the collected IR:
 
    1. probe coverage / ownership — families of shared mutable state
       reachable from more than one scheduler root must belong to a unit
@@ -7,6 +7,9 @@
       may reach a blocking primitive;
    3. lock-order cycles — the static acquired-while-held graph must be
       acyclic;
+   4. domain-safety — module-level mutable state written from closures
+      the worker-domain pool executes must be under a host mutex (or
+      Atomic / Domain.DLS, which never register as plain accesses);
 
    plus the static/dynamic ownership cross-check: every probe_locked
    domain name must have a matching Isolation.register_owner. *)
@@ -485,5 +488,85 @@ let pass_ownership prog =
             }))
     probed
 
+(* --- pass 5: domain-safety ---------------------------------------------- *)
+
+(* Closures handed to the worker-domain pool (Wafl_util.Pool.run / map /
+   team_run, Exp.par_map) execute concurrently on OCaml 5 domains —
+   real parallelism, unlike cooperatively-scheduled fibers.  A write to
+   module-level mutable state (or to a local captured across the pool
+   boundary) from code reachable from such a closure is a data race and
+   a determinism hazard unless a host mutex is held at the site.
+   Acceptable disciplines the collector sees through:
+   - [Mutex]: the write site carries the held lock class ([a_held]), or
+     its node acquires some lock (the coarse fallback covers
+     [with_lock]-style bodies the sequence tracker cannot scope);
+   - [Atomic] / [Domain.DLS]: their operations never register as plain
+     family accesses, so guarded state is naturally silent;
+   - per-domain ownership: per-run records allocated inside the closure
+     are not module-level families ([f_global] is false) and are
+     skipped.
+   Reads are not flagged: a flag set by the host before fan-out and
+   only read inside the pool (Exp.sanitize, Driver.memoize, ...) is the
+   sanctioned configuration pattern. *)
+let pass_domain prog =
+  let droots = List.filter (fun n -> n.n_domain) (nodes_in_order prog) in
+  let reach = List.map (fun r -> (r, reach_from prog r)) droots in
+  let fams = family_table prog in
+  let fam_list =
+    Hashtbl.fold (fun _ fi acc -> fi :: acc) fams []
+    |> List.sort (fun a b -> compare (fam_id a.fi_fam) (fam_id b.fi_fam))
+  in
+  List.filter_map
+    (fun fi ->
+      let f = fi.fi_fam in
+      if
+        List.mem f.f_unit Config.exempt_units
+        || Config.is_container_unit f.f_unit
+        || not (f.f_global || f.f_captured)
+      then None
+      else
+        let in_reach n =
+          List.exists (fun (_, set) -> Hashtbl.mem set (node_id n)) reach
+        in
+        let unguarded =
+          List.filter
+            (fun (n, a) ->
+              a.a_mode = Write && a.a_held = [] && n.n_acquires = [] && in_reach n)
+            fi.fi_sites
+        in
+        match unguarded with
+        | [] -> None
+        | (_, a0) :: _ ->
+            let roots_hit =
+              List.filter
+                (fun (_, set) ->
+                  List.exists (fun (n, _) -> Hashtbl.mem set (node_id n)) unguarded)
+                reach
+              |> List.map (fun (r, _) -> "domain root " ^ node_id r)
+            in
+            let site_lines =
+              uniq
+                (List.map
+                   (fun (n, a) ->
+                     Printf.sprintf "unguarded write at %s:%d (%s)" a.a_loc.file a.a_loc.line
+                       (node_id n))
+                   unguarded)
+            in
+            Some
+              {
+                pass = "domain-safety";
+                loc = a0.a_loc;
+                subject = fam_id f;
+                message =
+                  Printf.sprintf
+                    "mutable state '%s'%s is written from a pool-executed closure with no \
+                     mutex held: concurrent worker domains race on it"
+                    (fam_id f)
+                    (if f.f_captured then " (captured across the domain boundary)" else "");
+                detail = uniq roots_hit @ site_lines;
+              })
+    fam_list
+
 let run_all prog =
   pass_coverage prog @ pass_blocking prog @ pass_lock_order prog @ pass_ownership prog
+  @ pass_domain prog

@@ -57,7 +57,7 @@ let print_text findings =
               Printf.printf "%s:%d: [%s] %s\n" f.loc.file f.loc.line f.pass f.message;
               List.iter (fun d -> Printf.printf "    %s\n" d) f.detail)
             fs)
-    [ "probe-coverage"; "blocking"; "lock-order"; "ownership" ]
+    [ "probe-coverage"; "blocking"; "lock-order"; "ownership"; "domain-safety" ]
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
