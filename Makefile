@@ -1,4 +1,4 @@
-.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke shard-smoke flash-smoke check bench bench-quick bench-gate bench-gate-fast clean
+.PHONY: all build test lint analyze sanitize trace-smoke analyze-smoke overload-smoke shard-smoke flash-smoke top-smoke check bench bench-quick bench-gate bench-gate-fast clean
 
 all: build
 
@@ -101,6 +101,22 @@ shard-smoke:
 	dune build bin/wafl_sim.exe
 	dune exec --no-build bin/wafl_sim.exe -- shard --scale 0.25 --shards 3 --domains 2
 
+# Telemetry smoke: the operator fleet view end to end.  A healthy live
+# run must export a wafl-top JSON snapshot with sealed windows and an
+# empty health feed; the same snapshot must parse back and render; and
+# a light-load run with the B2B chaos hook must light the watchdog up.
+top-smoke:
+	dune build bin/wafl_sim.exe
+	dune exec --no-build bin/wafl_sim.exe -- top --live --measure 0.5 --json --out _build/top_smoke.json
+	@grep -q '"schema":"wafl-top/1"' _build/top_smoke.json || { echo "top smoke FAILED: no wafl-top schema"; exit 1; }
+	@grep -q '"windows":\[{' _build/top_smoke.json || { echo "top smoke FAILED: no sealed rollup windows"; exit 1; }
+	@grep -q '"events":\[\]' _build/top_smoke.json || { echo "top smoke FAILED: healthy run emitted health events"; exit 1; }
+	dune exec --no-build bin/wafl_sim.exe -- top _build/top_smoke.json > _build/top_smoke.txt
+	@grep -q "fleet timeline" _build/top_smoke.txt || { echo "top smoke FAILED: snapshot did not render"; exit 1; }
+	dune exec --no-build bin/wafl_sim.exe -- top --live --measure 0.5 --think 300 --cp-ms 3 --window 200 --inject-b2b --json --out _build/top_smoke_b2b.json
+	@grep -q '"rule":"b2b_streak"' _build/top_smoke_b2b.json || { echo "top smoke FAILED: injected B2B streak not detected"; exit 1; }
+	@echo "top smoke OK: _build/top_smoke.json"
+
 # Flash smoke: the quarter-scale NAND media-model experiment (WAF vs
 # device fill / OP / multi-stream write allocation; exits non-zero on
 # any shape miss, e.g. streaming-on failing to beat streaming-off at
@@ -128,6 +144,7 @@ check:
 	$(MAKE) overload-smoke
 	$(MAKE) flash-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) top-smoke
 	dune exec bin/wafl_sim.exe -- crash --seeds 5 --domains 2
 	$(MAKE) bench-gate-fast
 

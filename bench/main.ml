@@ -19,6 +19,9 @@ type record = {
   r_write_ops : int;  (** client writes across the figure's runs (cache hits included) *)
   r_write_p50_us : float;
   r_write_p99_us : float;
+  r_health_events : int;
+      (** health-watchdog events across the figure's runs; healthy
+          figures must report 0 *)
   r_extra : (string * J.t) list;
       (** figure-specific columns (e.g. the overload figure's per-scenario
           goodput / shed_rate / victim_p99 table) *)
@@ -42,14 +45,24 @@ let timed name f =
      its end-to-end write-latency histogram here. *)
   let wh = Wafl_util.Histogram.create () in
   Wafl_workload.Driver.latency_sink := Some wh;
+  (* Fresh per-figure health-event counter, fed by every run (memoized
+     cache hits replay their cached event count). *)
+  let hc = ref 0 in
+  Wafl_workload.Driver.health_sink := Some hc;
   pending_extra := [];
-  let shapes = Fun.protect ~finally:(fun () -> Wafl_workload.Driver.latency_sink := None) f in
+  let shapes =
+    Fun.protect
+      ~finally:(fun () ->
+        Wafl_workload.Driver.latency_sink := None;
+        Wafl_workload.Driver.health_sink := None)
+      f
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let virt = virtual_total () -. v0 in
   let p50 = Wafl_util.Histogram.percentile wh 50.0 in
   let p99 = Wafl_util.Histogram.percentile wh 99.0 in
-  Printf.printf "  [%s: %.1fs wall, %.2fs virtual, write p50 %.0fus p99 %.0fus]\n%!" name wall
-    (virt /. 1e6) p50 p99;
+  Printf.printf "  [%s: %.1fs wall, %.2fs virtual, write p50 %.0fus p99 %.0fus, %d health events]\n%!"
+    name wall (virt /. 1e6) p50 p99 !hc;
   records :=
     {
       r_name = name;
@@ -58,6 +71,7 @@ let timed name f =
       r_write_ops = Wafl_util.Histogram.count wh;
       r_write_p50_us = p50;
       r_write_p99_us = p99;
+      r_health_events = !hc;
       r_extra = !pending_extra;
       r_shapes = shapes;
     }
@@ -66,7 +80,7 @@ let timed name f =
   shapes
 
 (* BENCH_paper.json schema (all times in the named unit):
-     { "schema": "wafl-bench/6",
+     { "schema": "wafl-bench/7",
        "scale": float,            -- WAFL_SCALE factor of THIS run
        "domains": int,            -- worker domains the harness fanned over
        "total_wall_s": float,
@@ -98,8 +112,11 @@ let timed name f =
                   "write_p99_us": float } ]
    per scenario; v6 adds "domains", "speedup_vs_d1" and renames
    "runs_by_scale" to the (scale, domains)-keyed "runs_by_config" —
-   legacy v2..v5 entries are carried over under "SCALE/d1".  Older
-   files (without these fields) are still read for carry-over. *)
+   legacy v2..v5 entries are carried over under "SCALE/d1"; v7 runs the
+   whole suite with fleet telemetry attached (observe-only, so every
+   number is unchanged) and adds the per-figure "health_events" count —
+   0 on every healthy figure.  Older files (without these fields) are
+   still read for carry-over. *)
 let run_record ~scale ~domains ~total_wall =
   let figs =
     List.rev_map
@@ -112,6 +129,7 @@ let run_record ~scale ~domains ~total_wall =
              ("write_ops", J.Num (float_of_int r.r_write_ops));
              ("write_p50_us", J.Num r.r_write_p50_us);
              ("write_p99_us", J.Num r.r_write_p99_us);
+             ("health_events", J.Num (float_of_int r.r_health_events));
            ]
           @ r.r_extra
           @ [
@@ -149,7 +167,7 @@ let previous_runs ~except path =
       | Ok doc -> (
           let runs =
             match (J.member "schema" doc, J.member "runs_by_config" doc) with
-            | Some (J.Str "wafl-bench/6"), Some (J.Obj runs) -> runs
+            | Some (J.Str ("wafl-bench/6" | "wafl-bench/7")), Some (J.Obj runs) -> runs
             | Some (J.Str ("wafl-bench/2" | "wafl-bench/3" | "wafl-bench/4" | "wafl-bench/5")), _
               -> (
                 match J.member "runs_by_scale" doc with
@@ -183,7 +201,7 @@ let write_json ~scale ~domains ~total_wall path =
   let runs = prev @ [ (key, J.Obj this_run) ] in
   let runs = List.sort (fun (a, _) (b, _) -> compare a b) runs in
   let doc =
-    J.Obj ((("schema", J.Str "wafl-bench/6") :: this_run) @ [ ("runs_by_config", J.Obj runs) ])
+    J.Obj ((("schema", J.Str "wafl-bench/7") :: this_run) @ [ ("runs_by_config", J.Obj runs) ])
   in
   let oc = open_out path in
   output_string oc (J.to_string doc);
@@ -418,6 +436,10 @@ let () =
      matters only for like-for-like wall-time comparison. *)
   let domains = Wafl_util.Pool.default_domains () in
   H.Exp.domains := domains;
+  (* Always-on fleet telemetry across the whole suite: observe-only (the
+     telemetry tests pin bit-identity), and the per-figure health-event
+     counts land in BENCH_paper.json. *)
+  H.Exp.telemetry := Some Wafl_workload.Driver.default_telemetry;
   Printf.printf "WAFL White Alligator reproduction benchmark harness (scale %.2f, %d domain%s)\n"
     scale domains
     (if domains = 1 then "" else "s");

@@ -423,6 +423,145 @@ let shard_cmd =
   Cmd.v (Cmd.info "shard" ~doc)
     Term.(ret (const shard_run $ scale_arg $ shards $ domains_arg $ seed))
 
+(* --- operator top view --------------------------------------------------- *)
+
+let top_run file live json out workload clients volumes cores measure_s seed window_ms windows
+    top_k open_loop inject_b2b think_us cp_ms =
+  let emit snap events =
+    let s =
+      if json then Wafl_obs.Json.to_string (Wafl_obs.Top.to_json snap events) ^ "\n"
+      else Wafl_obs.Top.render ~top_k snap events
+    in
+    match out with
+    | None ->
+        print_string s;
+        `Ok ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc;
+        Printf.printf "wrote %s\n" path;
+        `Ok ()
+  in
+  match (file, live) with
+  | Some path, _ -> (
+      let contents =
+        try
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          Ok s
+        with Sys_error e -> Error e
+      in
+      match contents with
+      | Error e -> `Error (false, e)
+      | Ok s -> (
+          match Wafl_obs.Json.of_string s with
+          | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+          | Ok j -> (
+              match Wafl_obs.Top.of_json j with
+              | snap, events -> emit snap events
+              | exception Invalid_argument e -> `Error (false, Printf.sprintf "%s: %s" path e))))
+  | None, false ->
+      `Error (true, "pass a wafl-top snapshot file, or --live to run one configuration")
+  | None, true ->
+      let wl =
+        match workload with
+        | `Seq -> Driver.Seq_write { file_blocks = 4096 }
+        | `Rand -> Driver.Rand_write { file_blocks = 4096 }
+        | `Oltp -> Driver.Oltp { file_blocks = 4096; read_fraction = 0.67 }
+        | `Nfs -> Driver.Nfs_mix { files_per_client = 48; file_blocks = 64 }
+      in
+      let rcfg0 =
+        {
+          Wafl_obs.Rollup.default_config with
+          Wafl_obs.Rollup.window_us = window_ms *. 1000.0;
+          windows;
+        }
+      in
+      (* Size the per-volume budget to the requested ring rather than
+         rejecting long-ring requests. *)
+      let rcfg =
+        {
+          rcfg0 with
+          Wafl_obs.Rollup.vol_budget_bytes =
+            max Wafl_obs.Rollup.default_config.Wafl_obs.Rollup.vol_budget_bytes
+              ((windows + 1) * Wafl_obs.Rollup.vol_window_bytes rcfg0);
+        }
+      in
+      let spec =
+        {
+          Driver.default_spec with
+          Driver.workload = wl;
+          clients;
+          volumes;
+          cores;
+          think_time = think_us;
+          cfg =
+            (match cp_ms with
+            | None -> Driver.default_spec.Driver.cfg
+            | Some ms ->
+                { Driver.default_spec.Driver.cfg with
+                  Wafl_core.Walloc.cp_timer = Some (ms *. 1000.0) });
+          measure = measure_s *. 1_000_000.0;
+          seed;
+          telemetry = Some { Driver.rollup = rcfg; rules = Wafl_obs.Health.default_rules };
+          open_loop =
+            (match open_loop with
+            | None -> None
+            | Some total_rate ->
+                Some
+                  {
+                    Driver.arrivals = Arrival.population ~n:clients ~total_rate ~alpha:1.0;
+                    qos = Some Wafl_qos.Qos.default_config;
+                  });
+        }
+      in
+      if inject_b2b then Wafl_core.Cp.chaos_force_b2b := true;
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Wafl_core.Cp.chaos_force_b2b := false)
+          (fun () -> Driver.run spec)
+      in
+      (match r.Driver.telemetry with
+      | None -> `Error (false, "driver returned no telemetry")
+      | Some tr ->
+          if tr.Driver.tr_health_dropped > 0 then
+            Printf.eprintf "WARNING: %d health events dropped (log capacity)\n"
+              tr.Driver.tr_health_dropped;
+          emit tr.Driver.tr_snapshot tr.Driver.tr_events)
+
+let top_cmd =
+  let doc =
+    "Operator fleet view over telemetry rollups: per-window CP/latency/shed timeline, \
+     top-K volumes by shed, write p99 and backlog, and the health-event feed.  Reads a \
+     snapshot written by $(b,--json)/$(b,--out), or runs one configuration with $(b,--live) \
+     (telemetry is observe-only: the run is bit-identical with it on)."
+  in
+  let file = Arg.(value & pos 0 (some string) None & info [] ~docv:"SNAPSHOT" ~doc:"A wafl-top/1 JSON snapshot to render.") in
+  let live = Arg.(value & flag & info [ "live" ] ~doc:"Run one configuration and render its telemetry.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the wafl-top/1 JSON snapshot instead of tables.") in
+  let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write output to $(docv) instead of stdout.") in
+  let workload = Arg.(value & opt workload_conv `Seq & info [ "workload"; "w" ] ~docv:"KIND" ~doc:"Workload: seq, rand, oltp or nfs.") in
+  let clients = Arg.(value & opt int 40 & info [ "clients" ] ~docv:"N" ~doc:"Clients (open loop: tenants).") in
+  let volumes = Arg.(value & opt int 8 & info [ "volumes" ] ~docv:"N" ~doc:"FlexVols.") in
+  let cores = Arg.(value & opt int 20 & info [ "cores" ] ~docv:"N" ~doc:"Simulated cores.") in
+  let measure = Arg.(value & opt float 1.0 & info [ "measure" ] ~docv:"SECONDS" ~doc:"Virtual measurement window.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let window = Arg.(value & opt float 100.0 & info [ "window" ] ~docv:"MS" ~doc:"Rollup window width, virtual milliseconds.") in
+  let windows = Arg.(value & opt int 8 & info [ "windows" ] ~docv:"N" ~doc:"Sealed windows retained.") in
+  let top_k = Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc:"Rows in the top-volume tables.") in
+  let open_loop = Arg.(value & opt (some float) None & info [ "open-loop" ] ~docv:"RATE" ~doc:"Open-loop mode: total offered ops/s over a Zipf tenant population behind per-volume QoS.") in
+  let inject_b2b = Arg.(value & flag & info [ "inject-b2b" ] ~doc:"Chaos hook: book every CP as back-to-back so the watchdog's B2B-streak rule fires (accounting only; results unchanged).") in
+  let think = Arg.(value & opt float 0.0 & info [ "think" ] ~docv:"US" ~doc:"Mean client think time in virtual microseconds (0 = closed loop at full tilt).") in
+  let cp_ms = Arg.(value & opt (some float) None & info [ "cp-ms" ] ~docv:"MS" ~doc:"Override the CP timer period in virtual milliseconds.") in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      ret
+        (const top_run $ file $ live $ json $ out $ workload $ clients $ volumes $ cores
+       $ measure $ seed $ window $ windows $ top_k $ open_loop $ inject_b2b $ think $ cp_ms))
+
 let run_cmd =
   let doc = "Run one ad-hoc configuration and print its measurements." in
   let workload =
@@ -467,4 +606,5 @@ let () =
             analyze_cmd;
             crash_cmd;
             shard_cmd;
+            top_cmd;
           ]))

@@ -635,6 +635,11 @@ let repair_failed_writes t =
    oracle has teeth. *)
 let chaos_publish_before_quiesce = ref false
 
+(* Test-only chaos hook: book every CP as back-to-back.  Pure accounting
+   (counters and metrics only — scheduling is untouched), used to drive
+   the health watchdog's B2B-streak rule in tests. *)
+let chaos_force_b2b = ref false
+
 let publish_commit t =
   Engine.consume t.cost.Cost.cp_fixed;
   let sb = Aggregate.make_superblock t.agg in
@@ -648,7 +653,8 @@ let run_cp_body t =
      committed with the half-full trigger already re-reached, i.e. demand
      filled a log half faster than one CP could drain it.  A maximal run
      of consecutive B2B CPs is one episode. *)
-  if t.next_is_b2b then begin
+  let is_b2b = t.next_is_b2b || !chaos_force_b2b in
+  if is_b2b then begin
     Counters.add (Aggregate.counters t.agg) "b2b_cps" 1;
     Wafl_obs.Metrics.incr t.m_b2b;
     if not t.in_b2b_run then begin
@@ -656,7 +662,7 @@ let run_cp_body t =
       Wafl_obs.Metrics.incr t.m_b2b_episodes
     end
   end;
-  t.in_b2b_run <- t.next_is_b2b;
+  t.in_b2b_run <- is_b2b;
   set_phase t "snapshot";
   Engine.consume t.cost.Cost.cp_fixed;
   let snapshot = Aggregate.cp_snapshot t.agg in

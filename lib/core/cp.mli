@@ -62,6 +62,12 @@ val chaos_publish_before_quiesce : bool ref
     randomized crash harness must detect (negative control proving the
     harness oracle works).  Never set outside tests. *)
 
+val chaos_force_b2b : bool ref
+(** Test-only chaos hook: book every CP as back-to-back.  Pure
+    accounting — counters and metrics only, scheduling untouched — used
+    to drive the health watchdog's B2B-streak rule in tests.  Never set
+    outside tests. *)
+
 val running : t -> bool
 
 val phase : t -> string

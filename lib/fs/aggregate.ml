@@ -69,10 +69,18 @@ type t = {
   mutable cp_trigger : (unit -> unit) option;
   mutable log_inflight : int;
   mutable stall_us : float;
+  mutable hard_dwell_us : float;
   stall_cell : int ref;
+  hard_dwell_cell : int ref;
   exhausted_cell : int ref;
   m_stall : Wafl_obs.Metrics.counter;
+  m_hard_dwell : Wafl_obs.Metrics.counter;
 }
+
+(* Test-only chaos hook: each [wait_for_log_space] call books this many
+   extra virtual µs of hard-watermark dwell.  Pure accounting — no sleep,
+   no scheduling — so runs stay bit-identical with it set. *)
+let chaos_inject_hard_dwell = ref 0.0
 
 let free_counter = "agg_free_blocks"
 let vol_free_counter vid = Printf.sprintf "vol%d_free_vvbns" vid
@@ -135,12 +143,18 @@ let create ?(nvlog_half = 16384) ?nvlog_watermarks ?(cache_blocks = 65536) ?queu
       cp_trigger = None;
       log_inflight = 0;
       stall_us = 0.0;
+      hard_dwell_us = 0.0;
       stall_cell = Counters.cell counters "nvlog_stall_us";
+      hard_dwell_cell = Counters.cell counters "nvlog_hard_dwell_us";
       exhausted_cell = Counters.cell counters "nvlog_exhausted_writes";
       m_stall =
         Wafl_obs.Metrics.counter
           (Wafl_obs.Trace.metrics (Option.value obs ~default:Wafl_obs.Trace.disabled))
           "nvlog.stall_us";
+      m_hard_dwell =
+        Wafl_obs.Metrics.counter
+          (Wafl_obs.Trace.metrics (Option.value obs ~default:Wafl_obs.Trace.disabled))
+          "nvlog.hard_dwell_us";
     }
   in
   Counters.set t.counters free_counter (Geometry.total_data_blocks geometry);
@@ -344,7 +358,17 @@ let note_stall t dt =
     Wafl_obs.Metrics.addf t.m_stall dt
   end
 
+let hard_dwell_time t = t.hard_dwell_us
+
+let note_hard_dwell t dt =
+  if dt > 0.0 then begin
+    t.hard_dwell_us <- t.hard_dwell_us +. dt;
+    t.hard_dwell_cell := int_of_float t.hard_dwell_us;
+    Wafl_obs.Metrics.addf t.m_hard_dwell dt
+  end
+
 let wait_for_log_space t =
+  if !chaos_inject_hard_dwell > 0.0 then note_hard_dwell t !chaos_inject_hard_dwell;
   let nv = nvlog t in
   match Nvlog.watermarks nv with
   | None ->
@@ -368,6 +392,7 @@ let wait_for_log_space t =
       if fill () >= wm.Nvlog.soft then begin
         let w0 = Engine.now t.eng in
         request_cp t;
+        let h0 = Engine.now t.eng in
         while
           fill () >= wm.Nvlog.hard && (t.cp_in_progress || Option.is_some t.cp_trigger)
         do
@@ -376,6 +401,7 @@ let wait_for_log_space t =
           request_cp t;
           Sync.Waitq.wait t.log_space
         done;
+        note_hard_dwell t (Engine.now t.eng -. h0);
         (* Reserve before pacing, with no yield since the hard check: a
            writer sleeping out its pacing delay must already count
            against fill, or a wave of simultaneously-woken writers would
@@ -781,12 +807,18 @@ let recover ?(cache_blocks = 65536) ?queue_depth ?obs eng ~cost pers =
       cp_trigger = None;
       log_inflight = 0;
       stall_us = 0.0;
+      hard_dwell_us = 0.0;
       stall_cell = Counters.cell counters "nvlog_stall_us";
+      hard_dwell_cell = Counters.cell counters "nvlog_hard_dwell_us";
       exhausted_cell = Counters.cell counters "nvlog_exhausted_writes";
       m_stall =
         Wafl_obs.Metrics.counter
           (Wafl_obs.Trace.metrics (Option.value obs ~default:Wafl_obs.Trace.disabled))
           "nvlog.stall_us";
+      m_hard_dwell =
+        Wafl_obs.Metrics.counter
+          (Wafl_obs.Trace.metrics (Option.value obs ~default:Wafl_obs.Trace.disabled))
+          "nvlog.hard_dwell_us";
     }
   in
   Counters.set t.counters free_counter (Geometry.total_data_blocks geom);

@@ -145,6 +145,15 @@ val stall_time : t -> float
 (** Total virtual µs clients have spent stalled (parked or paced) in
     {!wait_for_log_space}. *)
 
+val hard_dwell_time : t -> float
+(** Subset of {!stall_time}: virtual µs spent parked above the hard
+    watermark (also in the [nvlog_hard_dwell_us] counter and the
+    [nvlog.hard_dwell_us] metric). *)
+
+val chaos_inject_hard_dwell : float ref
+(** Test-only: extra dwell µs booked per {!wait_for_log_space} call.
+    Pure accounting (no sleep), so setting it cannot perturb a run. *)
+
 (** {1 Physical allocation state (infrastructure side)} *)
 
 val commit_alloc_pvbn : t -> int -> unit

@@ -18,6 +18,11 @@ let trace : (Wafl_sim.Engine.t -> Wafl_obs.Trace.t) option ref = ref None
    from WAFL_DOMAINS / the host core count).  1 = serial. *)
 let domains = ref 1
 
+(* When set (the bench harness, the top CLI), every spec derived from
+   [spec_base] attaches fleet telemetry — observe-only, so results are
+   unchanged. *)
+let telemetry : Driver.telemetry option ref = ref None
+
 (* Experiment rows are independent seeded runs, so they execute
    concurrently and merge in input order — byte-identical to a serial
    sweep (tested in test_domains.ml).  Tracing forces the serial path:
@@ -37,6 +42,7 @@ let spec_base ~scale =
     workload =
       Driver.Seq_write { file_blocks = max 2048 (int_of_float (16384.0 *. scale)) };
     sanitize = !sanitize;
+    telemetry = !telemetry;
     obs = (match !trace with Some f -> f | None -> d.Driver.obs);
   }
 

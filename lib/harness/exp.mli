@@ -19,6 +19,12 @@ val trace : (Wafl_sim.Engine.t -> Wafl_obs.Trace.t) option ref
     tracer via a [ref] inside the closure to export it after the run.
     Tracing never changes results. *)
 
+val telemetry : Wafl_workload.Driver.telemetry option ref
+(** When set (the bench harness, the CLI's top subcommand), every spec
+    derived from [spec_base] attaches fleet telemetry rollups and the
+    health watchdog.  Observe-only; results are bit-identical either
+    way. *)
+
 val domains : int ref
 (** Worker-domain count for experiment fan-out (the CLI's --domains
     flag).  1 (the default) runs sweeps serially; [n > 1] lets

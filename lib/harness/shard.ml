@@ -9,7 +9,20 @@ type outcome = {
   epochs : int;
   fleet_reported : int;
   horizon : float;
+  telemetry : Wafl_obs.Rollup.snapshot;
+      (* per-shard rollup snapshots merged deterministically (volume ids
+         namespaced by shard) *)
 }
+
+(* Per-shard rollup config: fine windows so even the scaled-down smoke
+   run seals a few, with the ring budget sized to match. *)
+let rollup_config =
+  {
+    Wafl_obs.Rollup.default_config with
+    Wafl_obs.Rollup.window_us = 2_000.0;
+    windows = 16;
+    vol_budget_bytes = 8192;
+  }
 
 (* Cross-partition delivery bound; the global CP epoch is a coarse
    multiple of it, as the real barriers are. *)
@@ -28,18 +41,34 @@ type shard_state = {
   walloc : Wafl_core.Walloc.t;
   ops_done : int ref; (* mutated only by this shard's fibers *)
   cp : Wafl_core.Cp.t;
+  roll : Wafl_obs.Rollup.t; (* fed only by this shard's fibers *)
+  metrics : Wafl_obs.Metrics.t; (* this shard's own registry (DLS-free attribution) *)
 }
 
 let setup part sid ~seed =
   let eng = Partition.engine part sid in
-  let agg = Aggregate.create eng ~cost:Cost.default ~geometry:(geometry ()) ~nvlog_half:2048 () in
+  (* Each shard gets its own metrics-only tracer: a live per-engine
+     registry, so samples attribute to the owning partition engine
+     rather than the per-domain throwaway registry disabled tracers
+     share (test_domains pins this). *)
+  let obs = Wafl_obs.Trace.metrics_only eng in
+  let agg =
+    Aggregate.create eng ~cost:Cost.default ~geometry:(geometry ()) ~nvlog_half:2048 ~obs ()
+  in
   (* CPs come only from the global epoch barrier (and log-half-full
      self-defense), so per-shard CP counts expose the coupling. *)
   let cfg =
     { (Wafl_core.Walloc.default_config) with Wafl_core.Walloc.cleaner_threads = 2; cp_timer = None }
   in
-  let walloc = Wafl_core.Walloc.create agg cfg in
+  let walloc = Wafl_core.Walloc.create ~obs agg cfg in
   let ops_done = ref 0 in
+  let roll = Wafl_obs.Rollup.create ~config:rollup_config eng in
+  Wafl_obs.Rollup.add_source roll ~name:"ops" (fun () -> float_of_int !ops_done);
+  Wafl_obs.Rollup.add_source roll ~name:"cp.count" (fun () ->
+      float_of_int (Wafl_core.Cp.cps_completed (Wafl_core.Walloc.cp walloc)));
+  Wafl_obs.Rollup.add_source roll ~name:"cp.b2b" (fun () ->
+      float_of_int (Counters.read (Aggregate.counters agg) "b2b_cps"));
+  Wafl_obs.Rollup.add_source roll ~name:"nvlog.stall_us" (fun () -> Aggregate.stall_time agg);
   ignore
     (Engine.spawn eng ~label:"client" (fun () ->
          let vol = Aggregate.create_volume agg ~vvbn_space:65536 in
@@ -57,6 +86,8 @@ let setup part sid ~seed =
                   let i = ref 0 in
                   while true do
                     incr i;
+                    let started = Engine.now eng in
+                    Wafl_obs.Rollup.count roll ~vol:vid `Admitted;
                     Aggregate.wait_for_log_space agg;
                     let file = files.(Wafl_util.Rng.int rng files_per_shard) in
                     let fbn = Wafl_util.Rng.int rng fbn_space in
@@ -67,10 +98,18 @@ let setup part sid ~seed =
                         Wafl_core.Cp.request (Wafl_core.Walloc.cp walloc);
                         incr ops_done
                     | `Log_exhausted -> ());
+                    Wafl_obs.Rollup.count roll ~vol:vid `Completed;
+                    Wafl_obs.Rollup.observe_write roll ~vol:vid (Engine.now eng -. started);
                     Engine.consume 3.0
                   done))
          done));
-  { walloc; ops_done; cp = Wafl_core.Walloc.cp walloc }
+  {
+    walloc;
+    ops_done;
+    cp = Wafl_core.Walloc.cp walloc;
+    roll;
+    metrics = Wafl_obs.Trace.metrics obs;
+  }
 
 let run ?(scale = 1.0) ?(shards = 4) ?(domains = 1) ?(seed = 42) () =
   let warmup = Float.max 20_000.0 (100_000.0 *. scale) in
@@ -114,11 +153,19 @@ let run ?(scale = 1.0) ?(shards = 4) ?(domains = 1) ?(seed = 42) () =
           util = Engine.utilization (Partition.engine part sid);
         })
   in
+  (* Horizon boundary again: all partitions parked, so the host-side
+     snapshots see each shard at the same virtual time and the merge is
+     deterministic at any domain count. *)
+  let telemetry =
+    Wafl_obs.Rollup.merge_snapshots
+      (Array.to_list (Array.mapi (fun sid s -> (sid, Wafl_obs.Rollup.snapshot s.roll)) state))
+  in
   {
     rows;
     epochs = !epochs - epochs0;
     fleet_reported = Array.fold_left ( + ) 0 fleet_seen;
     horizon = Partition.now part;
+    telemetry;
   }
 
 let digest o =
@@ -127,6 +174,10 @@ let digest o =
     (fun r -> Buffer.add_string b (Printf.sprintf "s%d:%d/%d/%.6f;" r.shard r.ops r.cps r.util))
     o.rows;
   Buffer.add_string b (Printf.sprintf "e%d;f%d;h%.1f" o.epochs o.fleet_reported o.horizon);
+  (* The full merged rollup snapshot rides in the digest, so any
+     window/counter/sketch divergence across domain counts is caught. *)
+  Buffer.add_string b ";t";
+  Buffer.add_string b (Wafl_obs.Json.to_string (Wafl_obs.Rollup.snapshot_to_json o.telemetry));
   Buffer.contents b
 
 let shapes o =
@@ -163,4 +214,12 @@ let print ~shards ~domains o =
         ])
     o.rows;
   Wafl_util.Table.print tbl;
+  let windows = List.length o.telemetry.Wafl_obs.Rollup.s_windows in
+  let writes =
+    List.fold_left
+      (fun acc w ->
+        List.fold_left (fun a (_, r) -> a + r.Wafl_obs.Rollup.vr_writes) acc w.Wafl_obs.Rollup.w_vols)
+      0 o.telemetry.Wafl_obs.Rollup.s_windows
+  in
+  Printf.printf "  telemetry: %d merged rollup windows, %d windowed writes\n" windows writes;
   Printf.printf "  digest %s\n" (Digest.to_hex (Digest.string (digest o)))

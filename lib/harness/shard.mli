@@ -30,6 +30,10 @@ type outcome = {
       (** sum of the per-shard op totals the coordinator last heard —
           nonzero proves shard -> coordinator messaging works *)
   horizon : float;  (** final virtual time *)
+  telemetry : Wafl_obs.Rollup.snapshot;
+      (** per-shard rollup snapshots (each fed only by its own shard's
+          fibers, into its own engine's registry) merged
+          deterministically; volume ids are namespaced by shard *)
 }
 
 val run :

@@ -1,0 +1,190 @@
+module Histogram = Wafl_util.Histogram
+
+type severity = Info | Warn | Crit
+
+type rule =
+  | B2b_streak of { cps : int; windows : int }
+  | Hard_dwell of { frac : float }
+  | Victim_p99 of { factor : float; baseline_windows : int; min_samples : int }
+  | Gc_stall of { frac : float }
+  | Rebuild_stall of { windows : int }
+  | Trace_drops
+
+(* The b2b threshold sits above what a saturated closed-loop benchmark
+   produces naturally (tens of CPs per second, all back-to-back, because
+   the other log half refills during each CP): 24 b2b CPs inside 300ms
+   means CPs are completing faster than 12.5ms sustained — the log is
+   thrashing, not just full. *)
+let default_rules =
+  [
+    B2b_streak { cps = 24; windows = 3 };
+    Hard_dwell { frac = 0.05 };
+    Victim_p99 { factor = 3.0; baseline_windows = 3; min_samples = 50 };
+    Gc_stall { frac = 0.25 };
+    Rebuild_stall { windows = 3 };
+    Trace_drops;
+  ]
+
+type event = {
+  ev_seq : int;
+  ev_time : float;
+  ev_severity : severity;
+  ev_rule : string;
+  ev_vol : int option;
+  ev_detail : string;
+}
+
+type t = {
+  rules : rule list;
+  capacity : int;
+  mutable log : event list; (* newest first *)
+  mutable n_events : int;
+  mutable n_dropped : int;
+  mutable rebuild_idle_streak : int;
+}
+
+let emit t ev =
+  if t.n_events >= t.capacity then t.n_dropped <- t.n_dropped + 1
+  else begin
+    t.log <- ev :: t.log;
+    t.n_events <- t.n_events + 1
+  end
+
+let events t = List.rev t.log
+let dropped t = t.n_dropped
+let severity_str = function Info -> "info" | Warn -> "warn" | Crit -> "crit"
+
+let counter w name =
+  match List.assoc_opt name w.Rollup.w_counters with Some v -> v | None -> 0.0
+
+let gauge w name = match List.assoc_opt name w.Rollup.w_gauges with Some v -> v | None -> 0.0
+
+let width w = w.Rollup.w_end -. w.Rollup.w_start
+
+let mk w sev rule ?vol detail =
+  { ev_seq = w.Rollup.w_seq; ev_time = w.Rollup.w_end; ev_severity = sev; ev_rule = rule;
+    ev_vol = vol; ev_detail = detail }
+
+(* Each evaluator looks at the freshly sealed window [w] (already the head
+   of the rollup's ring when on_seal fires). *)
+let eval_rule t roll w = function
+  | B2b_streak { cps; windows } ->
+      (* Sustained b2b mode: a back-to-back CP lands in every one of the
+         last [windows] windows and the span accumulates at least [cps]
+         of them.  Isolated b2b transients (one busy window) stay
+         quiet. *)
+      let recent = Rollup.recent roll windows in
+      let total = List.fold_left (fun acc rw -> acc +. counter rw "cp.b2b") 0.0 recent in
+      if
+        List.length recent >= windows
+        && List.for_all (fun rw -> counter rw "cp.b2b" >= 1.0) recent
+        && total >= float_of_int cps
+      then
+        emit t
+          (mk w Crit "b2b_streak"
+             (Printf.sprintf "%.0f back-to-back CPs across the last %d windows (>=%d)" total
+                windows cps))
+  | Hard_dwell { frac } ->
+      let dwell = counter w "nvlog.hard_dwell_us" in
+      if width w > 0.0 && dwell /. width w >= frac then
+        emit t
+          (mk w Crit "hard_dwell"
+             (Printf.sprintf "NVLog hard-watermark dwell %.0fus = %.1f%% of window" dwell
+                (100.0 *. dwell /. width w)))
+  | Victim_p99 { factor; baseline_windows; min_samples } ->
+      let prev =
+        match Rollup.recent roll (baseline_windows + 1) with
+        | [] -> []
+        | _ :: older -> older
+      in
+      List.iter
+        (fun (vol, row) ->
+          let lat = row.Rollup.vr_lat in
+          if Histogram.count lat >= min_samples then begin
+            let base =
+              List.fold_left
+                (fun acc pw ->
+                  match List.assoc_opt vol pw.Rollup.w_vols with
+                  | None -> acc
+                  | Some r -> (
+                      match acc with
+                      | None -> Some (Histogram.copy r.Rollup.vr_lat)
+                      | Some b ->
+                          Histogram.merge_into ~dst:b r.Rollup.vr_lat;
+                          Some b))
+                None prev
+            in
+            match base with
+            | Some b when Histogram.count b >= min_samples ->
+                let p99 = Histogram.percentile lat 99.0 in
+                let base_p99 = Histogram.percentile b 99.0 in
+                if base_p99 > 0.0 && p99 > factor *. base_p99 then
+                  emit t
+                    (mk w Warn "victim_p99" ~vol
+                       (Printf.sprintf "vol %d write p99 %.0fus vs baseline %.0fus (>%.1fx)"
+                          vol p99 base_p99 factor))
+            | _ -> ()
+          end)
+        w.Rollup.w_vols
+  | Gc_stall { frac } ->
+      let stall = counter w "flash.gc_stall_us" in
+      if width w > 0.0 && stall /. width w >= frac then
+        emit t
+          (mk w Warn "gc_stall"
+             (Printf.sprintf "GC stall %.0fus = %.1f%% of window" stall
+                (100.0 *. stall /. width w)))
+  | Rebuild_stall { windows } ->
+      if gauge w "rebuild.active" > 0.0 && counter w "rebuild.blocks" = 0.0 then begin
+        t.rebuild_idle_streak <- t.rebuild_idle_streak + 1;
+        if t.rebuild_idle_streak >= windows then
+          emit t
+            (mk w Warn "rebuild_stall"
+               (Printf.sprintf "rebuild active but 0 blocks repaired for %d windows"
+                  t.rebuild_idle_streak))
+      end
+      else t.rebuild_idle_streak <- 0
+  | Trace_drops ->
+      let drops = counter w "trace.drops" in
+      if drops > 0.0 then
+        emit t
+          (mk w Warn "trace_drops" (Printf.sprintf "trace ring dropped %.0f events" drops))
+
+let create ?(capacity = 256) ~rules roll =
+  let t =
+    { rules; capacity; log = []; n_events = 0; n_dropped = 0; rebuild_idle_streak = 0 }
+  in
+  Rollup.on_seal roll (fun r w -> List.iter (eval_rule t r w) t.rules);
+  t
+
+module J = Json
+
+let event_to_json ev =
+  J.Obj
+    [
+      ("seq", J.Num (float_of_int ev.ev_seq));
+      (* Pre-rounded to the printer's resolution so serialization is a
+         fixed point under parse/re-serialize (see Rollup.jnum3). *)
+      ("time", J.Num (Float.round (ev.ev_time *. 1000.0) /. 1000.0));
+      ("severity", J.Str (severity_str ev.ev_severity));
+      ("rule", J.Str ev.ev_rule);
+      ("vol", (match ev.ev_vol with Some v -> J.Num (float_of_int v) | None -> J.Null));
+      ("detail", J.Str ev.ev_detail);
+    ]
+
+let event_of_json j =
+  let get k = match J.member k j with Some v -> v | None -> invalid_arg ("Health: missing " ^ k) in
+  let num k = match J.to_float (get k) with Some f -> f | None -> invalid_arg ("Health: " ^ k) in
+  let str k = match J.to_str (get k) with Some s -> s | None -> invalid_arg ("Health: " ^ k) in
+  {
+    ev_seq = int_of_float (num "seq");
+    ev_time = num "time";
+    ev_severity =
+      (match str "severity" with
+      | "info" -> Info
+      | "warn" -> Warn
+      | "crit" -> Crit
+      | s -> invalid_arg ("Health: severity " ^ s));
+    ev_rule = str "rule";
+    ev_vol = (match J.member "vol" j with Some (J.Num v) -> Some (int_of_float v) | _ -> None);
+    ev_detail = str "detail";
+  }

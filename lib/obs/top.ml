@@ -1,0 +1,146 @@
+module Table = Wafl_util.Table
+module Histogram = Wafl_util.Histogram
+
+let counter w name =
+  match List.assoc_opt name w.Rollup.w_counters with Some v -> v | None -> 0.0
+
+(* Fleet-level write-latency sketch for a window: the registered
+   [op.e2e_us.write] delta when present, else the merge of the per-volume
+   sketches. *)
+let window_lat w =
+  match List.assoc_opt "op.e2e_us.write" w.Rollup.w_sketches with
+  | Some h -> Some h
+  | None -> (
+      match w.Rollup.w_vols with
+      | [] -> None
+      | (_, r0) :: rest ->
+          let m = Histogram.copy r0.Rollup.vr_lat in
+          List.iter (fun (_, r) -> Histogram.merge_into ~dst:m r.Rollup.vr_lat) rest;
+          Some m)
+
+let vol_sum f w = List.fold_left (fun acc (_, r) -> acc + f r) 0 w.Rollup.w_vols
+
+let timeline snap =
+  let tbl =
+    Table.create
+      ~headers:[ "window"; "t0_ms"; "vols"; "writes"; "shed"; "p99_us"; "backlog"; "cps"; "b2b" ]
+  in
+  List.iter
+    (fun w ->
+      let p99 =
+        match window_lat w with
+        | Some h when Histogram.count h > 0 -> Printf.sprintf "%.0f" (Histogram.percentile h 99.0)
+        | _ -> "-"
+      in
+      Table.add_row tbl
+        [
+          string_of_int w.Rollup.w_seq;
+          Printf.sprintf "%.1f" (w.Rollup.w_start /. 1000.0);
+          string_of_int (List.length w.Rollup.w_vols);
+          string_of_int (vol_sum (fun r -> r.Rollup.vr_writes) w);
+          string_of_int (vol_sum (fun r -> r.Rollup.vr_shed) w);
+          p99;
+          string_of_int (vol_sum (fun r -> r.Rollup.vr_backlog) w);
+          Printf.sprintf "%.0f" (counter w "cp.count");
+          Printf.sprintf "%.0f" (counter w "cp.b2b");
+        ])
+    snap.Rollup.s_windows;
+  Table.render tbl
+
+let top_vols ~top_k ~metric ~label w =
+  let ranked =
+    List.filter (fun (_, r) -> metric r > 0.0) w.Rollup.w_vols
+    |> List.stable_sort (fun (va, a) (vb, b) ->
+           match compare (metric b) (metric a) with 0 -> compare va vb | c -> c)
+    |> List.filteri (fun i _ -> i < top_k)
+  in
+  if ranked = [] then ""
+  else begin
+    (* The ranking metric leads; standard columns that duplicate it are
+       dropped (e.g. the by-shed table has no second "shed" column). *)
+    let extras =
+      List.filter
+        (fun (h, _) -> h <> label)
+        [
+          ("writes", fun r -> string_of_int r.Rollup.vr_writes);
+          ("shed", fun r -> string_of_int r.Rollup.vr_shed);
+          ("backlog", fun r -> string_of_int r.Rollup.vr_backlog);
+        ]
+    in
+    let tbl = Table.create ~headers:("vol" :: label :: List.map fst extras) in
+    List.iter
+      (fun (vol, r) ->
+        Table.add_row tbl
+          (string_of_int vol
+          :: Printf.sprintf "%.0f" (metric r)
+          :: List.map (fun (_, f) -> f r) extras))
+      ranked;
+    Printf.sprintf "top volumes by %s (window %d):\n%s\n" label w.Rollup.w_seq
+      (Table.render tbl)
+  end
+
+let health_feed events =
+  if events = [] then "health: no events\n"
+  else begin
+    let tbl = Table.create ~headers:[ "t_ms"; "sev"; "rule"; "vol"; "detail" ] in
+    List.iter
+      (fun ev ->
+        Table.add_row tbl
+          [
+            Printf.sprintf "%.1f" (ev.Health.ev_time /. 1000.0);
+            Health.severity_str ev.Health.ev_severity;
+            ev.Health.ev_rule;
+            (match ev.Health.ev_vol with Some v -> string_of_int v | None -> "-");
+            ev.Health.ev_detail;
+          ])
+      events;
+    Printf.sprintf "health events (%d):\n%s" (List.length events) (Table.render tbl)
+  end
+
+let render ?(top_k = 5) snap events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "fleet timeline (%d windows x %.0fms):\n"
+       (List.length snap.Rollup.s_windows)
+       (snap.Rollup.s_window_us /. 1000.0));
+  Buffer.add_string buf (timeline snap);
+  (match List.rev snap.Rollup.s_windows with
+  | [] -> ()
+  | newest :: _ ->
+      Buffer.add_string buf
+        (top_vols ~top_k ~metric:(fun r -> float_of_int r.Rollup.vr_shed) ~label:"shed" newest);
+      Buffer.add_string buf
+        (top_vols ~top_k
+           ~metric:(fun r ->
+             if Histogram.count r.Rollup.vr_lat = 0 then 0.0
+             else Histogram.percentile r.Rollup.vr_lat 99.0)
+           ~label:"p99_us" newest);
+      Buffer.add_string buf
+        (top_vols ~top_k
+           ~metric:(fun r -> float_of_int r.Rollup.vr_backlog)
+           ~label:"backlog" newest));
+  Buffer.add_string buf (health_feed events);
+  Buffer.contents buf
+
+module J = Json
+
+let to_json snap events =
+  J.Obj
+    [
+      ("schema", J.Str "wafl-top/1");
+      ("snapshot", Rollup.snapshot_to_json snap);
+      ("events", J.Arr (List.map Health.event_to_json events));
+    ]
+
+let of_json j =
+  let get k = match J.member k j with Some v -> v | None -> invalid_arg ("Top: missing " ^ k) in
+  (match J.to_str (get "schema") with
+  | Some "wafl-top/1" -> ()
+  | _ -> invalid_arg "Top.of_json: unknown schema");
+  let snap = Rollup.snapshot_of_json (get "snapshot") in
+  let events =
+    match J.to_list (get "events") with
+    | Some l -> List.map Health.event_of_json l
+    | None -> invalid_arg "Top: events"
+  in
+  (snap, events)

@@ -1,0 +1,12 @@
+(** Operator view over {!Rollup} snapshots and {!Health} events: the
+    rendering layer behind [wafl_sim top]. *)
+
+val render : ?top_k:int -> Rollup.snapshot -> Health.event list -> string
+(** Per-window fleet tables: a CP / fleet timeline (one row per sealed
+    window), top-[top_k] (default 5) volumes of the newest window by
+    shed, write p99 and backlog, and the health-event feed. *)
+
+val to_json : Rollup.snapshot -> Health.event list -> Json.t
+(** Self-describing export ([schema = "wafl-top/1"]). *)
+
+val of_json : Json.t -> Rollup.snapshot * Health.event list

@@ -25,6 +25,11 @@ type prof_cell = { mutable p_total : float; mutable p_count : int }
 
 type enabled = {
   eng : Engine.t;
+  record : bool;
+      (* false for a metrics-only tracer ({!metrics_only}): instruments
+         stay live (registered and updated by components), but span /
+         instant / flow recording and the CPU profile are skipped, so an
+         always-on telemetry attachment costs only the metric updates. *)
   sink : Sink.t;
   metrics : Metrics.t;
   stacks : (int, frame list ref) Hashtbl.t; (* span stack per fiber id *)
@@ -190,6 +195,7 @@ let create ?ring_capacity ?(sample_interval = 10_000.0) ?(causal = false) eng =
   let s =
     {
       eng;
+      record = true;
       sink = Sink.create ~capacity:ring_capacity;
       metrics = Metrics.create ();
       stacks = Hashtbl.create 64;
@@ -234,11 +240,39 @@ let create ?ring_capacity ?(sample_interval = 10_000.0) ?(causal = false) eng =
     };
   { state = Some s }
 
+(* Always-on telemetry attachment: [enabled] is true — so every
+   component's instruments register in a live registry and update on the
+   hot path — but nothing is recorded into the ring, no engine hooks are
+   installed, and the CPU profile stays empty.  Rollups pull the live
+   registry; the host cost is just the metric updates. *)
+let metrics_only eng =
+  {
+    state =
+      Some
+        {
+          eng;
+          record = false;
+          sink = Sink.create ~capacity:1;
+          metrics = Metrics.create ();
+          stacks = Hashtbl.create 1;
+          names = Hashtbl.create 1;
+          profile = Hashtbl.create 1;
+          profile_order = [];
+          sample_interval = 0.0;
+          next_sample = 0.0;
+          causal = false;
+          ctxs = Hashtbl.create 1;
+          next_ctx = 1;
+          next_flow = 1;
+        };
+  }
+
 (* --- recording ----------------------------------------------------------- *)
 
 let with_span t ~cat ~name ?(args = []) ?(num_args = []) f =
   match t.state with
   | None -> f ()
+  | Some s when not s.record -> f ()
   | Some s ->
       let fid = Engine.current_fid s.eng in
       let ts = Engine.now s.eng in
@@ -275,6 +309,7 @@ let with_span t ~cat ~name ?(args = []) ?(num_args = []) f =
 let begin_span t ~cat ~name =
   match t.state with
   | None -> ()
+  | Some s when not s.record -> ()
   | Some s ->
       let fid = Engine.current_fid s.eng in
       let stack = stack_of s fid in
@@ -283,6 +318,7 @@ let begin_span t ~cat ~name =
 let end_span t =
   match t.state with
   | None -> ()
+  | Some s when not s.record -> ()
   | Some s -> (
       let fid = Engine.current_fid s.eng in
       match Hashtbl.find_opt s.stacks fid with
@@ -307,6 +343,7 @@ let end_span t =
 let instant t ~cat ~name ?(args = []) () =
   match t.state with
   | None -> ()
+  | Some s when not s.record -> ()
   | Some s ->
       let now = Engine.now s.eng in
       Sink.record s.sink
@@ -328,6 +365,7 @@ let instant t ~cat ~name ?(args = []) () =
 let complete t ~cat ~name ~ts ~dur ?(args = []) ?(num_args = []) () =
   match t.state with
   | None -> ()
+  | Some s when not s.record -> ()
   | Some s ->
       let fid = Engine.current_fid s.eng in
       Sink.record s.sink

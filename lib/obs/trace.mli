@@ -32,6 +32,13 @@ val create :
     and stamps each span with its fiber's active request context; see
     {!Causal} and DESIGN.md §4.10. *)
 
+val metrics_only : Wafl_sim.Engine.t -> t
+(** Always-on telemetry attachment: {!enabled} is true, so component
+    instrumentation registers and updates in a live {!Metrics} registry,
+    but no spans are recorded, no engine hooks are installed, and the CPU
+    profile stays empty.  The cheap substrate for {!Rollup} when no full
+    tracer is attached. *)
+
 val enabled : t -> bool
 val causal : t -> bool
 val engine : t -> Wafl_sim.Engine.t option

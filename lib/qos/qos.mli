@@ -39,6 +39,10 @@ val throttled : t -> int
 
 val shed : t -> int
 
+val vol_stats : t -> vol:int -> (int * int * int) option
+(** [(admitted, throttled, shed)] for one volume, if it has ever seen an
+    arrival — the per-volume feed for telemetry rollups. *)
+
 val bucket_state : t -> vol:int -> (float * float) option
 (** [(tokens, last_update)] of the volume's bucket, if it exists yet —
     for the same-seed identity tests. *)

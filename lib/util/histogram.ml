@@ -22,6 +22,30 @@ let create ?(lo = 1.0) ?(hi = 1e8) ?(buckets_per_decade = 20) () =
     max_seen = 0.0;
   }
 
+let lo t = t.lo
+let nbuckets t = Array.length t.counts
+let counts t = Array.copy t.counts
+
+let buckets_per_decade t = int_of_float (Float.round (t.scale *. log 10.0))
+
+(* Record header + 7 fields, array header + one word per bucket. *)
+let approx_bytes t = 8 * (8 + 1 + Array.length t.counts)
+
+let of_counts ~lo ~buckets_per_decade ~counts ~sum ~max_seen =
+  if lo <= 0.0 || buckets_per_decade <= 0 || Array.length counts = 0 then
+    invalid_arg "Histogram.of_counts";
+  {
+    lo;
+    log_lo = log lo;
+    scale = float_of_int buckets_per_decade /. log 10.0;
+    counts = Array.copy counts;
+    n = Array.fold_left ( + ) 0 counts;
+    sum;
+    max_seen;
+  }
+
+let copy t = { t with counts = Array.copy t.counts }
+
 let bucket_of t v =
   if v <= t.lo then 0
   else
@@ -41,6 +65,8 @@ let add t v =
 
 let count t = t.n
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let sum t = t.sum
+let max_seen t = t.max_seen
 
 let quantile t q =
   if t.n = 0 then 0.0
@@ -72,6 +98,30 @@ let merge_into ~dst src =
   dst.n <- dst.n + src.n;
   dst.sum <- dst.sum +. src.sum;
   if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let merge a b =
+  let m = copy a in
+  merge_into ~dst:m b;
+  m
+
+let delta ~baseline cur =
+  if Array.length baseline.counts <> Array.length cur.counts then
+    invalid_arg "Histogram.delta: shape mismatch";
+  let counts =
+    Array.init (Array.length cur.counts) (fun i ->
+        let d = cur.counts.(i) - baseline.counts.(i) in
+        if d < 0 then invalid_arg "Histogram.delta: baseline is not a prefix of cur";
+        d)
+  in
+  (* max_seen cannot be windowed from cumulative state; the cumulative
+     max is kept as an upper bound (quantile only uses it as a cap). *)
+  {
+    cur with
+    counts;
+    n = cur.n - baseline.n;
+    sum = cur.sum -. baseline.sum;
+    max_seen = cur.max_seen;
+  }
 
 let pp_summary ppf t =
   Format.fprintf ppf "p50=%.1f p95=%.1f p99=%.1f max=%.1f (n=%d)" (percentile t 50.0)

@@ -27,5 +27,38 @@ val merge_into : dst:t -> t -> unit
 (** Adds all of the source's buckets into [dst]; the histograms must have
     been created with identical parameters. *)
 
+val merge : t -> t -> t
+(** Fresh histogram holding the bucket-wise sum of both arguments
+    (neither is mutated).  Bucket-exact: [merge a b] has the same buckets
+    as a single histogram fed both sample streams. *)
+
+val copy : t -> t
+
+val delta : baseline:t -> t -> t
+(** [delta ~baseline cur] is the fresh histogram of samples recorded in
+    [cur] since the [baseline] snapshot was taken (bucket-wise
+    subtraction; both must share [cur]'s parameters and [baseline] must
+    be an earlier snapshot of the same stream).  [max_seen] carries the
+    cumulative maximum — an upper bound for the window. *)
+
+(** {1 Structure accessors (for bounded-memory rollups and JSON export)} *)
+
+val lo : t -> float
+val buckets_per_decade : t -> int
+val nbuckets : t -> int
+val sum : t -> float
+val max_seen : t -> float
+
+val counts : t -> int array
+(** Copy of the raw bucket counts. *)
+
+val approx_bytes : t -> int
+(** Approximate heap footprint in bytes (record + bucket array). *)
+
+val of_counts :
+  lo:float -> buckets_per_decade:int -> counts:int array -> sum:float -> max_seen:float -> t
+(** Rebuild a histogram from exported raw state ([n] is the sum of
+    [counts]; the array is copied). *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** One-line "p50/p95/p99/max" rendering. *)

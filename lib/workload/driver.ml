@@ -20,6 +20,24 @@ type open_loop = {
   qos : Wafl_qos.Qos.config option;
 }
 
+(* Always-on fleet telemetry (DESIGN.md §4.15): bounded-memory per-volume
+   rollups plus the health watchdog, evaluated lazily from write-side
+   calls — attaching it never perturbs a run.  Pure data so specs stay
+   structurally comparable (and memoizable). *)
+type telemetry = {
+  rollup : Wafl_obs.Rollup.config;
+  rules : Wafl_obs.Health.rule list;
+}
+
+let default_telemetry =
+  { rollup = Wafl_obs.Rollup.default_config; rules = Wafl_obs.Health.default_rules }
+
+type telemetry_result = {
+  tr_snapshot : Wafl_obs.Rollup.snapshot;
+  tr_events : Wafl_obs.Health.event list;
+  tr_health_dropped : int;
+}
+
 type spec = {
   cores : int;
   workload : workload;
@@ -38,6 +56,7 @@ type spec = {
   measure : float;
   seed : int;
   sanitize : bool;
+  telemetry : telemetry option;
   obs : Engine.t -> Wafl_obs.Trace.t;
       (* tracer factory, called once with the run's engine; the caller
          captures the returned tracer via a closure to read it after the
@@ -69,6 +88,7 @@ let default_spec =
     measure = 1_000_000.0;
     seed = 42;
     sanitize = false;
+    telemetry = None;
     obs = (fun _ -> Wafl_obs.Trace.disabled);
   }
 
@@ -131,6 +151,7 @@ type result = {
   flash_erases : int;
   flash_gc_stall_us : float;
   waf : float;  (** (host + gc pages) / host pages over the window; 1.0 when idle *)
+  telemetry : telemetry_result option;  (** rollup snapshot + health events, when enabled *)
 }
 
 let cores_write_alloc r = r.cores_cleaner +. r.cores_infra
@@ -255,7 +276,8 @@ let memo_key spec =
       spec.warmup,
       spec.measure,
       spec.seed,
-      spec.sanitize ) )
+      spec.sanitize,
+      spec.telemetry ) )
 
 (* A memo entry is either a finished result or a claim by the run that
    is currently executing the spec: with the harness fanning runs out
@@ -272,7 +294,14 @@ let memo_tbl : (_, [ `Done of result | `Running ]) Hashtbl.t = Hashtbl.create 32
 
 let run_uncached spec =
   let eng = Engine.create ~cores:spec.cores ~sanitize:spec.sanitize () in
-  let obs = spec.obs eng in
+  let user_obs = spec.obs eng in
+  (* Telemetry needs a live metrics registry; when no full tracer is
+     attached, the metrics-only tracer provides one without recording
+     spans or installing engine hooks. *)
+  let obs =
+    if Wafl_obs.Trace.enabled user_obs || spec.telemetry = None then user_obs
+    else Wafl_obs.Trace.metrics_only eng
+  in
   let agg =
     Aggregate.create eng ~cost:spec.cost ~geometry:spec.geometry ~nvlog_half:spec.nvlog_half
       ?nvlog_watermarks:spec.watermarks ?flash:spec.flash ~cache_blocks:spec.cache_blocks ~obs
@@ -282,6 +311,59 @@ let run_uncached spec =
   let cp = Wafl_core.Walloc.cp walloc in
   let infra = Wafl_core.Walloc.infra walloc in
   let pool = Wafl_core.Walloc.pool walloc in
+  (* Fleet telemetry: register cumulative sources over the existing
+     counters and metrics; windows seal lazily from the per-op feeds
+     below, so no fiber is spawned and the run stays bit-identical. *)
+  let telem =
+    match spec.telemetry with
+    | None -> None
+    | Some tcfg ->
+        let roll = Wafl_obs.Rollup.create ~config:tcfg.rollup eng in
+        let health = Wafl_obs.Health.create ~rules:tcfg.rules roll in
+        let m = Wafl_obs.Trace.metrics obs in
+        let ctrs = Aggregate.counters agg in
+        Wafl_obs.Rollup.add_source roll ~name:"cp.count" (fun () ->
+            float_of_int (Wafl_core.Cp.cps_completed cp));
+        Wafl_obs.Rollup.add_source roll ~name:"cp.b2b" (fun () ->
+            float_of_int (Counters.read ctrs "b2b_cps"));
+        Wafl_obs.Rollup.add_source roll ~name:"nvlog.stall_us" (fun () ->
+            Aggregate.stall_time agg);
+        Wafl_obs.Rollup.add_source roll ~name:"nvlog.hard_dwell_us" (fun () ->
+            Aggregate.hard_dwell_time agg);
+        Wafl_obs.Rollup.add_source roll ~name:"flash.gc_stall_us" (fun () ->
+            List.fold_left
+              (fun acc ftl -> acc +. Wafl_flash.Ftl.gc_stall_us ftl)
+              0.0 (Aggregate.ftls agg));
+        Wafl_obs.Rollup.add_source roll ~name:"rebuild.blocks" (fun () ->
+            float_of_int
+              (Array.fold_left
+                 (fun acc r -> acc + Wafl_storage.Raid.rebuild_blocks r)
+                 0 (Aggregate.raid_groups agg)));
+        Wafl_obs.Rollup.add_source roll ~name:"qos.shed_ops" (fun () ->
+            Wafl_obs.Metrics.counter_value m "qos.shed_ops");
+        (* Ring drops only exist on a user-attached tracer; the internal
+           metrics-only tracer records nothing. *)
+        if Wafl_obs.Trace.enabled user_obs then
+          Wafl_obs.Rollup.add_source roll ~name:"trace.drops" (fun () ->
+              float_of_int (Wafl_obs.Trace.dropped user_obs));
+        Wafl_obs.Rollup.add_gauge roll ~name:"rebuild.active" (fun () ->
+            float_of_int
+              (Array.fold_left
+                 (fun acc r -> acc + if Wafl_storage.Raid.degraded r then 1 else 0)
+                 0 (Aggregate.raid_groups agg)));
+        List.iter
+          (fun name -> Wafl_obs.Rollup.add_hsource roll ~name (fun () -> Wafl_obs.Metrics.histo m name))
+          [
+            "op.e2e_us.write";
+            "qos.queue_wait_us";
+            "cp.duration_us";
+            "cp.phase_us.cleaning";
+            "cp.phase_us.flush";
+            "cp.phase_us.metafiles";
+            "cp.phase_us.io-flush";
+          ];
+        Some (roll, health)
+  in
   let files_per_client, file_blocks =
     match spec.workload with
     | Seq_write { file_blocks }
@@ -471,7 +553,15 @@ let run_uncached spec =
           Wafl_obs.Metrics.observe h dur;
           Wafl_obs.Trace.complete obs ~cat:"op" ~name ~ts:started ~dur ()
         end;
+        (match telem with
+        | Some (roll, _) when kind = `W ->
+            Wafl_obs.Rollup.observe_write roll ~vol:(Volume.id cf.vol)
+              (Engine.now eng -. started)
+        | _ -> ());
         kind)
+  in
+  let telem_count vol kind =
+    match telem with Some (roll, _) -> Wafl_obs.Rollup.count roll ~vol kind | None -> ()
   in
   let n_tenants = match spec.open_loop with None -> 0 | Some ol -> List.length ol.arrivals in
   let tstats =
@@ -505,7 +595,9 @@ let run_uncached spec =
                        !token
                    | Read _ | Meta -> 0L
                  in
+                 telem_count (Volume.id cf.vol) `Admitted;
                  let kind = exec_op ~cf ~content ~started op in
+                 telem_count (Volume.id cf.vol) `Completed;
                  if rec_.recording then begin
                    (* the recorder is shared by every client fiber; the
                       real system's stats counters are atomics *)
@@ -571,6 +663,7 @@ let run_uncached spec =
                      match verdict with
                      | `Shed ->
                          if windowed then st.a_shed <- st.a_shed + 1;
+                         telem_count (Volume.id cf.vol) `Shed;
                          Wafl_obs.Metrics.incr c_qos_shed
                      | (`Admit | `Delay _) as verdict ->
                          let delay = match verdict with `Delay d -> d | `Admit -> 0.0 in
@@ -578,6 +671,8 @@ let run_uncached spec =
                            st.a_admitted <- st.a_admitted + 1;
                            if delay > 0.0 then st.a_throttled <- st.a_throttled + 1
                          end;
+                         telem_count (Volume.id cf.vol) `Admitted;
+                         if delay > 0.0 then telem_count (Volume.id cf.vol) `Throttled;
                          Wafl_obs.Metrics.incr c_qos_admitted;
                          if delay > 0.0 then begin
                            Wafl_obs.Metrics.incr c_qos_throttled;
@@ -588,6 +683,7 @@ let run_uncached spec =
                            (Engine.spawn eng ~label:"client" (fun () ->
                                 if delay > 0.0 then Engine.sleep delay;
                                 let kind = exec_op ~cf ~content ~started op in
+                                telem_count (Volume.id cf.vol) `Completed;
                                 let e2e = Engine.now eng -. started in
                                 if windowed then begin
                                   Engine.probe_atomic eng ~shared:"driver.tenants";
@@ -731,6 +827,15 @@ let run_uncached spec =
         (let host = flash_sum Wafl_flash.Ftl.host_pages - base_fhost in
          let gc = flash_sum Wafl_flash.Ftl.gc_pages - base_fgc in
          if host = 0 then 1.0 else float_of_int (host + gc) /. float_of_int host);
+      telemetry =
+        Option.map
+          (fun (roll, health) ->
+            {
+              tr_snapshot = Wafl_obs.Rollup.snapshot roll;
+              tr_events = Wafl_obs.Health.events health;
+              tr_health_dropped = Wafl_obs.Health.dropped health;
+            })
+          telem;
     }
   in
   Aggregate.refresh_flash_counters agg;
@@ -764,6 +869,11 @@ let run_uncached spec =
    into the sink.  The bench harness points this at a fresh histogram
    per figure to report write p50/p99 next to wall time. *)
 let latency_sink : Wafl_util.Histogram.t option ref = ref None
+
+(* Like [latency_sink], for health: every run (cache hits included) adds
+   its health-event count to the cell.  The bench harness installs a
+   fresh cell per figure so BENCH_paper.json records events per figure. *)
+let health_sink : int ref option ref = ref None
 
 (* Memoized run with in-flight dedup: exactly one caller executes each
    unique spec; concurrent callers of the same spec wait for its result
@@ -810,5 +920,8 @@ let run spec =
   (match !latency_sink with
   | Some dst -> Wafl_util.Histogram.merge_into ~dst r.write_latency
   | None -> ());
+  (match (!health_sink, r.telemetry) with
+  | Some cell, Some tr -> cell := !cell + List.length tr.tr_events
+  | _ -> ());
   Mutex.unlock memo_lock;
   r

@@ -43,6 +43,24 @@ type open_loop = {
     the configured rates no matter how slow the server gets, so offered
     load, goodput and shedding become distinct observables. *)
 
+type telemetry = {
+  rollup : Wafl_obs.Rollup.config;
+  rules : Wafl_obs.Health.rule list;
+}
+(** Always-on fleet telemetry (DESIGN.md §4.15): bounded-memory
+    per-volume rollups plus the health watchdog.  Strictly observe-only
+    — windows seal lazily inside existing write-side calls, no fiber is
+    spawned — so a telemetry-on run is bit-identical to telemetry-off. *)
+
+val default_telemetry : telemetry
+(** {!Wafl_obs.Rollup.default_config} + {!Wafl_obs.Health.default_rules}. *)
+
+type telemetry_result = {
+  tr_snapshot : Wafl_obs.Rollup.snapshot;
+  tr_events : Wafl_obs.Health.event list;  (** oldest first *)
+  tr_health_dropped : int;  (** events beyond the watchdog log capacity *)
+}
+
 type spec = {
   cores : int;
   workload : workload;
@@ -68,6 +86,11 @@ type spec = {
   measure : float;
   seed : int;
   sanitize : bool;  (** run under the race detector and isolation checker *)
+  telemetry : telemetry option;
+      (** attach fleet telemetry; [None] (default) is bit-identical to
+          the pre-telemetry driver.  When set and no full tracer is
+          attached, the run uses {!Wafl_obs.Trace.metrics_only} so the
+          rollup can pull live metric histograms. *)
   obs : Wafl_sim.Engine.t -> Wafl_obs.Trace.t;
       (** tracer factory, called once with the run's engine before any
           component is built.  Default returns [Wafl_obs.Trace.disabled];
@@ -154,6 +177,8 @@ type result = {
       (** measured write amplification over the window,
           [(host + gc) / host]; 1.0 without a media model or without host
           writes *)
+  telemetry : telemetry_result option;
+      (** rollup snapshot + health events when [spec.telemetry] is set *)
 }
 
 val cores_write_alloc : result -> float
@@ -173,6 +198,12 @@ val latency_sink : Wafl_util.Histogram.t option ref
     its result's end-to-end write-latency histogram into [h].  The bench
     harness installs a fresh histogram per figure so BENCH_paper.json can
     report per-figure write p50/p99. *)
+
+val health_sink : int ref option ref
+(** When [Some cell], every [run] — including memoized cache hits — adds
+    its health-event count to [cell].  The bench harness installs a fresh
+    cell per figure so BENCH_paper.json records health events per
+    figure. *)
 
 val run : spec -> result
 (** Build, populate (each client's files are written once and flushed by

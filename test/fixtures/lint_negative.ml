@@ -12,6 +12,7 @@ let _bad_raw_event sink ev = Wafl_obs.Sink.record sink ev
 let _bad_raw_flow t = Wafl_obs.Trace.capture t ~kind:"smuggled"
 let _bad_raw_restore t h = Wafl_obs.Trace.restore t ~kind:"smuggled" h
 let _bad_raw_reset t = Wafl_obs.Trace.fiber_reset t
+let _bad_raw_health t ev = Wafl_obs.Health.emit t ev
 
 (* Suppressed: the fold result is sorted before use. lint-ok *)
 let _ok_fold tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

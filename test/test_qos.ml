@@ -149,6 +149,27 @@ let test_qos_volumes_independent () =
   Alcotest.(check bool) "untouched volume has no bucket" true
     (Qos.bucket_state qos ~vol:7 = None)
 
+let test_qos_vol_stats () =
+  (* Per-volume verdict accounting (feeds the telemetry rollup rows). *)
+  let qos = Qos.create { Qos.rate_per_s = 1_000.0; burst = 2.0; queue_depth = 1 } in
+  (* vol 0: 2 admits (burst), 1 throttle (queue slot), 1 shed. *)
+  for _ = 1 to 4 do
+    ignore (Qos.admit qos ~vol:0 ~now:0.0)
+  done;
+  ignore (Qos.admit qos ~vol:3 ~now:0.0);
+  Alcotest.(check (option (triple int int int))) "vol 0 admit/throttle/shed" (Some (2, 1, 1))
+    (Qos.vol_stats qos ~vol:0);
+  Alcotest.(check (option (triple int int int))) "vol 3 single admit" (Some (1, 0, 0))
+    (Qos.vol_stats qos ~vol:3);
+  Alcotest.(check (option (triple int int int))) "untouched volume has no stats" None
+    (Qos.vol_stats qos ~vol:9);
+  (* Per-volume rows sum to the global counters. *)
+  let a0, t0, s0 = Option.get (Qos.vol_stats qos ~vol:0) in
+  let a3, t3, s3 = Option.get (Qos.vol_stats qos ~vol:3) in
+  Alcotest.(check (triple int int int)) "vol rows sum to global counters"
+    (Qos.admitted qos, Qos.throttled qos, Qos.shed qos)
+    (a0 + a3, t0 + t3, s0 + s3)
+
 let prop_qos_replay_identity =
   QCheck.Test.make ~name:"qos: same arrival sequence, same verdicts and bucket state" ~count:100
     QCheck.(
@@ -280,6 +301,7 @@ let () =
       ( "admission",
         [
           Alcotest.test_case "volumes are independent" `Quick test_qos_volumes_independent;
+          Alcotest.test_case "per-volume verdict stats" `Quick test_qos_vol_stats;
           q prop_qos_replay_identity;
         ] );
       ( "arrivals",

@@ -1,0 +1,265 @@
+(* Tests for the always-on fleet telemetry (DESIGN.md §4.15): the
+   observe-only invariant (telemetry on is bit-identical to telemetry
+   off), the health watchdog's quiet-on-healthy / loud-on-injected
+   behavior via the chaos hooks, snapshot JSON round-trips, merge
+   determinism, and the fleet-scale memory budget. *)
+
+open Wafl_workload
+module Rollup = Wafl_obs.Rollup
+module Health = Wafl_obs.Health
+module Top = Wafl_obs.Top
+module Json = Wafl_obs.Json
+module Histogram = Wafl_util.Histogram
+
+let small_spec ?(workload = Driver.Seq_write { file_blocks = 1024 }) ?(clients = 6) () =
+  {
+    Driver.default_spec with
+    Driver.cores = 8;
+    workload;
+    clients;
+    volumes = 2;
+    geometry = Driver.small_geometry ();
+    nvlog_half = 2048;
+    warmup = 80_000.0;
+    measure = 250_000.0;
+    cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 100_000.0 };
+  }
+
+(* Every result field except [telemetry] itself, rendered to a string:
+   if any of these moves when telemetry is attached, the observe-only
+   invariant is broken. *)
+let digest (r : Driver.result) =
+  let h hist =
+    Printf.sprintf "%d/%.3f/%.1f/%.1f" (Histogram.count hist) (Histogram.mean hist)
+      (Histogram.percentile hist 50.0)
+      (Histogram.percentile hist 99.0)
+  in
+  Printf.sprintf
+    "%d;%.6f;%.6f;%.6f;%s;%s;%d;%d;%d;%.6f;%.6f;%.6f;%.6f;%.6f;%.6f;%d;%d;%d;%d;%d;%d;%d;%d;%.6f;%d;%d;%.6f;%d;%d;%d;%.6f;%d;%d;%d;%d;%d;%d;%.6f;%.6f"
+    r.Driver.ops r.Driver.duration r.Driver.throughput r.Driver.throughput_per_client
+    (h r.Driver.latency) (h r.Driver.write_latency) r.Driver.reads r.Driver.writes
+    r.Driver.metas r.Driver.cores_client r.Driver.cores_cleaner r.Driver.cores_infra
+    r.Driver.cores_cp r.Driver.cores_io_other r.Driver.utilization r.Driver.cps_completed
+    r.Driver.buffers_cleaned r.Driver.vbns_allocated r.Driver.vbns_freed
+    r.Driver.metafile_blocks_touched r.Driver.infra_messages r.Driver.cleaner_messages
+    r.Driver.get_waits r.Driver.avg_active_cleaners r.Driver.full_stripes
+    r.Driver.partial_stripes r.Driver.read_contiguity r.Driver.offered_ops r.Driver.shed_ops
+    r.Driver.throttled_ops r.Driver.stall_us r.Driver.b2b_cps r.Driver.b2b_episodes
+    r.Driver.nvlog_exhausted r.Driver.races r.Driver.flash_host_pages r.Driver.flash_gc_pages
+    r.Driver.flash_gc_stall_us r.Driver.waf
+
+let with_telemetry ?(rollup = Rollup.default_config) ?(rules = Health.default_rules)
+    (spec : Driver.spec) =
+  { spec with Driver.telemetry = Some { Driver.rollup; rules } }
+
+let telem r =
+  match r.Driver.telemetry with
+  | Some t -> t
+  | None -> Alcotest.fail "telemetry requested but result carries none"
+
+(* --- observe-only invariant ---------------------------------------------- *)
+
+let test_bit_identity () =
+  let off = Driver.run (small_spec ()) in
+  let on = Driver.run (with_telemetry (small_spec ())) in
+  Alcotest.(check string) "telemetry on is bit-identical to off" (digest off) (digest on);
+  let tr = telem on in
+  Alcotest.(check bool) "rollup sealed windows" true (tr.Driver.tr_snapshot.Rollup.s_windows <> [])
+
+let test_bit_identity_open_loop () =
+  let spec =
+    {
+      (small_spec ()) with
+      Driver.clients = 4;
+      volumes = 4;
+      open_loop =
+        Some
+          {
+            Driver.arrivals = Arrival.population ~n:4 ~total_rate:40_000.0 ~alpha:1.0;
+            qos = Some Wafl_qos.Qos.default_config;
+          };
+    }
+  in
+  let off = Driver.run spec in
+  let on = Driver.run (with_telemetry spec) in
+  Alcotest.(check string) "open-loop telemetry on is bit-identical to off" (digest off)
+    (digest on);
+  (* Shed/throttle/admit verdicts land in the per-volume rows. *)
+  let tr = telem on in
+  let sum f =
+    List.fold_left
+      (fun acc w -> List.fold_left (fun a (_, row) -> a + f row) acc w.Rollup.w_vols)
+      0 tr.Driver.tr_snapshot.Rollup.s_windows
+  in
+  Alcotest.(check bool) "windowed writes observed" true (sum (fun r -> r.Rollup.vr_writes) > 0);
+  Alcotest.(check bool) "admissions observed" true (sum (fun r -> r.Rollup.vr_admitted) > 0)
+
+(* --- watchdog: quiet on healthy runs ------------------------------------- *)
+
+let test_healthy_zero_events () =
+  List.iter
+    (fun (name, spec) ->
+      let tr = telem (Driver.run (with_telemetry spec)) in
+      Alcotest.(check int)
+        (name ^ ": healthy run emits no health events")
+        0
+        (List.length tr.Driver.tr_events))
+    [
+      ("seq", small_spec ());
+      ("oltp", small_spec ~workload:(Driver.Oltp { file_blocks = 1024; read_fraction = 0.67 }) ());
+      ("nfs", small_spec ~workload:(Driver.Nfs_mix { files_per_client = 16; file_blocks = 32 }) ());
+    ]
+
+(* --- watchdog: chaos injection ------------------------------------------- *)
+
+(* Light load (think time keeps the log far from half-full, so natural
+   b2b is zero) with a fast CP timer: injection flips the dense timer
+   CPs to back-to-back, which is exactly the all-b2b signature the
+   streak rule looks for. *)
+let frequent_cp_spec () =
+  {
+    (small_spec ()) with
+    Driver.think_time = 300.0;
+    cfg = { Wafl_core.Walloc.default_config with cp_timer = Some 3_000.0 };
+    measure = 500_000.0;
+  }
+
+let test_chaos_b2b_streak () =
+  let healthy = telem (Driver.run (with_telemetry (frequent_cp_spec ()))) in
+  Alcotest.(check int) "frequent CPs alone stay quiet" 0 (List.length healthy.Driver.tr_events);
+  Wafl_core.Cp.chaos_force_b2b := true;
+  let tr =
+    Fun.protect
+      ~finally:(fun () -> Wafl_core.Cp.chaos_force_b2b := false)
+      (fun () -> telem (Driver.run (with_telemetry (frequent_cp_spec ()))))
+  in
+  let b2b = List.filter (fun ev -> ev.Health.ev_rule = "b2b_streak") tr.Driver.tr_events in
+  Alcotest.(check bool) "injected b2b streak detected" true (b2b <> []);
+  List.iter
+    (fun ev -> Alcotest.(check bool) "b2b events are critical" true (ev.Health.ev_severity = Health.Crit))
+    b2b
+
+let test_chaos_hard_dwell () =
+  let rollup = { Rollup.default_config with Rollup.window_us = 50_000.0 } in
+  Wafl_fs.Aggregate.chaos_inject_hard_dwell := 25.0;
+  let tr =
+    Fun.protect
+      ~finally:(fun () -> Wafl_fs.Aggregate.chaos_inject_hard_dwell := 0.0)
+      (fun () -> telem (Driver.run (with_telemetry ~rollup (small_spec ()))))
+  in
+  let dwell = List.filter (fun ev -> ev.Health.ev_rule = "hard_dwell") tr.Driver.tr_events in
+  Alcotest.(check bool) "injected hard-watermark dwell detected" true (dwell <> [])
+
+(* --- snapshot JSON round-trips ------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let tr = telem (Driver.run (with_telemetry (small_spec ()))) in
+  let s1 = Json.to_string (Rollup.snapshot_to_json tr.Driver.tr_snapshot) in
+  let reparsed =
+    match Json.of_string s1 with
+    | Ok j -> Rollup.snapshot_of_json j
+    | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+  in
+  let s2 = Json.to_string (Rollup.snapshot_to_json reparsed) in
+  Alcotest.(check string) "rollup snapshot JSON round-trips byte-identically" s1 s2;
+  let t1 = Json.to_string (Top.to_json tr.Driver.tr_snapshot tr.Driver.tr_events) in
+  let snap2, events2 =
+    match Json.of_string t1 with
+    | Ok j -> Top.of_json j
+    | Error e -> Alcotest.failf "top JSON does not parse: %s" e
+  in
+  let t2 = Json.to_string (Top.to_json snap2 events2) in
+  Alcotest.(check string) "wafl-top JSON round-trips byte-identically" t1 t2;
+  (* The rendered tables are pure functions of the snapshot. *)
+  Alcotest.(check string) "render is reproducible from the re-parsed snapshot"
+    (Top.render tr.Driver.tr_snapshot tr.Driver.tr_events)
+    (Top.render snap2 events2)
+
+let test_merge_deterministic () =
+  let tr = telem (Driver.run (with_telemetry (small_spec ()))) in
+  let snap = tr.Driver.tr_snapshot in
+  let m1 = Rollup.merge_snapshots [ (0, snap); (1, snap) ] in
+  let m2 = Rollup.merge_snapshots [ (1, snap); (0, snap) ] in
+  Alcotest.(check string) "merge is order-independent"
+    (Json.to_string (Rollup.snapshot_to_json m1))
+    (Json.to_string (Rollup.snapshot_to_json m2));
+  (* Merging two copies of one shard doubles every counter and sketch. *)
+  let total s =
+    List.fold_left
+      (fun acc w ->
+        List.fold_left (fun a (_, row) -> a + row.Rollup.vr_writes) acc w.Rollup.w_vols)
+      0 s.Rollup.s_windows
+  in
+  Alcotest.(check int) "merged writes sum over shards" (2 * total snap) (total m1)
+
+(* --- fleet-scale memory budget ------------------------------------------- *)
+
+let test_thousand_volume_budget () =
+  let cfg = Rollup.default_config in
+  let eng = Wafl_sim.Engine.create ~cores:1 () in
+  let roll = Rollup.create ~config:cfg eng in
+  let vols = 1000 in
+  ignore
+    (Wafl_sim.Engine.spawn eng (fun () ->
+         (* Drive enough windows to cycle the ring past its capacity. *)
+         for _w = 1 to (2 * cfg.Rollup.windows) + 3 do
+           for vol = 0 to vols - 1 do
+             Rollup.count roll ~vol `Admitted;
+             Rollup.observe_write roll ~vol (float_of_int ((vol mod 97) + 1));
+             Rollup.count roll ~vol `Completed
+           done;
+           Wafl_sim.Engine.sleep cfg.Rollup.window_us
+         done));
+  Wafl_sim.Engine.run eng;
+  let snap = Rollup.snapshot roll in
+  Alcotest.(check int) "ring holds exactly the configured window count" cfg.Rollup.windows
+    (List.length snap.Rollup.s_windows);
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "every volume appears in every sealed window" vols
+        (List.length w.Rollup.w_vols))
+    snap.Rollup.s_windows;
+  (* The whole structure, divided across volumes, must fit the per-volume
+     byte budget (ISSUE: O(volumes x windows), bounded per volume). *)
+  let bytes = 8 * Obj.reachable_words (Obj.repr roll) in
+  let per_vol = bytes / vols in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-volume footprint %dB within budget %dB" per_vol
+       cfg.Rollup.vol_budget_bytes)
+    true
+    (per_vol <= cfg.Rollup.vol_budget_bytes)
+
+(* --- budget rejection ----------------------------------------------------- *)
+
+let test_budget_rejected () =
+  let eng = Wafl_sim.Engine.create ~cores:1 () in
+  let cfg = { Rollup.default_config with Rollup.vol_budget_bytes = 64 } in
+  match Rollup.create ~config:cfg eng with
+  | _ -> Alcotest.fail "a 64-byte budget cannot hold the ring"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "observe-only",
+        [
+          Alcotest.test_case "closed-loop bit-identity" `Slow test_bit_identity;
+          Alcotest.test_case "open-loop bit-identity" `Slow test_bit_identity_open_loop;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "healthy runs emit nothing" `Slow test_healthy_zero_events;
+          Alcotest.test_case "injected b2b streak fires" `Slow test_chaos_b2b_streak;
+          Alcotest.test_case "injected hard dwell fires" `Slow test_chaos_hard_dwell;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "JSON round-trip" `Slow test_snapshot_roundtrip;
+          Alcotest.test_case "deterministic merge" `Quick test_merge_deterministic;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "1000-volume smoke" `Quick test_thousand_volume_budget;
+          Alcotest.test_case "undersized budget rejected" `Quick test_budget_rejected;
+        ] );
+    ]

@@ -203,6 +203,81 @@ let prop_histogram_quantile_brackets =
       let mx = List.fold_left Float.max neg_infinity xs in
       Histogram.quantile h 1.0 <= mx +. 1e-9)
 
+let test_histogram_empty_percentiles () =
+  let h = Histogram.create () in
+  List.iter
+    (fun p -> check_float (Printf.sprintf "p%.0f of empty is 0" p) 0.0 (Histogram.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_histogram_one_sample () =
+  (* With a single sample every rank-selecting percentile lands in the
+     sample's bucket, so the reported value (the bucket's geometric
+     center, capped at max_seen) is within one bucket width — about 6%
+     at 20 buckets/decade — of the sample.  p0 has rank 0 so it reports
+     the bottom of the value range, not the sample. *)
+  let h = Histogram.create () in
+  Histogram.add h 137.0;
+  let p50 = Histogram.percentile h 50.0 in
+  List.iter
+    (fun p ->
+      let v = Histogram.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f of one sample within bucket resolution" p)
+        true
+        (v = p50 && Float.abs (v -. 137.0) /. 137.0 < 0.06 && v <= Histogram.max_seen h))
+    [ 50.0; 99.0; 100.0 ];
+  let p0 = Histogram.percentile h 0.0 in
+  Alcotest.(check bool) "p0 within (0, sample]" true (p0 > 0.0 && p0 <= 137.0);
+  check_float "mean of one sample" 137.0 (Histogram.mean h)
+
+let test_histogram_clamp_percentiles () =
+  (* Below-range and above-range samples land in the edge buckets but
+     percentiles stay within [max_seen]. *)
+  let h = Histogram.create ~lo:10.0 ~hi:1000.0 () in
+  Histogram.add h 0.001;
+  Histogram.add h 1e9;
+  Alcotest.(check int) "clamped samples counted" 2 (Histogram.count h);
+  Alcotest.(check bool) "p100 caps at max_seen" true (Histogram.percentile h 100.0 <= 1e9);
+  Alcotest.(check bool) "p0 positive" true (Histogram.percentile h 0.0 > 0.0)
+
+(* Merging two histograms must be bucket-exact equivalent to one
+   histogram of the concatenated samples: identical counts array, sum
+   and max (the basis for the telemetry rollup's cross-shard merge). *)
+let prop_histogram_merge_is_concat =
+  QCheck.Test.make ~name:"histogram merge = concatenation, bucket-exact" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 100) (float_range 0.5 1e7))
+        (list_of_size Gen.(0 -- 100) (float_range 0.5 1e7)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () and c = Histogram.create () in
+      List.iter (Histogram.add a) xs;
+      List.iter (Histogram.add b) ys;
+      List.iter (Histogram.add c) (xs @ ys);
+      let m = Histogram.merge a b in
+      Histogram.counts m = Histogram.counts c
+      && Histogram.count m = Histogram.count c
+      && Float.abs (Histogram.sum m -. Histogram.sum c) <= 1e-6 *. (1.0 +. Histogram.sum c)
+      && Histogram.max_seen m = Histogram.max_seen c)
+
+(* Delta against a baseline recovers exactly the samples added after the
+   baseline copy — the rollup's per-window sketch extraction. *)
+let prop_histogram_delta_recovers_tail =
+  QCheck.Test.make ~name:"histogram delta recovers post-baseline samples" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 100) (float_range 0.5 1e7))
+        (list_of_size Gen.(0 -- 100) (float_range 0.5 1e7)))
+    (fun (xs, ys) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let baseline = Histogram.copy h in
+      List.iter (Histogram.add h) ys;
+      let d = Histogram.delta ~baseline h in
+      let tail = Histogram.create () in
+      List.iter (Histogram.add tail) ys;
+      Histogram.counts d = Histogram.counts tail && Histogram.count d = List.length ys)
+
 (* --- Bitops --- *)
 
 let test_popcount_cases () =
@@ -406,12 +481,21 @@ let () =
             Alcotest.test_case "merge" `Quick test_stats_merge;
           ] );
       ( "histogram",
-        qsuite [ prop_histogram_quantile_monotone; prop_histogram_quantile_brackets ]
+        qsuite
+          [
+            prop_histogram_quantile_monotone;
+            prop_histogram_quantile_brackets;
+            prop_histogram_merge_is_concat;
+            prop_histogram_delta_recovers_tail;
+          ]
         @ [
             Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
             Alcotest.test_case "empty" `Quick test_histogram_empty;
+            Alcotest.test_case "empty percentiles" `Quick test_histogram_empty_percentiles;
+            Alcotest.test_case "one sample" `Quick test_histogram_one_sample;
             Alcotest.test_case "mean exact" `Quick test_histogram_mean_exact;
             Alcotest.test_case "clamping" `Quick test_histogram_clamp;
+            Alcotest.test_case "clamped percentiles" `Quick test_histogram_clamp_percentiles;
             Alcotest.test_case "merge" `Quick test_histogram_merge;
           ] );
       ( "bitops",

@@ -4,7 +4,15 @@
      bench_gate BASELINE.json FRESH.json
 
    A figure regresses when its fresh wall time exceeds the baseline's by
-   more than 15% plus an absolute slack of 2 s.  The absolute slack is a
+   more than 15% plus an absolute slack of 2 s, or when its end-to-end
+   write p99 exceeds the baseline's by more than 25% plus a 100 us
+   jitter floor.  Wall time drifts with the host; the p99 is a virtual-
+   time measurement, so it is deterministic at a fixed (scale, seed) —
+   the generous slack only absorbs intentional model recalibrations,
+   while a genuine latency regression (a serialization bug, a lost
+   parallelism path) shows up as a multiple.  Figures lacking the p99
+   field on either side (pre-v3 baselines, figures with no writes) skip
+   the latency gate.  The absolute slack is a
    jitter floor: on a shared single-core host a ~5 s figure varies by
    over 30% run-to-run, so short figures (and fig6, which is fully
    memoized and takes ~0 s) are effectively gated by the floor while the
@@ -40,7 +48,13 @@ let figures doc path =
       List.filter_map
         (fun f ->
           match (J.member "name" f, J.member "wall_s" f) with
-          | Some (J.Str n), Some (J.Num w) -> Some (n, w)
+          | Some (J.Str n), Some (J.Num w) ->
+              let p99 =
+                match J.member "write_p99_us" f with
+                | Some (J.Num p) when p > 0.0 -> Some p
+                | _ -> None
+              in
+              Some (n, (w, p99))
           | _ -> None)
         figs
   | _ -> fail "bench_gate: %s: no figures array" path
@@ -84,25 +98,41 @@ let () =
   let base_figs = figures baseline baseline_path in
   let fresh_figs = figures fresh fresh_path in
   let slack_abs = 2.0 and slack_rel = 1.15 in
+  let p99_floor_us = 100.0 and p99_rel = 1.25 in
   let regressed = ref [] in
   let compared = ref 0 in
   List.iter
-    (fun (name, fw) ->
+    (fun (name, (fw, fp99)) ->
       match List.assoc_opt name base_figs with
       | None -> Printf.printf "  %-18s %6.1fs  (new figure, no baseline)\n" name fw
-      | Some bw ->
+      | Some (bw, bp99) ->
           incr compared;
           let limit = (bw *. slack_rel) +. slack_abs in
-          let status = if fw > limit then "REGRESSED" else "ok" in
-          if fw > limit then regressed := name :: !regressed;
-          Printf.printf "  %-18s %6.1fs vs %6.1fs baseline (limit %.1fs)  [%s]\n" name fw bw
-            limit status)
+          let wall_bad = fw > limit in
+          let p99_report, p99_bad =
+            match (bp99, fp99) with
+            | Some b, Some f ->
+                let plimit = (b *. p99_rel) +. p99_floor_us in
+                ( Printf.sprintf ", p99 %.0fus vs %.0fus (limit %.0fus)" f b plimit,
+                  f > plimit )
+            | _ -> ("", false)
+          in
+          let status =
+            if wall_bad && p99_bad then "REGRESSED (wall, p99)"
+            else if wall_bad then "REGRESSED (wall)"
+            else if p99_bad then "REGRESSED (p99)"
+            else "ok"
+          in
+          if wall_bad || p99_bad then regressed := name :: !regressed;
+          Printf.printf "  %-18s %6.1fs vs %6.1fs baseline (limit %.1fs)%s  [%s]\n" name fw bw
+            limit p99_report status)
     fresh_figs;
   if !compared = 0 then fail "bench_gate: no common figures between %s and %s" baseline_path fresh_path;
   match !regressed with
   | [] -> Printf.printf "bench gate OK: %d figure(s) within limits\n" !compared
   | l ->
-      Printf.printf "bench gate FAILED: %s regressed >15%% (+2s slack) vs %s\n"
+      Printf.printf
+        "bench gate FAILED: %s regressed (wall >15%% +2s slack, or write p99 >25%% +100us) vs %s\n"
         (String.concat ", " (List.rev l))
         baseline_path;
       exit 1

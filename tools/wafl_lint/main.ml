@@ -72,6 +72,12 @@ let sink_whitelist = [ "trace.ml"; "metrics.ml"; "sink.ml" ]
 let causal_primitives = [ "capture"; "restore"; "with_root"; "fiber_reset" ]
 let causal_whitelist = [ "trace.ml"; "causal.ml" ]
 
+(* Files allowed to append raw health events: the watchdog itself.  Every
+   alert elsewhere must come from a typed rule evaluated at window seal,
+   so the event stream stays structured (and the fleet view can trust
+   rule names). *)
+let health_whitelist = [ "health.ml" ]
+
 let check_path src loc path =
   match path with
   | "Random" :: _ when base src.name <> "rng.ml" ->
@@ -101,6 +107,11 @@ let check_path src loc path =
             report src loc
               "Sink.record writes raw trace events; go through the Wafl_obs.Trace API \
                (with_span / instant / complete) instead"
+      | "emit" :: "Health" :: _ ->
+          if not (List.mem (base src.name) health_whitelist) then
+            report src loc
+              "Health.emit appends raw watchdog events; add a typed Health.rule evaluated \
+               at window seal instead"
       | field :: "Trace" :: _ when List.mem field causal_primitives ->
           if not (List.mem (base src.name) causal_whitelist) then
             report src loc
